@@ -1,0 +1,21 @@
+"""Benchmark harness plumbing.
+
+Each benchmark runs one paper-figure experiment end to end (data
+generation, load, every swept query) and prints the reproduced
+rows/series — the same numbers the paper's figure plots — to the
+terminal, bypassing capture so they land in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+
+def emit(capsys, result) -> None:
+    """Print an ExperimentResult table outside pytest's capture."""
+    with capsys.disabled():
+        print()
+        print(result.to_table())
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic, heavy experiment exactly once under timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Ablation: how table partitioning (parallel streams) changes the story.
+
+Not a paper figure; DESIGN.md calls out partition count as the main
+free parameter our calibration fixes (16).  Sweeps it and reports the
+S3-side filter's simulated runtime: more partitions parallelize the scan
+until per-phase latency floors it.
+"""
+
+from conftest import emit, run_once
+from repro.cloud.context import CloudContext
+from repro.engine.catalog import Catalog, load_table
+from repro.experiments.harness import ExperimentResult, calibrate_tables
+from repro.sqlparser.parser import parse_expression
+from repro.strategies.filter import FilterQuery, s3_side_filter, server_side_filter
+from repro.workloads.synthetic import FILTER_SCHEMA, filter_table
+
+
+def run_ablation(num_rows=20_000, partition_counts=(1, 2, 4, 8, 16, 32)):
+    rows = filter_table(num_rows, seed=9)
+    result = ExperimentResult(
+        experiment="ablation-partitions",
+        title="S3-side filter runtime vs table partition count",
+    )
+    for partitions in partition_counts:
+        ctx, catalog = CloudContext(), Catalog()
+        load_table(
+            ctx, catalog, "t", rows, FILTER_SCHEMA,
+            bucket="abl", partitions=partitions,
+        )
+        calibrate_tables(ctx, catalog, ["t"], 10e9)
+        query = FilterQuery(table="t", predicate=parse_expression("key < 100"))
+        pushed = s3_side_filter(ctx, catalog, query)
+        server = server_side_filter(ctx, catalog, query)
+        result.rows.append(
+            {
+                "partitions": partitions,
+                "s3_side_s": round(pushed.runtime_seconds, 3),
+                "server_side_s": round(server.runtime_seconds, 3),
+                "speedup": round(
+                    server.runtime_seconds / pushed.runtime_seconds, 2
+                ),
+            }
+        )
+    return result
+
+
+def test_ablation_partitions(benchmark, capsys):
+    result = run_once(benchmark, run_ablation)
+    emit(capsys, result)
+    s3_times = [r["s3_side_s"] for r in result.rows]
+    # The pushed scan parallelizes: strictly faster with more partitions.
+    assert s3_times[0] > s3_times[-1]

@@ -1,0 +1,40 @@
+"""Section II-B bench: the pricing table, verified and timed.
+
+Prints the unit-price table from the paper and asserts the canonical
+derived numbers (e.g. scanning 10 GB costs $0.02).  The timed body is
+the cost-model evaluation itself over a large batch of request records.
+"""
+
+import pytest
+
+from repro.cloud.metrics import RequestKind, RequestRecord
+from repro.cloud.pricing import PAPER_PRICING, cost_of_query
+from repro.common.units import GB
+
+
+def test_cost_model(benchmark, capsys):
+    records = [
+        RequestRecord(
+            RequestKind.SELECT, "b", f"k{i}",
+            bytes_scanned=int(0.5 * GB), bytes_returned=10_000_000,
+        )
+        for i in range(20)
+    ] + [
+        RequestRecord(RequestKind.GET, "b", f"g{i}", bytes_transferred=1_000_000)
+        for i in range(1000)
+    ]
+    cost = benchmark(lambda: cost_of_query(records, runtime_seconds=60.0))
+    with capsys.disabled():
+        print()
+        print("== tbl-cost: Section II-B pricing ==")
+        print(f"scan     $/GB          {PAPER_PRICING.select_scan_per_gb}")
+        print(f"return   $/GB          {PAPER_PRICING.select_return_per_gb}")
+        print(f"requests $/1000        {PAPER_PRICING.get_per_1000_requests}")
+        print(f"compute  $/h r4.8xl    {PAPER_PRICING.ec2_per_hour}")
+        print(f"example query: scan 10GB, return 0.2GB, 1020 req, 60s compute")
+        print(f"  -> compute ${cost.compute:.5f} request ${cost.request:.6f}"
+              f" scan ${cost.scan:.5f} transfer ${cost.transfer:.6f}")
+    assert cost.scan == pytest.approx(10 * 0.002)
+    assert cost.transfer == pytest.approx(0.2 * 0.0007)
+    assert cost.request == pytest.approx(1.02 * 0.0004)
+    assert cost.compute == pytest.approx(2.128 / 60)

@@ -1,0 +1,44 @@
+"""Microbenchmarks of the substrate itself (not a paper figure).
+
+Measures the simulated S3 Select engine's scan throughput and the local
+hash join, so regressions in the substrate are visible independently of
+the simulated-time results.
+"""
+
+from repro.engine.operators.hashjoin import hash_join
+from repro.s3select.engine import execute_select
+from repro.storage.csvcodec import encode_table
+from repro.storage.object_store import StoredObject
+from repro.workloads.synthetic import FILTER_SCHEMA, filter_table
+
+ROWS = filter_table(20_000, seed=3)
+DATA, _ = encode_table(ROWS)
+OBJ = StoredObject(
+    DATA,
+    {"format": "csv", "schema": [f"{c.name}:{c.type}" for c in FILTER_SCHEMA.columns],
+     "header": False},
+)
+
+
+def test_select_scan_throughput(benchmark):
+    result = benchmark(
+        lambda: execute_select(OBJ, "SELECT key FROM S3Object WHERE key < 100")
+    )
+    assert len(result.rows) == 100
+    benchmark.extra_info["rows_scanned"] = result.rows_scanned
+
+
+def test_select_aggregate_throughput(benchmark):
+    result = benchmark(
+        lambda: execute_select(OBJ, "SELECT SUM(p0), COUNT(*) FROM S3Object")
+    )
+    assert result.rows[0][1] == len(ROWS)
+
+
+def test_hash_join_throughput(benchmark):
+    build = [(i, f"n{i}") for i in range(2_000)]
+    probe = [(i % 2_000, float(i)) for i in range(20_000)]
+    out = benchmark(
+        lambda: hash_join(build, ["id", "name"], probe, ["fk", "v"], "id", "fk")
+    )
+    assert len(out.rows) == 20_000

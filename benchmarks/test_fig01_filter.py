@@ -1,0 +1,17 @@
+"""Figure 1 bench: filter strategies vs selectivity (runtime + cost)."""
+
+from conftest import emit, run_once
+from repro.experiments import fig01_filter
+
+
+def test_fig01_filter(benchmark, capsys):
+    result = run_once(benchmark, lambda: fig01_filter.run(num_rows=30_000))
+    emit(capsys, result)
+    indexing = result.column("indexing", "runtime_s")
+    s3 = result.column("s3-side", "runtime_s")
+    server = result.column("server-side", "runtime_s")
+    # Paper shape: S3-side ~10x faster than server-side; indexing
+    # collapses at low selectivity.
+    assert all(a > 4 * b for a, b in zip(server, s3))
+    assert indexing[-1] > indexing[0] * 5
+    benchmark.extra_info["server_vs_s3_speedup"] = round(server[0] / s3[0], 2)

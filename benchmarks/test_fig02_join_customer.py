@@ -1,0 +1,13 @@
+"""Figure 2 bench: join strategies vs customer selectivity."""
+
+from conftest import emit, run_once
+from repro.experiments import fig02_join_customer
+
+
+def test_fig02_join_customer(benchmark, capsys):
+    result = run_once(benchmark, lambda: fig02_join_customer.run(scale_factor=0.01))
+    emit(capsys, result)
+    bloom = result.column("bloom", "runtime_s")
+    filtered = result.column("filtered", "runtime_s")
+    assert bloom[0] < filtered[0]  # Bloom wins when selective
+    benchmark.extra_info["bloom_speedup_at_-950"] = round(filtered[0] / bloom[0], 2)

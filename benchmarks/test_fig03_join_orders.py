@@ -1,0 +1,17 @@
+"""Figure 3 bench: join strategies vs orders selectivity."""
+
+from conftest import emit, run_once
+from repro.experiments import fig03_join_orders
+
+
+def test_fig03_join_orders(benchmark, capsys):
+    result = run_once(benchmark, lambda: fig03_join_orders.run(scale_factor=0.01))
+    emit(capsys, result)
+    filtered = result.column("filtered", "runtime_s")
+    baseline = result.column("baseline", "runtime_s")
+    bloom = result.column("bloom", "runtime_s")
+    # Filtered beats baseline when the date filter is selective and
+    # converges as it opens up; Bloom stays fast and flat.
+    assert filtered[0] < baseline[0]
+    assert filtered[-1] > filtered[0]
+    assert max(bloom) < max(baseline)

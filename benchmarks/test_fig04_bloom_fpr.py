@@ -1,0 +1,19 @@
+"""Figure 4 bench: Bloom join vs false-positive rate (U-shape)."""
+
+from conftest import emit, run_once
+from repro.experiments import fig04_bloom_fpr
+
+
+def test_fig04_bloom_fpr(benchmark, capsys):
+    result = run_once(benchmark, lambda: fig04_bloom_fpr.run(scale_factor=0.01))
+    emit(capsys, result)
+    bloom = result.series("bloom")
+    runtimes = [r["runtime_s"] for r in bloom]
+    fprs = [r["fpr"] for r in bloom]
+    best = fprs[runtimes.index(min(runtimes))]
+    # Paper: the sweet spot sits mid-range (0.01, with a flat bottom out
+    # to ~0.3); both extremes are worse.  Our minimum lands at 0.1-0.3
+    # (documented in EXPERIMENTS.md) - assert the U-shape, mid-range.
+    assert 0.001 <= best <= 0.3
+    assert max(runtimes[0], runtimes[-1]) > min(runtimes)
+    benchmark.extra_info["best_fpr"] = best

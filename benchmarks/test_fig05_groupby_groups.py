@@ -1,0 +1,14 @@
+"""Figure 5 bench: group-by strategies vs number of groups."""
+
+from conftest import emit, run_once
+from repro.experiments import fig05_groupby_groups
+
+
+def test_fig05_groupby_groups(benchmark, capsys):
+    result = run_once(benchmark, lambda: fig05_groupby_groups.run(num_rows=25_000))
+    emit(capsys, result)
+    s3 = result.column("s3-side", "runtime_s")
+    filtered = result.column("filtered", "runtime_s")
+    server = result.column("server-side", "runtime_s")
+    assert s3[0] < filtered[0] < server[0]  # few groups: pushdown wins
+    assert s3[-1] > filtered[-1]            # many groups: S3-side crosses over

@@ -1,0 +1,13 @@
+"""Figure 6 bench: hybrid group-by S3/server split point."""
+
+from conftest import emit, run_once
+from repro.experiments import fig06_hybrid_split
+
+
+def test_fig06_hybrid_split(benchmark, capsys):
+    result = run_once(benchmark, lambda: fig06_hybrid_split.run(num_rows=25_000))
+    emit(capsys, result)
+    s3_times = [r["s3_side_s"] for r in result.rows]
+    server_times = [r["server_side_s"] for r in result.rows]
+    assert s3_times == sorted(s3_times)
+    assert server_times == sorted(server_times, reverse=True)

@@ -1,0 +1,16 @@
+"""Figure 7 bench: group-by strategies vs Zipf skew."""
+
+from conftest import emit, run_once
+from repro.experiments import fig07_groupby_skew
+
+
+def test_fig07_groupby_skew(benchmark, capsys):
+    result = run_once(benchmark, lambda: fig07_groupby_skew.run(num_rows=25_000))
+    emit(capsys, result)
+    hybrid = result.column("hybrid", "runtime_s")
+    filtered = result.column("filtered", "runtime_s")
+    # Paper: 31% faster than filtered at theta=1.3.
+    assert hybrid[-1] < filtered[-1]
+    benchmark.extra_info["hybrid_gain_at_1.3"] = round(
+        1 - hybrid[-1] / filtered[-1], 3
+    )

@@ -1,0 +1,16 @@
+"""Figure 8 bench: sampling top-K sensitivity to sample size."""
+
+from conftest import emit, run_once
+from repro.experiments import fig08_topk_sample
+
+
+def test_fig08_topk_sample(benchmark, capsys):
+    result = run_once(benchmark, lambda: fig08_topk_sample.run(scale_factor=0.01))
+    emit(capsys, result)
+    sample = [r["sample_phase_s"] for r in result.rows]
+    scan = [r["scan_phase_s"] for r in result.rows]
+    total = [r["runtime_s"] for r in result.rows]
+    assert sample == sorted(sample)
+    assert scan == sorted(scan, reverse=True)
+    # The total is minimized strictly inside the sweep (V-shape).
+    assert min(total) < min(total[0], total[-1])

@@ -1,0 +1,15 @@
+"""Figure 9 bench: server-side vs sampling top-K as K grows."""
+
+from conftest import emit, run_once
+from repro.experiments import fig09_topk_k
+
+
+def test_fig09_topk_k(benchmark, capsys):
+    result = run_once(benchmark, lambda: fig09_topk_k.run(scale_factor=0.01))
+    emit(capsys, result)
+    server = result.column("server-side", "runtime_s")
+    sampling = result.column("sampling", "runtime_s")
+    assert all(s > p for s, p in zip(server, sampling))
+    server_cost = result.column("server-side", "cost_total")
+    sampling_cost = result.column("sampling", "cost_total")
+    assert all(s > p for s, p in zip(server_cost, sampling_cost))

@@ -1,0 +1,19 @@
+"""Figure 10 bench: the full suite, baseline vs optimized PushdownDB.
+
+Reproduces the paper's headline: optimized PushdownDB is on average
+6.7x faster and 30% cheaper than the no-pushdown baseline.
+"""
+
+from conftest import emit, run_once
+from repro.experiments import fig10_tpch
+
+
+def test_fig10_tpch(benchmark, capsys):
+    result = run_once(benchmark, lambda: fig10_tpch.run(scale_factor=0.01))
+    emit(capsys, result)
+    speedup = result.notes["geomean_speedup"]
+    cost_ratio = result.notes["total_cost_ratio"]
+    assert 3.0 <= speedup <= 12.0       # paper: 6.7x
+    assert cost_ratio < 0.9             # paper: 0.70
+    benchmark.extra_info["geomean_speedup"] = speedup
+    benchmark.extra_info["cost_ratio"] = cost_ratio

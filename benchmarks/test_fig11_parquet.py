@@ -1,0 +1,21 @@
+"""Figure 11 bench: CSV vs Parquet under S3 Select filters."""
+
+from conftest import emit, run_once
+from repro.experiments import fig11_parquet
+
+
+def test_fig11_parquet(benchmark, capsys):
+    result = run_once(benchmark, lambda: fig11_parquet.run(num_rows=20_000))
+    emit(capsys, result)
+    wide_low = {
+        r["strategy"]: r["runtime_s"]
+        for r in result.rows
+        if r["columns"] == 20 and r["selectivity"] == 0.0
+    }
+    wide_high = {
+        r["strategy"]: r["runtime_s"]
+        for r in result.rows
+        if r["columns"] == 20 and r["selectivity"] == 1.0
+    }
+    assert wide_low["parquet"] < wide_low["csv"] / 2   # column pruning wins
+    assert abs(wide_high["parquet"] - wide_high["csv"]) < 0.2 * wide_high["csv"]

@@ -1,0 +1,4 @@
+"""Shim so `pip install -e .` / `setup.py develop` work offline (no wheel pkg)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""PushdownDB reproduction - accelerating a DBMS using (simulated) S3 computation.
+
+Reimplements the system and experiments of *PushdownDB: Accelerating a
+DBMS using S3 Computation* (Yu et al., ICDE 2020) against a fully
+simulated S3 + S3 Select substrate.
+
+Typical entry points:
+
+* :class:`repro.PushdownDB` - embedded database facade (load tables, run SQL);
+* :mod:`repro.strategies` - the paper's pushdown operator algorithms;
+* :mod:`repro.experiments` - one harness per paper figure/table.
+"""
+
+from repro.cloud.context import CloudContext, QueryExecution
+from repro.cloud.perf import PAPER_PERF, PerfModel
+from repro.cloud.pricing import PAPER_PRICING, CostBreakdown, Pricing
+from repro.engine.catalog import Catalog, TableInfo, load_table
+from repro.planner.database import PushdownDB
+from repro.storage.schema import ColumnDef, TableSchema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CloudContext",
+    "QueryExecution",
+    "PerfModel",
+    "PAPER_PERF",
+    "Pricing",
+    "PAPER_PRICING",
+    "CostBreakdown",
+    "Catalog",
+    "TableInfo",
+    "load_table",
+    "PushdownDB",
+    "TableSchema",
+    "ColumnDef",
+    "__version__",
+]

@@ -1,0 +1,171 @@
+"""Bloom filters sized by the paper's formulas and renderable to S3 SQL.
+
+Sizing (Section V-A1, citing Almeida et al.)::
+
+    k_p = log2(1/p)            hash functions
+    m_p = s * |ln p| / (ln 2)^2   bits, for s expected elements
+
+Because S3 Select has no bitwise operators or binary data, the bit array
+travels as a literal string of ``'0'``/``'1'`` characters probed with
+``SUBSTRING(bits, h(x)+1, 1) = '1'`` — the paper's Listing 1.  That
+string representation is why the 256 KB expression limit binds, which
+drives the degradation logic in :func:`build_bloom_filter_within_limit`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.bloom.universal_hash import UniversalHash, make_hash_family
+from repro.s3select.validator import EXPRESSION_LIMIT_BYTES
+
+
+def optimal_num_hashes(fpr: float) -> int:
+    """``k_p = log2(1/p)``, at least 1."""
+    _check_fpr(fpr)
+    return max(1, round(math.log2(1.0 / fpr)))
+
+
+def optimal_num_bits(n_elements: int, fpr: float) -> int:
+    """``m_p = s*|ln p| / (ln 2)^2``, at least 1."""
+    _check_fpr(fpr)
+    if n_elements < 0:
+        raise ValueError(f"n_elements must be >= 0, got {n_elements}")
+    bits = math.ceil(n_elements * abs(math.log(fpr)) / (math.log(2) ** 2))
+    return max(1, bits)
+
+
+def _check_fpr(fpr: float) -> None:
+    if not 0.0 < fpr < 1.0:
+        raise ValueError(f"false-positive rate must be in (0, 1), got {fpr}")
+
+
+@dataclass
+class BloomFilter:
+    """A Bloom filter over integer keys (paper limitation: integers only,
+
+    because the universal hash family is arithmetic — Section V-A2 notes
+    string keys would need looping constructs S3 Select lacks).
+    """
+
+    bits: bytearray
+    hashes: list[UniversalHash]
+    target_fpr: float
+
+    @classmethod
+    def with_capacity(
+        cls, n_elements: int, fpr: float, seed: int | None = None
+    ) -> "BloomFilter":
+        """Create an empty filter sized for ``n_elements`` at ``fpr``."""
+        m = optimal_num_bits(n_elements, fpr)
+        k = optimal_num_hashes(fpr)
+        return cls(
+            bits=bytearray(m), hashes=make_hash_family(k, m, seed), target_fpr=fpr
+        )
+
+    @classmethod
+    def build(
+        cls, keys: Iterable[int], fpr: float, seed: int | None = None
+    ) -> "BloomFilter":
+        """Create a filter sized for and containing ``keys``."""
+        key_list = list(keys)
+        bloom = cls.with_capacity(len(key_list), fpr, seed)
+        for key in key_list:
+            bloom.add(key)
+        return bloom
+
+    # ------------------------------------------------------------------
+    @property
+    def num_bits(self) -> int:
+        return len(self.bits)
+
+    @property
+    def num_hashes(self) -> int:
+        return len(self.hashes)
+
+    def add(self, key: int) -> None:
+        if not isinstance(key, int) or isinstance(key, bool):
+            raise TypeError(
+                f"Bloom join supports only integer join attributes (got {key!r});"
+                " see paper Section V-A2"
+            )
+        for h in self.hashes:
+            self.bits[h.apply(key)] = 1
+
+    def might_contain(self, key: int) -> bool:
+        """False means definitely absent; True means probably present."""
+        return all(self.bits[h.apply(key)] for h in self.hashes)
+
+    def bit_string(self) -> str:
+        """The ``'0'``/``'1'`` string literal shipped inside SQL."""
+        return "".join("1" if b else "0" for b in self.bits)
+
+    # ------------------------------------------------------------------
+    # SQL rendering
+    # ------------------------------------------------------------------
+    def to_sql_predicate(self, attr: str, cast_to_int: bool = True) -> str:
+        """Render the membership test as an S3 Select WHERE fragment.
+
+        One conjunct per hash function, each embedding the bit string —
+        exactly the shape of the paper's Listing 1.
+        """
+        attr_sql = f"CAST({attr} AS INT)" if cast_to_int else attr
+        bit_literal = "'" + self.bit_string() + "'"
+        clauses = [
+            f"SUBSTRING({bit_literal}, {h.to_sql(attr_sql)}, 1) = '1'"
+            for h in self.hashes
+        ]
+        return " AND ".join(clauses)
+
+    def predicate_size_bytes(self, attr: str) -> int:
+        """Size of the rendered predicate (what counts against 256 KB)."""
+        return len(self.to_sql_predicate(attr).encode())
+
+
+@dataclass
+class BloomBuildOutcome:
+    """Result of trying to fit a Bloom filter under the expression limit."""
+
+    bloom: BloomFilter | None   # None -> degraded to no filter at all
+    achieved_fpr: float         # 1.0 when degraded
+    attempts: list[float]       # FPRs tried, in order
+
+
+def build_bloom_filter_within_limit(
+    keys: Sequence[int],
+    target_fpr: float,
+    attr: str,
+    sql_overhead_bytes: int = 0,
+    limit_bytes: int = EXPRESSION_LIMIT_BYTES,
+    seed: int | None = None,
+) -> BloomBuildOutcome:
+    """Build the best filter whose rendered SQL fits the service limit.
+
+    Mirrors the paper's degradation policy (Section V-B1): if the filter
+    at the requested FPR is too large, *increase* the FPR (shrinking the
+    bit array) until the query fits; "in the case where the best
+    achievable false positive rate cannot be less than 1, PushdownDB
+    falls back to not using a Bloom filter at all".
+
+    Args:
+        sql_overhead_bytes: bytes the rest of the query (SELECT list,
+            other predicates) contributes toward the limit.
+    """
+    budget = limit_bytes - sql_overhead_bytes
+    attempts: list[float] = []
+    candidates: list[float] = []
+    fpr = target_fpr
+    while fpr < 0.9:
+        candidates.append(fpr)
+        fpr *= 10.0
+    # Last resort before giving up entirely: a single-hash filter at a
+    # terrible-but-still-useful rate (smallest possible bit array).
+    candidates.append(0.9)
+    for fpr in candidates:
+        attempts.append(fpr)
+        bloom = BloomFilter.build(keys, fpr, seed)
+        if bloom.predicate_size_bytes(attr) <= budget:
+            return BloomBuildOutcome(bloom=bloom, achieved_fpr=fpr, attempts=attempts)
+    return BloomBuildOutcome(bloom=None, achieved_fpr=1.0, attempts=attempts)

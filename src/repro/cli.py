@@ -1,0 +1,105 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands:
+
+* ``experiment fig1 [fig5 ...]`` — run paper-figure harnesses and print
+  their tables (``all`` runs everything; sizes match the benchmarks);
+* ``query "<SQL>"`` — load a TPC-H dataset and run one SQL statement in
+  both baseline and optimized mode, with an execution report;
+* ``tables`` — list the TPC-H tables and sizes at a scale factor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.units import human_bytes, human_dollars, human_seconds
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    names = list(ALL_EXPERIMENTS) if "all" in args.names else args.names
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; available: {list(ALL_EXPERIMENTS)}")
+        return 2
+    for name in names:
+        result = ALL_EXPERIMENTS[name]()
+        print(result.to_table())
+        print()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro import PushdownDB
+    from repro.workloads.tpch import TABLE_SCHEMAS, TpchGenerator
+
+    gen = TpchGenerator(scale_factor=args.scale_factor)
+    db = PushdownDB()
+    for table in ("customer", "orders", "lineitem", "part"):
+        db.load_table(table, gen.table(table), TABLE_SCHEMAS[table])
+    db.calibrate_to_paper_scale()
+
+    modes = ("baseline", "optimized") if args.compare else (args.mode,)
+    for mode in modes:
+        execution = db.execute(args.sql, mode=mode)
+        print(f"--- {mode} ---")
+        print(execution.explain(db.ctx.perf))
+        for row in execution.rows[: args.max_rows]:
+            print(" ", row)
+        if len(execution.rows) > args.max_rows:
+            print(f"  ... {len(execution.rows) - args.max_rows} more row(s)")
+        print()
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.workloads.tpch import TABLE_SCHEMAS, TpchGenerator
+    from repro.storage.csvcodec import encode_table
+
+    gen = TpchGenerator(scale_factor=args.scale_factor)
+    print(f"TPC-H at scale factor {args.scale_factor}:")
+    for name, schema in TABLE_SCHEMAS.items():
+        rows = gen.table(name)
+        data, _ = encode_table(rows)
+        print(f"  {name:9s} {len(rows):>9} rows  {human_bytes(len(data)):>10}"
+              f"  ({len(schema)} columns)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PushdownDB reproduction (ICDE 2020) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiment", help="run paper-figure experiments")
+    p_exp.add_argument("names", nargs="+", help="fig1..fig11, or 'all'")
+    p_exp.set_defaults(fn=_cmd_experiment)
+
+    p_query = sub.add_parser("query", help="run SQL over a TPC-H dataset")
+    p_query.add_argument("sql")
+    p_query.add_argument("--scale-factor", type=float, default=0.005)
+    p_query.add_argument("--mode", choices=("baseline", "optimized"),
+                         default="optimized")
+    p_query.add_argument("--compare", action="store_true",
+                         help="run both modes and show both reports")
+    p_query.add_argument("--max-rows", type=int, default=10)
+    p_query.set_defaults(fn=_cmd_query)
+
+    p_tables = sub.add_parser("tables", help="show TPC-H table sizes")
+    p_tables.add_argument("--scale-factor", type=float, default=0.01)
+    p_tables.set_defaults(fn=_cmd_tables)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""The CloudContext: everything a query needs in one bundle.
+
+A context pairs the storage service with the pricing sheet and the
+performance calibration.  Strategies receive a context, do their work
+through ``ctx.client``, and finalize into a :class:`QueryExecution`
+(rows + simulated runtime + dollar cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cloud.client import S3Client
+from repro.cloud.metrics import MetricsCollector, Phase
+from repro.cloud.perf import PAPER_PERF, PerfModel
+from repro.cloud.pricing import PAPER_PRICING, CostBreakdown, Pricing, cost_of_query
+from repro.storage.object_store import ObjectStore
+
+
+@dataclass
+class QueryExecution:
+    """The result of running one query through a strategy."""
+
+    rows: list[tuple]
+    column_names: list[str]
+    phases: list[Phase]
+    runtime_seconds: float
+    cost: CostBreakdown
+    num_requests: int
+    bytes_scanned: int
+    bytes_returned: int
+    bytes_transferred: int
+    strategy: str = ""
+    #: Strategy-specific extras (achieved Bloom FPR, per-phase splits, ...).
+    details: dict = field(default_factory=dict)
+
+    @property
+    def total_cost(self) -> float:
+        return self.cost.total
+
+    def phase_times(self, perf) -> dict[str, float]:
+        """Per-phase simulated durations under ``perf`` (for reports)."""
+        return {p.name: perf.phase_time(p) for p in self.phases}
+
+    def explain(self, perf=None) -> str:
+        """Human-readable execution report: phases, work, time, cost.
+
+        Pass the context's :class:`~repro.cloud.perf.PerfModel` to get
+        per-phase durations; without it only counts are shown.
+        """
+        from repro.common.units import human_bytes, human_dollars, human_seconds
+
+        lines = [f"strategy: {self.strategy or '(unnamed)'}"]
+        lines.append(
+            f"runtime {human_seconds(self.runtime_seconds)}"
+            f"   cost {human_dollars(self.cost.total)}"
+            f" (compute {human_dollars(self.cost.compute)},"
+            f" request {human_dollars(self.cost.request)},"
+            f" scan {human_dollars(self.cost.scan)},"
+            f" transfer {human_dollars(self.cost.transfer)})"
+        )
+        for phase in self.phases:
+            duration = f" {human_seconds(perf.phase_time(phase)):>9}" if perf else ""
+            lines.append(
+                f"  phase {phase.name!r}:{duration}"
+                f"  streams={len(phase.streams)}"
+                f" requests={phase.requests:g}"
+                f" scanned={human_bytes(phase.select_scan_bytes)}"
+                f" returned={human_bytes(phase.select_returned_bytes)}"
+                f" get={human_bytes(phase.get_bytes)}"
+            )
+        if self.details:
+            lines.append(f"  details: {self.details}")
+        lines.append(
+            f"  result: {len(self.rows)} row(s), columns {self.column_names}"
+        )
+        return "\n".join(lines)
+
+
+class CloudContext:
+    """Storage + metering + pricing + performance calibration."""
+
+    def __init__(
+        self,
+        perf: PerfModel | None = None,
+        pricing: Pricing | None = None,
+        store: ObjectStore | None = None,
+    ):
+        self.store = store if store is not None else ObjectStore()
+        self.metrics = MetricsCollector()
+        self.client = S3Client(self.store, self.metrics)
+        self.perf = perf if perf is not None else PAPER_PERF
+        self.pricing = pricing if pricing is not None else PAPER_PRICING
+
+    def calibrate_to_paper_scale(self, data_bytes: int, paper_bytes: float) -> float:
+        """Re-rate the context so ``data_bytes`` behaves like paper scale.
+
+        The paper ran against a 10 GB dataset; ours are orders of
+        magnitude smaller.  Scaling every throughput rate by
+        ``data_bytes / paper_bytes`` makes simulated runtimes land in the
+        paper's absolute ranges (and keeps fixed per-request latency from
+        dominating), while :func:`~repro.cloud.pricing.scaled_pricing`
+        does the same for dollar costs.  Returns the scale factor.
+        """
+        from repro.cloud.pricing import scaled_pricing
+
+        scale = data_bytes / paper_bytes
+        if scale <= 0:
+            raise ValueError("data_bytes and paper_bytes must be positive")
+        self.perf = self.perf.scaled(scale)
+        self.pricing = scaled_pricing(self.pricing, scale)
+        # Per-row ranged GETs stand in for 1/scale paper-scale requests.
+        self.client.range_request_weight = 1.0 / scale
+        return scale
+
+    def begin_query(self) -> int:
+        """Mark the start of a query; returns a metrics position token."""
+        return self.metrics.mark()
+
+    def finalize(
+        self,
+        mark: int,
+        rows: list[tuple],
+        column_names: Sequence[str],
+        phases: list[Phase],
+        strategy: str = "",
+        details: dict | None = None,
+    ) -> QueryExecution:
+        """Price and time the records accumulated since ``mark``."""
+        records = self.metrics.records_since(mark)
+        runtime = self.perf.runtime(phases)
+        cost = cost_of_query(records, runtime, self.pricing)
+        return QueryExecution(
+            rows=rows,
+            column_names=list(column_names),
+            phases=phases,
+            runtime_seconds=runtime,
+            cost=cost,
+            num_requests=len(records),
+            bytes_scanned=sum(r.bytes_scanned for r in records),
+            bytes_returned=sum(r.bytes_returned for r in records),
+            bytes_transferred=sum(r.bytes_transferred for r in records),
+            strategy=strategy,
+            details=details or {},
+        )

@@ -1,0 +1,84 @@
+"""Exception hierarchy shared across the PushdownDB reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the offending position so error messages can point at the
+    character where parsing failed.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class UnsupportedFeatureError(ReproError):
+    """The query uses SQL that the targeted engine does not support.
+
+    The S3 Select dialect is deliberately small (no joins, no group-by,
+    no ORDER BY); the validator raises this error when a pushed-down
+    query steps outside that subset, mirroring the real service's
+    ``UnsupportedSqlFeature`` errors.
+    """
+
+
+class ExpressionLimitExceededError(ReproError):
+    """An S3 Select SQL expression exceeded the 256 KB service limit.
+
+    The paper (Section V-B1) relies on this limit: Bloom joins detect it
+    and degrade the Bloom filter's false-positive rate, eventually
+    falling back to a filtered join.
+    """
+
+    def __init__(self, size: int, limit: int):
+        super().__init__(
+            f"S3 Select expression is {size} bytes; the service limit is {limit} bytes"
+        )
+        self.size = size
+        self.limit = limit
+
+
+class NoSuchBucketError(ReproError):
+    """A request referenced a bucket that does not exist."""
+
+    def __init__(self, bucket: str):
+        super().__init__(f"bucket does not exist: {bucket!r}")
+        self.bucket = bucket
+
+
+class NoSuchKeyError(ReproError):
+    """A request referenced an object key that does not exist."""
+
+    def __init__(self, bucket: str, key: str):
+        super().__init__(f"object does not exist: {bucket!r}/{key!r}")
+        self.bucket = bucket
+        self.key = key
+
+
+class InvalidRangeError(ReproError):
+    """A byte-range GET asked for a range outside the object."""
+
+
+class TypeMismatchError(ReproError):
+    """An expression combined values of incompatible types."""
+
+
+class PlanError(ReproError):
+    """A query plan was malformed or could not be built."""
+
+
+class CatalogError(ReproError):
+    """A table referenced by a query is not registered in the catalog."""

@@ -1,0 +1,39 @@
+"""Deterministic random-number helpers.
+
+All data generators and sampling strategies in the reproduction must be
+reproducible run-to-run, so nothing in the library touches the global
+``random`` state; everything derives from an explicit seed through here.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+#: Seed used by library components when the caller does not supply one.
+DEFAULT_SEED = 20200214  # the paper's arXiv submission date
+
+
+def py_rng(seed: int | None = None) -> random.Random:
+    """Return a seeded stdlib ``random.Random`` instance."""
+    return random.Random(DEFAULT_SEED if seed is None else seed)
+
+
+def np_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a seeded numpy ``Generator`` (PCG64)."""
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
+
+
+def derive_seed(seed: int, *labels: object) -> int:
+    """Derive a child seed from a parent seed and a label path.
+
+    Used so that, e.g., each TPC-H table gets an independent but stable
+    stream regardless of generation order.
+    """
+    h = 1469598103934665603  # FNV-1a 64-bit offset basis
+    for token in (seed, *labels):
+        for byte in str(token).encode():
+            h ^= byte
+            h = (h * 1099511628211) % (1 << 64)
+    return h % (1 << 63)

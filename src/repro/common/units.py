@@ -1,0 +1,52 @@
+"""Byte / time / money unit helpers.
+
+The cost model in the paper quotes prices per GB (decimal gigabyte, as AWS
+bills) and per 1,000 requests.  Keeping the conversions in one place avoids
+the classic GiB-vs-GB billing bug.
+"""
+
+from __future__ import annotations
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+KIB = 1024
+MIB = 1024 * 1024
+
+SECONDS_PER_HOUR = 3600.0
+
+
+def bytes_to_gb(n_bytes: int | float) -> float:
+    """Convert a byte count to decimal gigabytes (AWS billing unit)."""
+    return n_bytes / GB
+
+
+def human_bytes(n_bytes: int | float) -> str:
+    """Render a byte count for reports, e.g. ``1.25 GB``."""
+    value = float(n_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1000.0 or unit == "TB":
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def human_seconds(seconds: float) -> str:
+    """Render a duration for reports, e.g. ``1.24 s`` or ``312 ms``."""
+    if seconds < 0:
+        raise ValueError(f"negative duration: {seconds}")
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"
+
+
+def human_dollars(amount: float) -> str:
+    """Render a dollar amount with enough precision for micro-costs."""
+    if abs(amount) >= 0.01:
+        return f"${amount:.4f}"
+    return f"${amount:.6f}"

@@ -1,0 +1,34 @@
+"""Local (query-node) operator primitives.
+
+PushdownDB executes whatever S3 Select cannot on the query node.  Each
+local operator here transforms materialized row batches and reports an
+estimated CPU time, which strategies fold into their phases'
+``server_cpu_seconds`` so the performance model can charge local compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OpResult:
+    """Rows out of a local operator plus its estimated CPU cost."""
+
+    rows: list[tuple]
+    column_names: list[str]
+    cpu_seconds: float = 0.0
+
+
+@dataclass
+class CpuTally:
+    """Accumulates local CPU across several operators in one phase."""
+
+    seconds: float = 0.0
+
+    def add(self, result: OpResult) -> OpResult:
+        self.seconds += result.cpu_seconds
+        return result
+
+    def add_seconds(self, seconds: float) -> None:
+        self.seconds += seconds

@@ -1,0 +1,29 @@
+"""Local filter: apply a WHERE predicate on the query node.
+
+This is what the paper's *server-side* baselines do after loading raw
+table bytes: parse, then filter locally.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cloud.perf import SERVER_CPU_PER_ROW
+from repro.engine.operators.base import OpResult
+from repro.expr.compiler import compile_predicate
+from repro.sqlparser import ast
+
+
+def filter_rows(
+    rows: list[tuple],
+    column_names: Sequence[str],
+    predicate: ast.Expr | None,
+) -> OpResult:
+    """Keep rows satisfying ``predicate`` (``None`` keeps everything)."""
+    if predicate is None:
+        return OpResult(rows=list(rows), column_names=list(column_names))
+    schema = {name: i for i, name in enumerate(column_names)}
+    keep = compile_predicate(predicate, schema)
+    out = [row for row in rows if keep(row)]
+    cpu = len(rows) * SERVER_CPU_PER_ROW["filter"]
+    return OpResult(rows=out, column_names=list(column_names), cpu_seconds=cpu)

@@ -1,0 +1,78 @@
+"""Local hash group-by with aggregates.
+
+Used by the server-side / filtered group-by strategies, by hybrid
+group-by for its small-group tail, and by the SQL planner for TPC-H
+queries with GROUP BY.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cloud.perf import SERVER_CPU_PER_ROW
+from repro.engine.operators.base import OpResult
+from repro.expr.aggregates import CompiledAggregate, split_aggregate_expr
+from repro.expr.compiler import compile_expr
+from repro.sqlparser import ast
+
+
+def group_by_aggregate(
+    rows: list[tuple],
+    column_names: Sequence[str],
+    group_exprs: Sequence[ast.Expr],
+    agg_items: Sequence[ast.SelectItem],
+) -> OpResult:
+    """Group ``rows`` by ``group_exprs`` and evaluate ``agg_items``.
+
+    Each aggregate item may be a bare aggregate or arithmetic over
+    aggregates (``SUM(a) / SUM(b)``).  Output columns are the group
+    expressions followed by one column per aggregate item; output order
+    follows first appearance of each group (deterministic).
+    """
+    schema = {name: i for i, name in enumerate(column_names)}
+    group_fns = [compile_expr(g, schema) for g in group_exprs]
+
+    compiled_items: list[tuple[list[CompiledAggregate], object]] = []
+    out_names: list[str] = []
+    for i, g in enumerate(group_exprs):
+        out_names.append(g.name if isinstance(g, ast.Column) else f"group_{i}")
+    for ordinal, item in enumerate(agg_items, start=1):
+        agg_nodes, finisher = split_aggregate_expr(item.expr)
+        compiled = [CompiledAggregate(node, schema) for node in agg_nodes]
+        compiled_items.append((compiled, finisher))
+        out_names.append(item.output_name(ordinal))
+
+    groups: dict[tuple, list] = {}
+    if not group_exprs:
+        # A global aggregate (no GROUP BY) always produces exactly one
+        # output row, even over zero input rows (SQL semantics: SUM of
+        # nothing is NULL, COUNT of nothing is 0).
+        groups[()] = [
+            [agg.new_accumulator() for agg in compiled]
+            for compiled, _ in compiled_items
+        ]
+    n_aggs = 0
+    for row in rows:
+        key = tuple(fn(row) for fn in group_fns)
+        state = groups.get(key)
+        if state is None:
+            state = [
+                [agg.new_accumulator() for agg in compiled]
+                for compiled, _ in compiled_items
+            ]
+            groups[key] = state
+        for (compiled, _), accs in zip(compiled_items, state):
+            for agg, acc in zip(compiled, accs):
+                acc.add(agg.input_value(row))
+                n_aggs += 1
+
+    out: list[tuple] = []
+    for key, state in groups.items():
+        values: list[object] = list(key)
+        for (compiled, finisher), accs in zip(compiled_items, state):
+            results = [acc.result() for acc in accs]
+            values.append(results[0] if finisher is None else finisher(results))
+        out.append(tuple(values))
+
+    cpu = n_aggs * SERVER_CPU_PER_ROW["aggregate"]
+    return OpResult(rows=out, column_names=out_names, cpu_seconds=cpu)

@@ -1,0 +1,65 @@
+"""Local hash join (build + probe), the core of all three join strategies.
+
+The paper's joins are two-phase hash joins (Section V): the build phase
+hashes the smaller table, the probe phase streams the bigger one.  What
+differs between baseline / filtered / Bloom join is only *which rows
+reach the query node*; they all finish here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cloud.perf import SERVER_CPU_PER_ROW
+from repro.common.errors import PlanError
+from repro.engine.operators.base import OpResult
+
+
+def hash_join(
+    build_rows: list[tuple],
+    build_names: Sequence[str],
+    probe_rows: list[tuple],
+    probe_names: Sequence[str],
+    build_key: str,
+    probe_key: str,
+) -> OpResult:
+    """Equi-join; output columns are build columns then probe columns.
+
+    Raises:
+        PlanError: if output column names would collide (TPC-H names are
+            globally unique, so collisions indicate a planning bug).
+    """
+    out_names = [*build_names, *probe_names]
+    if len(set(n.lower() for n in out_names)) != len(out_names):
+        raise PlanError(f"join would produce duplicate column names: {out_names}")
+
+    build_idx = _index_of(build_names, build_key)
+    probe_idx = _index_of(probe_names, probe_key)
+
+    table: dict[object, list[tuple]] = {}
+    for row in build_rows:
+        key = row[build_idx]
+        if key is None:
+            continue  # NULL never matches an equi-join
+        table.setdefault(key, []).append(row)
+
+    out: list[tuple] = []
+    for row in probe_rows:
+        matches = table.get(row[probe_idx])
+        if matches:
+            for build_row in matches:
+                out.append(build_row + row)
+
+    cpu = (
+        len(build_rows) * SERVER_CPU_PER_ROW["hash_build"]
+        + len(probe_rows) * SERVER_CPU_PER_ROW["hash_probe"]
+    )
+    return OpResult(rows=out, column_names=out_names, cpu_seconds=cpu)
+
+
+def _index_of(names: Sequence[str], wanted: str) -> int:
+    lowered = [n.lower() for n in names]
+    try:
+        return lowered.index(wanted.lower())
+    except ValueError:
+        raise PlanError(f"join key {wanted!r} not in columns {list(names)}") from None

@@ -1,0 +1,16 @@
+"""Local LIMIT: truncate a row batch."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine.operators.base import OpResult
+
+
+def limit_rows(rows: list[tuple], column_names: Sequence[str], n: int | None) -> OpResult:
+    """Keep the first ``n`` rows (``None`` keeps everything)."""
+    if n is None:
+        return OpResult(rows=list(rows), column_names=list(column_names))
+    if n < 0:
+        raise ValueError(f"LIMIT must be non-negative, got {n}")
+    return OpResult(rows=rows[:n], column_names=list(column_names))

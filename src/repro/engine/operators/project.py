@@ -1,0 +1,43 @@
+"""Local projection: evaluate select-list expressions per row."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cloud.perf import SERVER_CPU_PER_ROW
+from repro.engine.operators.base import OpResult
+from repro.expr.compiler import compile_expr
+from repro.sqlparser import ast
+
+
+def project(
+    rows: list[tuple],
+    column_names: Sequence[str],
+    items: Sequence[ast.SelectItem],
+) -> OpResult:
+    """Project ``rows`` through ``items`` (no aggregates, no ``*``)."""
+    schema = {name: i for i, name in enumerate(column_names)}
+    extractors = []
+    out_names = []
+    for ordinal, item in enumerate(items, start=1):
+        if isinstance(item.expr, ast.Star):
+            for idx, name in enumerate(column_names):
+                extractors.append(lambda row, i=idx: row[i])
+                out_names.append(name)
+            continue
+        extractors.append(compile_expr(item.expr, schema))
+        out_names.append(item.output_name(ordinal))
+    out = [tuple(fn(row) for fn in extractors) for row in rows]
+    cpu = len(rows) * len(extractors) * SERVER_CPU_PER_ROW["filter"]
+    return OpResult(rows=out, column_names=out_names, cpu_seconds=cpu)
+
+
+def project_columns(
+    rows: list[tuple], column_names: Sequence[str], wanted: Sequence[str]
+) -> OpResult:
+    """Fast path: project to named columns only."""
+    schema = {name.lower(): i for i, name in enumerate(column_names)}
+    idxs = [schema[w.lower()] for w in wanted]
+    out = [tuple(row[i] for i in idxs) for row in rows]
+    cpu = len(rows) * len(idxs) * SERVER_CPU_PER_ROW["filter"]
+    return OpResult(rows=out, column_names=list(wanted), cpu_seconds=cpu)

@@ -1,0 +1,64 @@
+"""Local sort with multi-key ASC/DESC support."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.cloud.perf import SERVER_CPU_PER_ROW
+from repro.engine.operators.base import OpResult
+from repro.expr.compiler import compile_expr
+from repro.sqlparser import ast
+
+
+class SortKey:
+    """Wrapper making any comparable value order-reversible.
+
+    Lets one ``sorted`` call handle mixed ASC/DESC keys without numeric
+    negation tricks (which would break on strings/dates).  NULLs sort
+    first ascending, last descending.
+    """
+
+    __slots__ = ("value", "descending")
+
+    def __init__(self, value: object, descending: bool):
+        self.value = value
+        self.descending = descending
+
+    def __lt__(self, other: "SortKey") -> bool:
+        a, b = self.value, other.value
+        if a is None or b is None:
+            if a is None and b is None:
+                return False
+            ascending_result = a is None  # NULLs first when ascending
+            return ascending_result != self.descending
+        if self.descending:
+            return b < a
+        return a < b
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SortKey) and self.value == other.value
+
+
+def make_key_fn(column_names: Sequence[str], order_items: Sequence[ast.OrderItem]):
+    """Build a ``row -> sort key tuple`` function."""
+    schema = {name: i for i, name in enumerate(column_names)}
+    compiled = [(compile_expr(o.expr, schema), o.descending) for o in order_items]
+
+    def key_fn(row: tuple) -> tuple:
+        return tuple(SortKey(fn(row), desc) for fn, desc in compiled)
+    return key_fn
+
+
+def sort_rows(
+    rows: list[tuple],
+    column_names: Sequence[str],
+    order_items: Sequence[ast.OrderItem],
+) -> OpResult:
+    """Sort ``rows`` by the ORDER BY items."""
+    key_fn = make_key_fn(column_names, order_items)
+    out = sorted(rows, key=key_fn)
+    n = len(rows)
+    comparisons = n * max(1.0, math.log2(n)) if n else 0.0
+    cpu = comparisons * len(order_items) * SERVER_CPU_PER_ROW["sort_per_cmp"]
+    return OpResult(rows=out, column_names=list(column_names), cpu_seconds=cpu)

@@ -1,0 +1,34 @@
+"""Local top-K selection using a bounded heap.
+
+The paper's top-K strategies both finish with a heap on the query node
+(Section VII: "The algorithm then uses a heap to select the top-K records
+from all returned records"); a heap is O(n log K) instead of a full
+O(n log n) sort, which matters in Figure 9's CPU-cost trend as K grows.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Sequence
+
+from repro.cloud.perf import SERVER_CPU_PER_ROW
+from repro.engine.operators.base import OpResult
+from repro.sqlparser import ast
+from repro.engine.operators.sort import make_key_fn
+
+
+def top_k(
+    rows: list[tuple],
+    column_names: Sequence[str],
+    order_items: Sequence[ast.OrderItem],
+    k: int,
+) -> OpResult:
+    """The K smallest rows under the ORDER BY items, in sorted order."""
+    if k < 0:
+        raise ValueError(f"K must be non-negative, got {k}")
+    key_fn = make_key_fn(column_names, order_items)
+    out = heapq.nsmallest(k, rows, key=key_fn)
+    n = len(rows)
+    cpu = n * max(1.0, math.log2(max(k, 2))) * SERVER_CPU_PER_ROW["heap"]
+    return OpResult(rows=out, column_names=list(column_names), cpu_seconds=cpu)

@@ -1,0 +1,35 @@
+"""One experiment harness per paper figure.
+
+Each module exposes ``run(**params) -> ExperimentResult`` with defaults
+sized for seconds-scale execution; the benchmarks call these and print
+``result.to_table()``.
+"""
+
+from repro.experiments import (  # noqa: F401
+    fig01_filter,
+    fig02_join_customer,
+    fig03_join_orders,
+    fig04_bloom_fpr,
+    fig05_groupby_groups,
+    fig06_hybrid_split,
+    fig07_groupby_skew,
+    fig08_topk_sample,
+    fig09_topk_k,
+    fig10_tpch,
+    fig11_parquet,
+)
+from repro.experiments.harness import ExperimentResult  # noqa: F401
+
+ALL_EXPERIMENTS = {
+    "fig1": fig01_filter.run,
+    "fig2": fig02_join_customer.run,
+    "fig3": fig03_join_orders.run,
+    "fig4": fig04_bloom_fpr.run,
+    "fig5": fig05_groupby_groups.run,
+    "fig6": fig06_hybrid_split.run,
+    "fig7": fig07_groupby_skew.run,
+    "fig8": fig08_topk_sample.run,
+    "fig9": fig09_topk_k.run,
+    "fig10": fig10_tpch.run,
+    "fig11": fig11_parquet.run,
+}

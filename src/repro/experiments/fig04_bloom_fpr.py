@@ -1,0 +1,65 @@
+"""Figure 4: Bloom join vs the filter's false-positive rate.
+
+Customer selectivity fixed at -950, orders unfiltered; FPR swept over
+{1e-4, 1e-3, 0.01, 0.1, 0.3, 0.5}.  Expected U-shape (paper: 0.01 is the
+sweet spot): a very low FPR means a large bit array and many hash
+functions (more S3-side compute per row); a high FPR lets more
+non-matching orders rows through (more data returned and processed).
+Baseline and filtered join are shown as flat references.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.context import CloudContext
+from repro.engine.catalog import Catalog
+from repro.experiments.fig02_join_customer import make_join_query
+from repro.experiments.harness import (
+    ExperimentResult,
+    PAPER_TPCH_BYTES,
+    calibrate_tables,
+    execution_row,
+)
+from repro.queries.dataset import load_tpch
+from repro.strategies.join import baseline_join, bloom_join, filtered_join
+
+DEFAULT_FPRS = (0.0001, 0.001, 0.01, 0.1, 0.3, 0.5)
+
+
+def run(
+    scale_factor: float = 0.01,
+    fprs: tuple = DEFAULT_FPRS,
+    acctbal: float = -950,
+    paper_bytes: float = PAPER_TPCH_BYTES,
+) -> ExperimentResult:
+    ctx = CloudContext()
+    catalog = Catalog()
+    load_tpch(ctx, catalog, scale_factor, tables=("customer", "orders"))
+    scale = calibrate_tables(ctx, catalog, ["customer", "orders"], paper_bytes * 0.2)
+
+    result = ExperimentResult(
+        experiment="fig4",
+        title="Bloom join vs false-positive rate",
+        notes={"scale_factor": scale_factor, "paper_scale": f"{scale:.2e}",
+               "upper_c_acctbal": acctbal},
+    )
+    query = make_join_query(acctbal, None)
+    baseline = baseline_join(ctx, catalog, query)
+    filtered = filtered_join(ctx, catalog, query)
+    expected = baseline.rows[0][0] if baseline.rows else None
+    for name, execution in (("baseline", baseline), ("filtered", filtered)):
+        row = execution_row("fpr", "-", name, execution)
+        result.rows.append(row)
+    for fpr in fprs:
+        execution = bloom_join(ctx, catalog, query, fpr=fpr)
+        value = execution.rows[0][0] if execution.rows else None
+        if (expected is None) != (value is None) or (
+            expected is not None
+            and abs(expected - value) > 1e-6 * max(abs(expected), 1.0)
+        ):
+            raise AssertionError(f"bloom join wrong at fpr={fpr}")
+        row = execution_row("fpr", fpr, "bloom", execution)
+        row["bloom_bits"] = execution.details["bloom_bits"]
+        row["bloom_hashes"] = execution.details["bloom_hashes"]
+        row["probe_rows_returned"] = execution.details["probe_rows_returned"]
+        result.rows.append(row)
+    return result

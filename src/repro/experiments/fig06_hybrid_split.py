@@ -1,0 +1,64 @@
+"""Figure 6: hybrid group-by — server-side vs S3-side time by split point.
+
+Sweeps how many (large) groups hybrid group-by pushes to S3 on the
+Zipfian workload.  Expected shape: pushing more groups increases the
+S3-side (Q1) time and decreases both the bytes returned and the
+server-side (Q2) time; total time — max of the two — is minimized in the
+middle (the paper finds 6-8 groups best at theta = 1.1-1.3).
+"""
+
+from __future__ import annotations
+
+from repro.cloud.context import CloudContext
+from repro.engine.catalog import Catalog, load_table
+from repro.experiments.harness import (
+    ExperimentResult,
+    PAPER_GROUPBY_BYTES,
+    calibrate_tables,
+)
+from repro.strategies.groupby import AggSpec, GroupByQuery, hybrid_group_by
+from repro.workloads.synthetic import groupby_schema, skewed_groupby_table
+
+DEFAULT_NUM_ROWS = 50_000
+DEFAULT_SPLITS = (1, 4, 6, 8, 10, 12)
+DEFAULT_THETA = 1.3
+
+
+def run(
+    num_rows: int = DEFAULT_NUM_ROWS,
+    splits: tuple = DEFAULT_SPLITS,
+    theta: float = DEFAULT_THETA,
+    paper_bytes: float = PAPER_GROUPBY_BYTES,
+    seed: int = 1,
+) -> ExperimentResult:
+    ctx = CloudContext()
+    catalog = Catalog()
+    rows = skewed_groupby_table(num_rows, theta=theta, seed=seed)
+    load_table(ctx, catalog, "skewed", rows, groupby_schema(), bucket="fig6")
+    scale = calibrate_tables(ctx, catalog, ["skewed"], paper_bytes)
+
+    result = ExperimentResult(
+        experiment="fig6",
+        title="Hybrid group-by: groups aggregated at S3 vs server",
+        notes={"num_rows": num_rows, "theta": theta, "paper_scale": f"{scale:.2e}"},
+    )
+    query = GroupByQuery(
+        table="skewed",
+        group_columns=["g0"],
+        aggregates=[AggSpec("sum", c) for c in ("v0", "v1", "v2", "v3")],
+    )
+    for split in splits:
+        execution = hybrid_group_by(ctx, catalog, query, s3_groups=split)
+        result.rows.append(
+            {
+                "s3_groups": split,
+                "strategy": "hybrid",
+                "runtime_s": round(execution.runtime_seconds, 4),
+                "s3_side_s": round(execution.details["s3_side_seconds"], 4),
+                "server_side_s": round(execution.details["server_side_seconds"], 4),
+                "bytes_returned": execution.details["bytes_returned_phase2"],
+                "tail_rows": execution.details["tail_rows"],
+                "cost_total": round(execution.cost.total, 6),
+            }
+        )
+    return result

@@ -1,0 +1,76 @@
+"""Figure 8: sampling top-K sensitivity to sample size.
+
+Paper setup: lineitem SF 10 (60M rows), K = 100, sample size swept
+1e3..1e7.  Expected V-shapes: sampling-phase time grows with S, scanning-
+phase time shrinks (a larger sample gives a tighter threshold), total
+bytes returned is minimized near the analytic optimum
+``S* = sqrt(K*N/alpha)``; cost is dominated by data scanning.
+
+Our sweep uses the same S/N ratios against a smaller lineitem.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.context import CloudContext
+from repro.engine.catalog import Catalog
+from repro.experiments.harness import (
+    ExperimentResult,
+    PAPER_LINEITEM_BYTES,
+    calibrate_tables,
+)
+from repro.queries.dataset import load_tpch
+from repro.strategies.topk import TopKQuery, optimal_sample_size, sampling_top_k
+
+DEFAULT_K = 100
+#: Sample sizes as fractions of the table (paper: 1e3/6e7 .. 1e7/6e7).
+DEFAULT_SAMPLE_FRACTIONS = (1 / 600, 1 / 60, 1 / 24, 1 / 6, 1 / 3)
+
+
+def run(
+    scale_factor: float = 0.01,
+    k: int = DEFAULT_K,
+    sample_fractions: tuple = DEFAULT_SAMPLE_FRACTIONS,
+    paper_bytes: float = PAPER_LINEITEM_BYTES,
+) -> ExperimentResult:
+    ctx = CloudContext()
+    catalog = Catalog()
+    load_tpch(ctx, catalog, scale_factor, tables=("lineitem",))
+    scale = calibrate_tables(ctx, catalog, ["lineitem"], paper_bytes)
+    table = catalog.get("lineitem")
+    alpha = 1.0 / len(table.schema)
+    optimum = optimal_sample_size(k, table.num_rows, alpha)
+
+    result = ExperimentResult(
+        experiment="fig8",
+        title="Sampling top-K vs sample size",
+        notes={
+            "k": k,
+            "num_rows": table.num_rows,
+            "paper_scale": f"{scale:.2e}",
+            "analytic_optimum_S": optimum,
+        },
+    )
+    query = TopKQuery(table="lineitem", order_column="l_extendedprice", k=k)
+    expected = None
+    for fraction in sample_fractions:
+        sample_size = max(k, int(table.num_rows * fraction))
+        execution = sampling_top_k(ctx, catalog, query, sample_size=sample_size)
+        values = [r[table.schema.index_of("l_extendedprice")] for r in execution.rows]
+        if expected is None:
+            expected = values
+        elif values != expected:
+            raise AssertionError(f"top-K changed with sample size {sample_size}")
+        result.rows.append(
+            {
+                "sample_size": sample_size,
+                "strategy": "sampling",
+                "runtime_s": round(execution.runtime_seconds, 4),
+                "sample_phase_s": round(execution.details["sample_seconds"], 4),
+                "scan_phase_s": round(execution.details["scan_seconds"], 4),
+                "bytes_returned": execution.bytes_returned,
+                "phase2_rows": execution.details["phase2_rows"],
+                "cost_total": round(execution.cost.total, 6),
+                "cost_scan": round(execution.cost.scan, 6),
+            }
+        )
+    return result

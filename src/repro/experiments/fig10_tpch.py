@@ -1,0 +1,132 @@
+"""Figure 10: the full query suite — baseline vs optimized PushdownDB.
+
+Four micro-operator queries (filter, group-by, top-K, join) plus TPC-H
+Q1, Q3, Q6, Q14, Q17, Q19, each run as:
+
+* PushdownDB (Baseline) — no S3 Select;
+* PushdownDB (Optimized) — the pushdown algorithms of Sections IV-VII.
+
+The paper's headline: optimized is on average 6.7x faster and 30%
+cheaper.  A synthetic Presto reference series is included for the §VIII
+sanity bound ("baseline PushdownDB is slower than Presto by less than
+2x; optimized outperforms Presto by 3.4x") — Presto itself is out of
+scope, so the series is derived, and clearly labeled as such.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cloud.context import CloudContext
+from repro.engine.catalog import Catalog
+from repro.experiments.harness import (
+    ExperimentResult,
+    PAPER_TPCH_BYTES,
+    calibrate_tables,
+)
+from repro.queries.dataset import DEFAULT_TABLES, load_tpch
+from repro.queries.micro import MICRO_QUERIES
+from repro.queries.tpch_queries import TPCH_QUERIES
+
+#: Paper §VIII: baseline PushdownDB is "slower than Presto by less than
+#: 2x" — we derive the reference series with that factor.
+PRESTO_BASELINE_FACTOR = 2.0
+
+
+def run(
+    scale_factor: float = 0.01,
+    paper_bytes: float = PAPER_TPCH_BYTES,
+    include_presto_reference: bool = True,
+) -> ExperimentResult:
+    ctx = CloudContext()
+    catalog = Catalog()
+    load_tpch(ctx, catalog, scale_factor)
+    scale = calibrate_tables(ctx, catalog, list(DEFAULT_TABLES), paper_bytes)
+
+    result = ExperimentResult(
+        experiment="fig10",
+        title="Query suite: PushdownDB baseline vs optimized",
+        notes={
+            "scale_factor": scale_factor,
+            "paper_scale": f"{scale:.2e}",
+            "presto_series": "derived from baseline (documented synthetic)",
+        },
+    )
+    speedups: list[float] = []
+    baseline_costs: list[float] = []
+    optimized_costs: list[float] = []
+    for name, variants in {**MICRO_QUERIES, **TPCH_QUERIES}.items():
+        baseline = variants.baseline(ctx, catalog)
+        optimized = variants.optimized(ctx, catalog)
+        _check_match(name, baseline.rows, optimized.rows)
+        speedup = baseline.runtime_seconds / max(optimized.runtime_seconds, 1e-12)
+        speedups.append(speedup)
+        baseline_costs.append(baseline.cost.total)
+        optimized_costs.append(optimized.cost.total)
+        for label, execution in (("baseline", baseline), ("optimized", optimized)):
+            result.rows.append(
+                {
+                    "query": name,
+                    "strategy": label,
+                    "runtime_s": round(execution.runtime_seconds, 3),
+                    "cost_total": round(execution.cost.total, 6),
+                    "cost_compute": round(execution.cost.compute, 6),
+                    "cost_request": round(execution.cost.request, 6),
+                    "cost_scan": round(execution.cost.scan, 6),
+                    "cost_transfer": round(execution.cost.transfer, 6),
+                    "speedup": round(speedup, 2) if label == "optimized" else "",
+                }
+            )
+        if include_presto_reference:
+            result.rows.append(
+                {
+                    "query": name,
+                    "strategy": "presto (derived)",
+                    "runtime_s": round(
+                        baseline.runtime_seconds / PRESTO_BASELINE_FACTOR, 3
+                    ),
+                    "cost_total": "",
+                }
+            )
+
+    geo_speedup = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    cost_ratio = sum(optimized_costs) / sum(baseline_costs)
+    result.rows.append(
+        {
+            "query": "geo-mean",
+            "strategy": "optimized/baseline",
+            "runtime_s": "",
+            "cost_total": "",
+            "speedup": round(geo_speedup, 2),
+        }
+    )
+    result.notes["geomean_speedup"] = round(geo_speedup, 2)
+    result.notes["total_cost_ratio"] = round(cost_ratio, 3)
+    result.notes["paper_headline"] = "6.7x faster, 30% cheaper"
+    return result
+
+
+def _check_match(name: str, a: list[tuple], b: list[tuple]) -> None:
+    def norm(rows):
+        out = []
+        for row in rows:
+            out.append(
+                tuple(
+                    round(v, 6) if isinstance(v, float) and abs(v) < 1e3
+                    else round(v, 2) if isinstance(v, float)
+                    else v
+                    for v in row
+                )
+            )
+        return sorted(out)
+
+    na, nb = norm(a), norm(b)
+    if len(na) != len(nb):
+        raise AssertionError(f"{name}: row count mismatch {len(na)} vs {len(nb)}")
+    for ra, rb in zip(na, nb):
+        for va, vb in zip(ra, rb):
+            if isinstance(va, float) and isinstance(vb, float):
+                if abs(va - vb) > 1e-6 * max(abs(va), abs(vb), 1.0):
+                    raise AssertionError(f"{name}: {va} != {vb}")
+            elif va != vb:
+                raise AssertionError(f"{name}: {va!r} != {vb!r}")

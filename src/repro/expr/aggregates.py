@@ -1,0 +1,169 @@
+"""Aggregate accumulators shared by S3 Select and the PushdownDB engine.
+
+S3 Select supports ``SUM``/``COUNT``/``AVG``/``MIN``/``MAX`` *without*
+GROUP BY; PushdownDB's group-by operator reuses the same accumulators with
+one accumulator set per group.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.common.errors import UnsupportedFeatureError
+from repro.expr.compiler import RowFunc, compile_expr
+from repro.sqlparser import ast
+
+
+class Accumulator:
+    """Incremental state for a single aggregate over one group."""
+
+    __slots__ = ("func", "distinct", "_sum", "_count", "_min", "_max", "_seen")
+
+    def __init__(self, func: str, distinct: bool = False):
+        if func not in ast.AGGREGATE_FUNCS:
+            raise UnsupportedFeatureError(f"unknown aggregate {func!r}")
+        self.func = func
+        self.distinct = distinct
+        self._sum: float = 0
+        self._count: int = 0
+        self._min: object = None
+        self._max: object = None
+        self._seen: set | None = set() if distinct else None
+
+    def add(self, value: object) -> None:
+        """Fold one input value into the aggregate (SQL skips NULLs)."""
+        if value is None:
+            return
+        if self._seen is not None:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self._count += 1
+        if self.func in ("SUM", "AVG"):
+            self._sum += value
+        elif self.func == "MIN":
+            if self._min is None or value < self._min:
+                self._min = value
+        elif self.func == "MAX":
+            if self._max is None or value > self._max:
+                self._max = value
+
+    def merge(self, other: "Accumulator") -> None:
+        """Combine a partial aggregate computed elsewhere (e.g. at S3)."""
+        if self.func != other.func:
+            raise UnsupportedFeatureError("cannot merge different aggregates")
+        if self.distinct or other.distinct:
+            raise UnsupportedFeatureError("DISTINCT aggregates cannot be merged")
+        self._count += other._count
+        self._sum += other._sum
+        for candidate in (other._min,):
+            if candidate is not None and (self._min is None or candidate < self._min):
+                self._min = candidate
+        for candidate in (other._max,):
+            if candidate is not None and (self._max is None or candidate > self._max):
+                self._max = candidate
+
+    def result(self) -> object:
+        """Final aggregate value (SQL semantics: empty SUM/AVG/MIN/MAX are NULL)."""
+        if self.func == "COUNT":
+            return self._count
+        if self._count == 0:
+            return None
+        if self.func == "SUM":
+            return self._sum
+        if self.func == "AVG":
+            return self._sum / self._count
+        if self.func == "MIN":
+            return self._min
+        return self._max
+
+
+class CompiledAggregate:
+    """An aggregate call bound to an input schema.
+
+    ``new_accumulator()`` makes per-group state; ``input_value(row)``
+    evaluates the aggregate's argument for one row.
+    """
+
+    def __init__(self, agg: ast.Aggregate, schema: Mapping[str, int]):
+        self.func = agg.func
+        self.distinct = agg.distinct
+        if isinstance(agg.operand, ast.Star):
+            if agg.func != "COUNT":
+                raise UnsupportedFeatureError(f"{agg.func}(*) is not valid SQL")
+            self._arg: RowFunc = lambda row: 1  # COUNT(*) counts rows, not values
+        else:
+            self._arg = compile_expr(agg.operand, schema)
+
+    def new_accumulator(self) -> Accumulator:
+        return Accumulator(self.func, self.distinct)
+
+    def input_value(self, row: tuple) -> object:
+        return self._arg(row)
+
+
+def split_aggregate_expr(
+    expr: ast.Expr,
+) -> tuple[list[ast.Aggregate], Callable[[list[object]], object] | None]:
+    """Decompose an expression containing aggregates.
+
+    Returns the list of aggregate sub-expressions (in traversal order) and
+    a finisher that, given their computed values, evaluates the enclosing
+    arithmetic.  For a bare aggregate the finisher is ``None``.
+
+    Example: ``SUM(a) / COUNT(b) + 1`` yields two aggregates and a
+    finisher over their results.
+    """
+    if isinstance(expr, ast.Aggregate):
+        return [expr], None
+    aggregates: list[ast.Aggregate] = []
+    placeholder_names: list[str] = []
+    rewritten = _replace_aggregates(expr, aggregates, placeholder_names)
+    if not aggregates:
+        return [], None
+    schema = {name: i for i, name in enumerate(placeholder_names)}
+    fn = compile_expr(rewritten, schema)
+
+    def finisher(values: list[object]) -> object:
+        return fn(tuple(values))
+    return aggregates, finisher
+
+
+def _replace_aggregates(
+    expr: ast.Expr, out: list[ast.Aggregate], names: list[str]
+) -> ast.Expr:
+    """Rewrite aggregates to placeholder columns ``__agg_N``."""
+    if isinstance(expr, ast.Aggregate):
+        name = f"__agg_{len(out)}"
+        out.append(expr)
+        names.append(name)
+        return ast.Column(name=name)
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(
+            expr.op,
+            _replace_aggregates(expr.left, out, names),
+            _replace_aggregates(expr.right, out, names),
+        )
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(expr.op, _replace_aggregates(expr.operand, out, names))
+    if isinstance(expr, ast.Cast):
+        return ast.Cast(_replace_aggregates(expr.operand, out, names), expr.type_name)
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(
+            expr.name,
+            tuple(_replace_aggregates(a, out, names) for a in expr.args),
+        )
+    if isinstance(expr, ast.Case):
+        return ast.Case(
+            tuple(
+                (
+                    _replace_aggregates(cond, out, names),
+                    _replace_aggregates(val, out, names),
+                )
+                for cond, val in expr.whens
+            ),
+            None
+            if expr.default is None
+            else _replace_aggregates(expr.default, out, names),
+        )
+    return expr

@@ -1,0 +1,88 @@
+"""The PushdownDB facade: the library's front door.
+
+Bundles a cloud context, a catalog, and the planner behind a small API::
+
+    from repro import PushdownDB
+
+    db = PushdownDB()
+    db.load_table("lineitem", rows, schema)
+    result = db.execute("SELECT SUM(l_extendedprice) FROM lineitem")
+    print(result.rows, result.runtime_seconds, result.cost.total)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.cloud.context import CloudContext, QueryExecution
+from repro.cloud.perf import PerfModel
+from repro.cloud.pricing import Pricing
+from repro.engine.catalog import DEFAULT_PARTITIONS, Catalog, TableInfo, load_table
+from repro.planner.planner import plan_and_execute
+from repro.storage.schema import TableSchema
+
+
+class PushdownDB:
+    """An embedded PushdownDB instance over a simulated S3."""
+
+    def __init__(
+        self,
+        perf: PerfModel | None = None,
+        pricing: Pricing | None = None,
+        bucket: str = "pushdowndb",
+    ):
+        self.ctx = CloudContext(perf=perf, pricing=pricing)
+        self.catalog = Catalog()
+        self.bucket = bucket
+
+    # ------------------------------------------------------------------
+    # data loading
+    # ------------------------------------------------------------------
+    def load_table(
+        self,
+        name: str,
+        rows: Sequence[tuple],
+        schema: TableSchema,
+        partitions: int = DEFAULT_PARTITIONS,
+        data_format: str = "csv",
+        index_columns: Iterable[str] = (),
+    ) -> TableInfo:
+        """Partition ``rows`` into S3 objects and register the table."""
+        return load_table(
+            self.ctx,
+            self.catalog,
+            name,
+            rows,
+            schema,
+            bucket=self.bucket,
+            partitions=partitions,
+            data_format=data_format,
+            index_columns=index_columns,
+        )
+
+    def table(self, name: str) -> TableInfo:
+        return self.catalog.get(name)
+
+    def table_names(self) -> list[str]:
+        return self.catalog.table_names()
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, mode: str = "optimized") -> QueryExecution:
+        """Run a SQL query.
+
+        Args:
+            sql: a single-table or two-table SELECT (see
+                :mod:`repro.planner.planner` for the supported subset).
+            mode: ``"optimized"`` uses the paper's pushdown strategies;
+                ``"baseline"`` loads whole tables with plain GETs.
+        """
+        return plan_and_execute(self.ctx, self.catalog, sql, mode)
+
+    def calibrate_to_paper_scale(self, paper_bytes: float = 10e9) -> float:
+        """Re-rate the context as if loaded data were paper-sized."""
+        total = sum(
+            self.catalog.get(t).total_bytes for t in self.catalog.table_names()
+        )
+        return self.ctx.calibrate_to_paper_scale(total, paper_bytes)

@@ -1,0 +1,402 @@
+"""A minimal SQL planner for PushdownDB.
+
+The paper describes PushdownDB's optimizer as "minimal" (Section III);
+ours mirrors that: it plans single-table queries and two-table equi-joins
+(the shapes the paper's workloads use), choosing between the baseline
+(GET everything) and optimized (pushdown) physical strategies.
+
+Supported SQL per query:
+
+* single table — WHERE / GROUP BY / aggregates / ORDER BY / LIMIT;
+* two tables (``FROM a, b WHERE a.k = b.k AND ...``) — equi-join plus
+  the same local tail.
+
+Anything else raises :class:`~repro.common.errors.PlanError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.context import CloudContext, QueryExecution
+from repro.common.errors import PlanError
+from repro.engine.catalog import Catalog, TableInfo
+from repro.engine.operators.base import CpuTally
+from repro.engine.operators.filter import filter_rows
+from repro.engine.operators.groupby import group_by_aggregate
+from repro.engine.operators.hashjoin import hash_join
+from repro.engine.operators.limit import limit_rows
+from repro.engine.operators.project import project
+from repro.engine.operators.sort import sort_rows
+from repro.engine.operators.topk import top_k
+from repro.queries.common import bloom_where
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse
+from repro.strategies.base import finish_output
+from repro.strategies.scans import (
+    get_table,
+    merge_sum_partials,
+    phase_since,
+    projection_sql,
+    select_aggregate,
+    select_table,
+)
+
+#: Aggregates whose per-partition partials merge by plain addition.
+_ADDITIVE = {"SUM", "COUNT"}
+
+
+def plan_and_execute(
+    ctx: CloudContext, catalog: Catalog, sql: str, mode: str = "optimized"
+) -> QueryExecution:
+    """Parse, plan, and run ``sql``; returns the finalized execution."""
+    if mode not in ("baseline", "optimized"):
+        raise PlanError(f"unknown mode {mode!r}; use 'baseline' or 'optimized'")
+    query = parse(sql)
+    if query.join_table is not None:
+        return _execute_join(ctx, catalog, query, mode)
+    return _execute_single(ctx, catalog, query, mode)
+
+
+# ----------------------------------------------------------------------
+# single-table plans
+# ----------------------------------------------------------------------
+
+def _execute_single(
+    ctx: CloudContext, catalog: Catalog, query: ast.Query, mode: str
+) -> QueryExecution:
+    table = catalog.get(query.table)
+    tally = CpuTally()
+    mark = ctx.begin_query()
+
+    if mode == "optimized" and _fully_pushable(query):
+        return _execute_pushed_aggregate(ctx, table, query, mark)
+
+    if mode == "baseline":
+        rows = get_table(ctx, table)
+        names = list(table.schema.names)
+        filtered = tally.add(filter_rows(rows, names, query.where))
+        rows = filtered.rows
+    else:
+        needed = _needed_columns(query, table)
+        where_sql = query.where.to_sql() if query.where is not None else None
+        rows, _ = select_table(ctx, table, projection_sql(needed, where_sql))
+        names = needed
+
+    scanned_records = len(rows)
+    scanned_fields = len(rows) * len(names)
+    rows, names = _local_tail(query, rows, names, tally)
+    phase = phase_since(
+        ctx, mark, "scan", streams=table.partitions,
+        server_cpu_seconds=tally.seconds,
+        ingest=(scanned_records, scanned_fields / max(scanned_records, 1)),
+    )
+    return ctx.finalize(mark, rows, names, [phase], strategy=f"{mode} single-table")
+
+
+def _fully_pushable(query: ast.Query) -> bool:
+    """True when the whole query fits the S3 Select dialect with additive
+    aggregates (pure SUM/COUNT shapes like TPC-H Q6)."""
+    if query.group_by or query.order_by or query.limit is not None:
+        return False
+    aggs: list[ast.Aggregate] = []
+    for item in query.select_items:
+        if isinstance(item.expr, ast.Star) or not ast.contains_aggregate(item.expr):
+            return False
+        aggs.extend(n for n in ast.walk(item.expr) if isinstance(n, ast.Aggregate))
+    return all(a.func in _ADDITIVE and not a.distinct for a in aggs)
+
+
+def _execute_pushed_aggregate(
+    ctx: CloudContext, table: TableInfo, query: ast.Query, mark: int
+) -> QueryExecution:
+    pushed = ast.Query(
+        select_items=query.select_items, table="S3Object", where=query.where
+    )
+    partials, names = select_aggregate(ctx, table, pushed.to_sql())
+    merged = merge_sum_partials(partials)
+    out_names = [
+        item.output_name(i) for i, item in enumerate(query.select_items, start=1)
+    ]
+    phase = phase_since(ctx, mark, "pushed-aggregate", streams=table.partitions)
+    return ctx.finalize(
+        mark, [tuple(merged)], out_names, [phase], strategy="optimized single-table"
+    )
+
+
+def _needed_columns(query: ast.Query, table: TableInfo) -> list[str]:
+    referenced: set[str] = set()
+    star = False
+    for item in query.select_items:
+        if isinstance(item.expr, ast.Star):
+            star = True
+        else:
+            referenced |= ast.referenced_columns(item.expr)
+    for expr in query.group_by:
+        referenced |= ast.referenced_columns(expr)
+    for order in query.order_by:
+        referenced |= ast.referenced_columns(order.expr)
+    if star:
+        return list(table.schema.names)
+    lowered = {c.lower() for c in referenced}
+    needed = [n for n in table.schema.names if n.lower() in lowered]
+    if not needed:
+        raise PlanError("query references no columns of its table")
+    return needed
+
+
+def _local_tail(
+    query: ast.Query, rows: list[tuple], names: list[str], tally: CpuTally
+) -> tuple[list[tuple], list[str]]:
+    """GROUP BY / aggregate / ORDER BY / LIMIT, evaluated locally."""
+    if query.group_by:
+        grouped = tally.add(
+            group_by_aggregate(rows, names, query.group_by, _agg_items(query))
+        )
+        rows, names = grouped.rows, grouped.column_names
+    elif any(
+        not isinstance(i.expr, ast.Star) and ast.contains_aggregate(i.expr)
+        for i in query.select_items
+    ):
+        out = tally.add(finish_output(rows, names, list(query.select_items)))
+        rows, names = out.rows, out.column_names
+    elif not all(isinstance(i.expr, ast.Star) for i in query.select_items):
+        out = tally.add(project(rows, names, query.select_items))
+        rows, names = out.rows, out.column_names
+
+    if query.order_by:
+        if query.limit is not None:
+            out = tally.add(top_k(rows, names, query.order_by, query.limit))
+            return out.rows, names
+        out = tally.add(sort_rows(rows, names, query.order_by))
+        rows = out.rows
+    if query.limit is not None:
+        rows = limit_rows(rows, names, query.limit).rows
+    return rows, names
+
+
+def _agg_items(query: ast.Query) -> list[ast.SelectItem]:
+    """Aggregate-bearing select items (group columns come from GROUP BY)."""
+    return [
+        item
+        for item in query.select_items
+        if not isinstance(item.expr, ast.Star) and ast.contains_aggregate(item.expr)
+    ]
+
+
+# ----------------------------------------------------------------------
+# two-table join plans
+# ----------------------------------------------------------------------
+
+@dataclass
+class _JoinPlan:
+    build: TableInfo
+    probe: TableInfo
+    build_key: str
+    probe_key: str
+    build_pred: ast.Expr | None
+    probe_pred: ast.Expr | None
+    residual: ast.Expr | None
+
+
+def _split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, ast.Binary) and expr.op == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _and_join(conjuncts: list[ast.Expr]) -> ast.Expr | None:
+    if not conjuncts:
+        return None
+    expr = conjuncts[0]
+    for extra in conjuncts[1:]:
+        expr = ast.Binary("AND", expr, extra)
+    return expr
+
+
+def _owner(column: ast.Column, a: TableInfo, b: TableInfo) -> TableInfo | None:
+    if column.table:
+        if column.table.lower() == a.name.lower():
+            return a
+        if column.table.lower() == b.name.lower():
+            return b
+        return None
+    in_a = a.schema.has_column(column.name)
+    in_b = b.schema.has_column(column.name)
+    if in_a and not in_b:
+        return a
+    if in_b and not in_a:
+        return b
+    if in_a and in_b:
+        raise PlanError(
+            f"ambiguous column {column.name!r}: qualify it with a table name"
+        )
+    return None
+
+
+def _build_join_plan(
+    catalog: Catalog, query: ast.Query
+) -> tuple[_JoinPlan, list[ast.Expr]]:
+    a = catalog.get(query.table)
+    b = catalog.get(query.join_table)
+    join_cond: tuple[str, str] | None = None
+    side_preds: dict[str, list[ast.Expr]] = {a.name: [], b.name: []}
+    residual: list[ast.Expr] = []
+    for conjunct in _split_conjuncts(query.where):
+        if (
+            join_cond is None
+            and isinstance(conjunct, ast.Binary)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ast.Column)
+            and isinstance(conjunct.right, ast.Column)
+        ):
+            lo = _owner(conjunct.left, a, b)
+            ro = _owner(conjunct.right, a, b)
+            if lo is not None and ro is not None and lo is not ro:
+                if lo is a:
+                    join_cond = (conjunct.left.name, conjunct.right.name)
+                else:
+                    join_cond = (conjunct.right.name, conjunct.left.name)
+                continue
+        owners = set()
+        for column in ast.walk(conjunct):
+            if isinstance(column, ast.Column):
+                owner = _owner(column, a, b)
+                if owner is not None:
+                    owners.add(owner.name)
+        if owners == {a.name}:
+            side_preds[a.name].append(conjunct)
+        elif owners == {b.name}:
+            side_preds[b.name].append(conjunct)
+        else:
+            residual.append(conjunct)
+    if join_cond is None:
+        raise PlanError(
+            "two-table queries need an equi-join condition like a.k = b.k"
+        )
+    a_key, b_key = join_cond
+    # Build side = smaller table, as in the paper's hash joins.
+    if a.num_rows <= b.num_rows:
+        plan = _JoinPlan(
+            build=a, probe=b, build_key=a_key, probe_key=b_key,
+            build_pred=_and_join(side_preds[a.name]),
+            probe_pred=_and_join(side_preds[b.name]),
+            residual=_and_join(residual),
+        )
+    else:
+        plan = _JoinPlan(
+            build=b, probe=a, build_key=b_key, probe_key=a_key,
+            build_pred=_and_join(side_preds[b.name]),
+            probe_pred=_and_join(side_preds[a.name]),
+            residual=_and_join(residual),
+        )
+    return plan, residual
+
+
+def _join_needed_columns(
+    query: ast.Query, table: TableInfo, key: str, residual: ast.Expr | None
+) -> list[str]:
+    referenced: set[str] = {key.lower()}
+    star = False
+    exprs = [i.expr for i in query.select_items]
+    exprs += list(query.group_by)
+    exprs += [o.expr for o in query.order_by]
+    if residual is not None:
+        exprs.append(residual)
+    for expr in exprs:
+        if isinstance(expr, ast.Star):
+            star = True
+            continue
+        referenced |= {c.lower() for c in ast.referenced_columns(expr)}
+    if star:
+        return list(table.schema.names)
+    return [n for n in table.schema.names if n.lower() in referenced]
+
+
+def _execute_join(
+    ctx: CloudContext, catalog: Catalog, query: ast.Query, mode: str
+) -> QueryExecution:
+    plan, _ = _build_join_plan(catalog, query)
+    tally = CpuTally()
+    mark = ctx.begin_query()
+    build_cols = _join_needed_columns(query, plan.build, plan.build_key, plan.residual)
+    probe_cols = _join_needed_columns(query, plan.probe, plan.probe_key, plan.residual)
+    phases = []
+
+    if mode == "baseline":
+        build_rows = get_table(ctx, plan.build)
+        probe_rows = get_table(ctx, plan.probe)
+        b = tally.add(filter_rows(build_rows, plan.build.schema.names, plan.build_pred))
+        p = tally.add(filter_rows(probe_rows, plan.probe.schema.names, plan.probe_pred))
+        joined = tally.add(
+            hash_join(
+                b.rows, plan.build.schema.names, p.rows, plan.probe.schema.names,
+                plan.build_key, plan.probe_key,
+            )
+        )
+    else:
+        build_sql = projection_sql(
+            build_cols,
+            plan.build_pred.to_sql() if plan.build_pred is not None else None,
+        )
+        build_rows, _ = select_table(ctx, plan.build, build_sql)
+        phases.append(
+            phase_since(
+                ctx, mark, "build-scan", streams=plan.build.partitions,
+                ingest=(len(build_rows), len(build_cols)),
+            )
+        )
+        mark2 = ctx.metrics.mark()
+        key_idx = [c.lower() for c in build_cols].index(plan.build_key.lower())
+        keys = [r[key_idx] for r in build_rows if r[key_idx] is not None]
+        probe_clauses = []
+        if plan.probe_pred is not None:
+            probe_clauses.append(plan.probe_pred.to_sql())
+        use_bloom = (
+            plan.build.schema.column(plan.build_key).type == "int" and keys
+        )
+        if use_bloom:
+            base_sql = projection_sql(probe_cols, " AND ".join(probe_clauses) or None)
+            clause = bloom_where(keys, plan.probe_key, base_sql)
+            if clause is not None:
+                probe_clauses.append(clause)
+        probe_sql = projection_sql(probe_cols, " AND ".join(probe_clauses) or None)
+        probe_rows, _ = select_table(ctx, plan.probe, probe_sql)
+        joined = tally.add(
+            hash_join(
+                build_rows, build_cols, probe_rows, probe_cols,
+                plan.build_key, plan.probe_key,
+            )
+        )
+        phases.append(
+            phase_since(
+                ctx, mark2, "probe-scan", streams=plan.probe.partitions,
+                ingest=(len(probe_rows), len(probe_cols)),
+            )
+        )
+
+    rows, names = joined.rows, joined.column_names
+    if plan.residual is not None:
+        kept = tally.add(filter_rows(rows, names, plan.residual))
+        rows = kept.rows
+    rows, names = _local_tail(query, rows, names, tally)
+
+    if mode == "baseline":
+        n_records = plan.build.num_rows + plan.probe.num_rows
+        n_fields = (
+            plan.build.num_rows * len(plan.build.schema)
+            + plan.probe.num_rows * len(plan.probe.schema)
+        )
+        phases = [
+            phase_since(
+                ctx, mark, "load+join",
+                streams=plan.build.partitions + plan.probe.partitions,
+                server_cpu_seconds=tally.seconds,
+                ingest=(n_records, n_fields / max(n_records, 1)),
+            )
+        ]
+    else:
+        phases[-1].server_cpu_seconds += tally.seconds
+    return ctx.finalize(mark, rows, names, phases, strategy=f"{mode} join")

@@ -1,0 +1,44 @@
+"""Convenience loader: generate + load a TPC-H dataset into a context."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.cloud.context import CloudContext
+from repro.engine.catalog import DEFAULT_PARTITIONS, Catalog, load_table
+from repro.workloads.tpch import TABLE_SCHEMAS, TpchGenerator
+
+#: The tables the paper's experiments touch.
+DEFAULT_TABLES = ("customer", "orders", "lineitem", "part")
+
+
+def load_tpch(
+    ctx: CloudContext,
+    catalog: Catalog,
+    scale_factor: float = 0.01,
+    tables: Sequence[str] = DEFAULT_TABLES,
+    partitions: int = DEFAULT_PARTITIONS,
+    data_format: str = "csv",
+    index_columns: dict[str, Iterable[str]] | None = None,
+    seed: int | None = None,
+) -> TpchGenerator:
+    """Generate and load the named TPC-H tables; returns the generator.
+
+    Args:
+        index_columns: optional ``table -> columns`` to build Section
+            IV-A index tables for (e.g. ``{"lineitem": ["l_orderkey"]}``).
+    """
+    gen = TpchGenerator(scale_factor=scale_factor, seed=seed)
+    index_columns = index_columns or {}
+    for name in tables:
+        load_table(
+            ctx,
+            catalog,
+            name,
+            gen.table(name),
+            TABLE_SCHEMAS[name],
+            partitions=partitions,
+            data_format=data_format,
+            index_columns=index_columns.get(name, ()),
+        )
+    return gen

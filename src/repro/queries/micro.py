@@ -1,0 +1,87 @@
+"""The four micro-operator queries of Figure 10 (green-shaded bars).
+
+Each pairs the relevant baseline with the paper's best pushdown variant:
+
+* **filter** — a moderately selective lineitem scan;
+* **group-by** — S3-side group-by over ``l_returnflag`` aggregates;
+* **top-k** — K=100 over ``l_extendedprice`` with sampling;
+* **join** — the Section V synthetic customer ⋈ orders query at the
+  default parameters (``c_acctbal <= -950``, no orders filter).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.cloud.context import CloudContext, QueryExecution
+from repro.engine.catalog import Catalog
+from repro.queries.common import items
+from repro.queries.tpch_queries import QueryVariants
+from repro.sqlparser.parser import parse_expression
+from repro.strategies.filter import FilterQuery, s3_side_filter, server_side_filter
+from repro.strategies.groupby import (
+    AggSpec,
+    GroupByQuery,
+    s3_side_group_by,
+    server_side_group_by,
+)
+from repro.strategies.join import JoinQuery, baseline_join, bloom_join
+from repro.strategies.topk import TopKQuery, sampling_top_k, server_side_top_k
+
+_FILTER_QUERY = FilterQuery(
+    table="lineitem",
+    predicate=parse_expression("l_shipdate < '1992-03-01'"),
+    projection=["l_orderkey", "l_extendedprice", "l_shipdate"],
+)
+
+_GROUPBY_QUERY = GroupByQuery(
+    table="lineitem",
+    group_columns=["l_returnflag"],
+    aggregates=[
+        AggSpec("sum", "l_quantity", "sum_qty"),
+        AggSpec("sum", "l_extendedprice", "sum_price"),
+    ],
+)
+
+_TOPK_QUERY = TopKQuery(table="lineitem", order_column="l_extendedprice", k=100)
+
+_JOIN_QUERY = JoinQuery(
+    build_table="customer",
+    probe_table="orders",
+    build_key="c_custkey",
+    probe_key="o_custkey",
+    build_predicate=parse_expression("c_acctbal <= -950"),
+    build_projection=["c_custkey"],
+    probe_projection=["o_custkey", "o_totalprice"],
+    output=items("SUM(o_totalprice) AS total"),
+)
+
+
+def _wrap(fn, query) -> "QueryFn":
+    def run(ctx: CloudContext, catalog: Catalog) -> QueryExecution:
+        return fn(ctx, catalog, query)
+    return run
+
+
+MICRO_QUERIES: dict[str, QueryVariants] = {
+    "filter": QueryVariants(
+        "filter",
+        _wrap(server_side_filter, _FILTER_QUERY),
+        _wrap(s3_side_filter, _FILTER_QUERY),
+    ),
+    "group-by": QueryVariants(
+        "group-by",
+        _wrap(server_side_group_by, _GROUPBY_QUERY),
+        _wrap(s3_side_group_by, _GROUPBY_QUERY),
+    ),
+    "top-k": QueryVariants(
+        "top-k",
+        _wrap(server_side_top_k, _TOPK_QUERY),
+        _wrap(sampling_top_k, _TOPK_QUERY),
+    ),
+    "join": QueryVariants(
+        "join",
+        _wrap(baseline_join, _JOIN_QUERY),
+        _wrap(bloom_join, _JOIN_QUERY),
+    ),
+}

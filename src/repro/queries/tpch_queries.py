@@ -1,0 +1,490 @@
+"""TPC-H queries Q1, Q3, Q6, Q14, Q17, Q19 — the paper's Figure 10 suite.
+
+Every query comes in two variants matching the paper's configurations:
+
+* **baseline** — "PushdownDB (Baseline)": plain GETs of whole tables,
+  everything computed on the query node (no S3 Select);
+* **optimized** — "PushdownDB (Optimized)": the pushdown algorithms of
+  Sections IV-VII (selection/projection/aggregation pushdown, Bloom
+  joins, S3-side group-by).
+
+Each variant is a function ``(ctx, catalog) -> QueryExecution`` over
+tables loaded by :func:`repro.queries.dataset.load_tpch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cloud.context import CloudContext, QueryExecution
+from repro.engine.catalog import Catalog
+from repro.engine.operators.filter import filter_rows
+from repro.engine.operators.groupby import group_by_aggregate
+from repro.engine.operators.hashjoin import hash_join
+from repro.engine.operators.sort import sort_rows
+from repro.engine.operators.topk import top_k
+from repro.queries.common import items, select_with_bloom
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse_expression
+from repro.strategies.base import finish_output
+from repro.strategies.groupby import AggSpec, GroupByQuery, s3_side_group_by
+from repro.strategies.scans import (
+    get_table,
+    merge_sum_partials,
+    phase_since,
+    projection_sql,
+    select_aggregate,
+    select_table,
+)
+
+QueryFn = Callable[[CloudContext, Catalog], QueryExecution]
+
+
+@dataclass(frozen=True)
+class QueryVariants:
+    """Baseline and optimized implementations of one benchmark query."""
+
+    name: str
+    baseline: QueryFn
+    optimized: QueryFn
+
+
+# ----------------------------------------------------------------------
+# Q1: pricing summary report (filter + 8 aggregates, 2 group columns)
+# ----------------------------------------------------------------------
+
+_Q1_DATE = "1998-09-02"  # 1998-12-01 minus DELTA=90 days
+_Q1_AGGS = [
+    AggSpec("sum", "l_quantity", "sum_qty"),
+    AggSpec("sum", "l_extendedprice", "sum_base_price"),
+    AggSpec("sum", "l_extendedprice * (1 - l_discount)", "sum_disc_price"),
+    AggSpec("sum", "l_extendedprice * (1 - l_discount) * (1 + l_tax)", "sum_charge"),
+    AggSpec("avg", "l_quantity", "avg_qty"),
+    AggSpec("avg", "l_extendedprice", "avg_price"),
+    AggSpec("avg", "l_discount", "avg_disc"),
+    AggSpec("count", "1", "count_order"),
+]
+_Q1_ORDER = [
+    ast.OrderItem(expr=ast.Column("l_returnflag")),
+    ast.OrderItem(expr=ast.Column("l_linestatus")),
+]
+
+
+def q1_baseline(ctx: CloudContext, catalog: Catalog) -> QueryExecution:
+    lineitem = catalog.get("lineitem")
+    mark = ctx.begin_query()
+    rows = get_table(ctx, lineitem)
+    filtered = filter_rows(
+        rows, lineitem.schema.names, parse_expression(f"l_shipdate <= '{_Q1_DATE}'")
+    )
+    grouped = group_by_aggregate(
+        filtered.rows,
+        lineitem.schema.names,
+        [ast.Column("l_returnflag"), ast.Column("l_linestatus")],
+        [a.to_select_item() for a in _Q1_AGGS],
+    )
+    final = sort_rows(grouped.rows, grouped.column_names, _Q1_ORDER)
+    cpu = filtered.cpu_seconds + grouped.cpu_seconds + final.cpu_seconds
+    phase = phase_since(
+        ctx, mark, "q1", streams=lineitem.partitions, server_cpu_seconds=cpu,
+        ingest=(len(rows), len(lineitem.schema)),
+    )
+    return ctx.finalize(mark, final.rows, final.column_names, [phase], strategy="q1 baseline")
+
+
+def q1_optimized(ctx: CloudContext, catalog: Catalog) -> QueryExecution:
+    """Push the whole aggregation to S3 via S3-side group-by (6 groups)."""
+    execution = s3_side_group_by(
+        ctx,
+        catalog,
+        GroupByQuery(
+            table="lineitem",
+            group_columns=["l_returnflag", "l_linestatus"],
+            aggregates=_Q1_AGGS,
+            predicate=parse_expression(f"l_shipdate <= '{_Q1_DATE}'"),
+        ),
+    )
+    execution.rows = sort_rows(execution.rows, execution.column_names, _Q1_ORDER).rows
+    execution.strategy = "q1 optimized"
+    return execution
+
+
+# ----------------------------------------------------------------------
+# Q3: shipping priority (3-table join + group-by + top-10)
+# ----------------------------------------------------------------------
+
+_Q3_DATE = "1995-03-15"
+_Q3_REVENUE = items("SUM(l_extendedprice * (1 - l_discount)) AS revenue")[0]
+_Q3_ORDER = [
+    ast.OrderItem(expr=ast.Column("revenue"), descending=True),
+    ast.OrderItem(expr=ast.Column("o_orderdate")),
+]
+
+
+def _q3_local_tail(ctx, mark, joined_rows, names, phases, strategy):
+    grouped = group_by_aggregate(
+        joined_rows,
+        names,
+        [ast.Column("l_orderkey"), ast.Column("o_orderdate"), ast.Column("o_shippriority")],
+        [_Q3_REVENUE],
+    )
+    final = top_k(grouped.rows, grouped.column_names, _Q3_ORDER, 10)
+    phases[-1].server_cpu_seconds += grouped.cpu_seconds + final.cpu_seconds
+    return ctx.finalize(mark, final.rows, final.column_names, phases, strategy=strategy)
+
+
+def q3_baseline(ctx: CloudContext, catalog: Catalog) -> QueryExecution:
+    customer, orders, lineitem = (
+        catalog.get("customer"), catalog.get("orders"), catalog.get("lineitem")
+    )
+    mark = ctx.begin_query()
+    c_rows = get_table(ctx, customer)
+    o_rows = get_table(ctx, orders)
+    l_rows = get_table(ctx, lineitem)
+    cpu = 0.0
+    c = filter_rows(c_rows, customer.schema.names,
+                    parse_expression("c_mktsegment = 'BUILDING'"))
+    o = filter_rows(o_rows, orders.schema.names,
+                    parse_expression(f"o_orderdate < '{_Q3_DATE}'"))
+    li = filter_rows(l_rows, lineitem.schema.names,
+                     parse_expression(f"l_shipdate > '{_Q3_DATE}'"))
+    cpu += c.cpu_seconds + o.cpu_seconds + li.cpu_seconds
+    co = hash_join(c.rows, customer.schema.names, o.rows, orders.schema.names,
+                   "c_custkey", "o_custkey")
+    col = hash_join(co.rows, co.column_names, li.rows, lineitem.schema.names,
+                    "o_orderkey", "l_orderkey")
+    cpu += co.cpu_seconds + col.cpu_seconds
+    total_streams = customer.partitions + orders.partitions + lineitem.partitions
+    n_records = len(c_rows) + len(o_rows) + len(l_rows)
+    n_fields = (
+        len(c_rows) * len(customer.schema)
+        + len(o_rows) * len(orders.schema)
+        + len(l_rows) * len(lineitem.schema)
+    )
+    phase = phase_since(
+        ctx, mark, "q3", streams=total_streams, server_cpu_seconds=cpu,
+        ingest=(n_records, n_fields / max(n_records, 1)),
+    )
+    return _q3_local_tail(ctx, mark, col.rows, col.column_names, [phase], "q3 baseline")
+
+
+def q3_optimized(ctx: CloudContext, catalog: Catalog) -> QueryExecution:
+    """Cascaded Bloom joins: customer keys -> orders, order keys -> lineitem."""
+    customer, orders, lineitem = (
+        catalog.get("customer"), catalog.get("orders"), catalog.get("lineitem")
+    )
+    mark = ctx.begin_query()
+    c_rows, _ = select_table(
+        ctx, customer,
+        projection_sql(["c_custkey"], "c_mktsegment = 'BUILDING'"),
+    )
+    cust_keys = [r[0] for r in c_rows]
+    phase1 = phase_since(
+        ctx, mark, "customer", streams=customer.partitions, ingest=(len(c_rows), 1)
+    )
+
+    mark2 = ctx.metrics.mark()
+    o_cols = ["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"]
+    o_rows, _ = select_with_bloom(
+        ctx, orders, o_cols, f"o_orderdate < '{_Q3_DATE}'",
+        cust_keys, "o_custkey",
+    )
+    # Eliminate Bloom false positives with an exact semi-join.
+    cust_set = set(cust_keys)
+    o_rows = [r for r in o_rows if r[1] in cust_set]
+    phase2 = phase_since(
+        ctx, mark2, "orders", streams=orders.partitions,
+        ingest=(len(o_rows), len(o_cols)),
+    )
+
+    mark3 = ctx.metrics.mark()
+    l_cols = ["l_orderkey", "l_extendedprice", "l_discount"]
+    l_rows, _ = select_with_bloom(
+        ctx, lineitem, l_cols, f"l_shipdate > '{_Q3_DATE}'",
+        [r[0] for r in o_rows], "l_orderkey",
+    )
+    joined = hash_join(o_rows, o_cols, l_rows, l_cols, "o_orderkey", "l_orderkey")
+    phase3 = phase_since(
+        ctx, mark3, "lineitem", streams=lineitem.partitions,
+        server_cpu_seconds=joined.cpu_seconds, ingest=(len(l_rows), len(l_cols)),
+    )
+    return _q3_local_tail(
+        ctx, mark, joined.rows, joined.column_names,
+        [phase1, phase2, phase3], "q3 optimized",
+    )
+
+
+# ----------------------------------------------------------------------
+# Q6: forecasting revenue change (pure filter + aggregate)
+# ----------------------------------------------------------------------
+
+_Q6_WHERE = (
+    "l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01'"
+    " AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24"
+)
+
+
+def q6_baseline(ctx: CloudContext, catalog: Catalog) -> QueryExecution:
+    lineitem = catalog.get("lineitem")
+    mark = ctx.begin_query()
+    rows = get_table(ctx, lineitem)
+    filtered = filter_rows(rows, lineitem.schema.names, parse_expression(_Q6_WHERE))
+    out = finish_output(
+        filtered.rows, lineitem.schema.names,
+        items("SUM(l_extendedprice * l_discount) AS revenue"),
+    )
+    phase = phase_since(
+        ctx, mark, "q6", streams=lineitem.partitions,
+        server_cpu_seconds=filtered.cpu_seconds + out.cpu_seconds,
+        ingest=(len(rows), len(lineitem.schema)),
+    )
+    return ctx.finalize(mark, out.rows, out.column_names, [phase], strategy="q6 baseline")
+
+
+def q6_optimized(ctx: CloudContext, catalog: Catalog) -> QueryExecution:
+    """The entire query is inside the S3 Select dialect: push it all."""
+    lineitem = catalog.get("lineitem")
+    mark = ctx.begin_query()
+    sql = f"SELECT SUM(l_extendedprice * l_discount) FROM S3Object WHERE {_Q6_WHERE}"
+    partials, _ = select_aggregate(ctx, lineitem, sql)
+    merged = merge_sum_partials(partials)
+    phase = phase_since(ctx, mark, "q6", streams=lineitem.partitions)
+    return ctx.finalize(
+        mark, [tuple(merged)], ["revenue"], [phase], strategy="q6 optimized"
+    )
+
+
+# ----------------------------------------------------------------------
+# Q14: promotion effect (lineitem ⋈ part, CASE aggregate)
+# ----------------------------------------------------------------------
+
+_Q14_WHERE = "l_shipdate >= '1995-09-01' AND l_shipdate < '1995-10-01'"
+_Q14_OUTPUT = items(
+    "100 * SUM(CASE WHEN p_type LIKE 'PROMO%' THEN l_extendedprice * (1 - l_discount)"
+    " ELSE 0 END) / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue"
+)
+
+
+def q14_baseline(ctx: CloudContext, catalog: Catalog) -> QueryExecution:
+    lineitem, part = catalog.get("lineitem"), catalog.get("part")
+    mark = ctx.begin_query()
+    l_rows = get_table(ctx, lineitem)
+    p_rows = get_table(ctx, part)
+    li = filter_rows(l_rows, lineitem.schema.names, parse_expression(_Q14_WHERE))
+    joined = hash_join(
+        li.rows, lineitem.schema.names, p_rows, part.schema.names,
+        "l_partkey", "p_partkey",
+    )
+    out = finish_output(joined.rows, joined.column_names, _Q14_OUTPUT)
+    n_records = len(l_rows) + len(p_rows)
+    n_fields = len(l_rows) * len(lineitem.schema) + len(p_rows) * len(part.schema)
+    phase = phase_since(
+        ctx, mark, "q14", streams=lineitem.partitions + part.partitions,
+        server_cpu_seconds=li.cpu_seconds + joined.cpu_seconds + out.cpu_seconds,
+        ingest=(n_records, n_fields / max(n_records, 1)),
+    )
+    return ctx.finalize(mark, out.rows, out.column_names, [phase], strategy="q14 baseline")
+
+
+def q14_optimized(ctx: CloudContext, catalog: Catalog) -> QueryExecution:
+    """Filtered lineitem is the small side; Bloom its part keys into part."""
+    lineitem, part = catalog.get("lineitem"), catalog.get("part")
+    mark = ctx.begin_query()
+    l_cols = ["l_partkey", "l_extendedprice", "l_discount"]
+    l_rows, _ = select_table(ctx, lineitem, projection_sql(l_cols, _Q14_WHERE))
+    phase1 = phase_since(
+        ctx, mark, "lineitem", streams=lineitem.partitions,
+        ingest=(len(l_rows), len(l_cols)),
+    )
+
+    mark2 = ctx.metrics.mark()
+    p_cols = ["p_partkey", "p_type"]
+    p_rows, _ = select_with_bloom(
+        ctx, part, p_cols, None, [r[0] for r in l_rows], "p_partkey"
+    )
+    joined = hash_join(l_rows, l_cols, p_rows, p_cols, "l_partkey", "p_partkey")
+    out = finish_output(joined.rows, joined.column_names, _Q14_OUTPUT)
+    phase2 = phase_since(
+        ctx, mark2, "part", streams=part.partitions,
+        server_cpu_seconds=joined.cpu_seconds + out.cpu_seconds,
+        ingest=(len(p_rows), len(p_cols)),
+    )
+    return ctx.finalize(
+        mark, out.rows, out.column_names, [phase1, phase2], strategy="q14 optimized"
+    )
+
+
+# ----------------------------------------------------------------------
+# Q17: small-quantity-order revenue (correlated subquery over lineitem)
+# ----------------------------------------------------------------------
+
+_Q17_PART_WHERE = "p_brand = 'Brand#23' AND p_container = 'MED BOX'"
+
+
+def _q17_local(part_keys: set, li_rows: list[tuple]) -> list[tuple]:
+    """avg_yearly = SUM(l_extendedprice | l_quantity < 0.2*avg(part)) / 7.
+
+    ``li_rows`` are ``(l_partkey, l_quantity, l_extendedprice)`` already
+    restricted (or Bloom-narrowed) to the candidate parts.
+    """
+    sums: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    for partkey, quantity, _ in li_rows:
+        if partkey in part_keys:
+            sums[partkey] = sums.get(partkey, 0.0) + quantity
+            counts[partkey] = counts.get(partkey, 0) + 1
+    total = 0.0
+    for partkey, quantity, price in li_rows:
+        if partkey in part_keys and counts.get(partkey):
+            if quantity < 0.2 * (sums[partkey] / counts[partkey]):
+                total += price
+    return [(total / 7.0,)]
+
+
+def q17_baseline(ctx: CloudContext, catalog: Catalog) -> QueryExecution:
+    lineitem, part = catalog.get("lineitem"), catalog.get("part")
+    mark = ctx.begin_query()
+    p_rows = get_table(ctx, part)
+    l_rows = get_table(ctx, lineitem)
+    p = filter_rows(p_rows, part.schema.names, parse_expression(_Q17_PART_WHERE))
+    keys = {r[0] for r in p.rows}
+    schema = lineitem.schema
+    idx = [schema.index_of(c) for c in ("l_partkey", "l_quantity", "l_extendedprice")]
+    li = [(r[idx[0]], r[idx[1]], r[idx[2]]) for r in l_rows]
+    out_rows = _q17_local(keys, li)
+    cpu = p.cpu_seconds + len(l_rows) * 7e-8
+    n_records = len(l_rows) + len(p_rows)
+    n_fields = len(l_rows) * len(lineitem.schema) + len(p_rows) * len(part.schema)
+    phase = phase_since(
+        ctx, mark, "q17", streams=lineitem.partitions + part.partitions,
+        server_cpu_seconds=cpu, ingest=(n_records, n_fields / max(n_records, 1)),
+    )
+    return ctx.finalize(mark, out_rows, ["avg_yearly"], [phase], strategy="q17 baseline")
+
+
+def q17_optimized(ctx: CloudContext, catalog: Catalog) -> QueryExecution:
+    lineitem, part = catalog.get("lineitem"), catalog.get("part")
+    mark = ctx.begin_query()
+    p_rows, _ = select_table(
+        ctx, part, projection_sql(["p_partkey"], _Q17_PART_WHERE)
+    )
+    keys = {r[0] for r in p_rows}
+    phase1 = phase_since(
+        ctx, mark, "part", streams=part.partitions, ingest=(len(p_rows), 1)
+    )
+
+    mark2 = ctx.metrics.mark()
+    l_cols = ["l_partkey", "l_quantity", "l_extendedprice"]
+    l_rows, _ = select_with_bloom(
+        ctx, lineitem, l_cols, None, sorted(keys), "l_partkey"
+    )
+    out_rows = _q17_local(keys, l_rows)
+    phase2 = phase_since(
+        ctx, mark2, "lineitem", streams=lineitem.partitions,
+        server_cpu_seconds=len(l_rows) * 7e-8, ingest=(len(l_rows), len(l_cols)),
+    )
+    return ctx.finalize(
+        mark, out_rows, ["avg_yearly"], [phase1, phase2], strategy="q17 optimized"
+    )
+
+
+# ----------------------------------------------------------------------
+# Q19: discounted revenue (disjunctive join predicate)
+# ----------------------------------------------------------------------
+
+_Q19_BRANCHES = [
+    ("Brand#12", ("SM CASE", "SM BOX", "SM PACK", "SM PKG"), (1, 11), (1, 5)),
+    ("Brand#23", ("MED BAG", "MED BOX", "MED PKG", "MED PACK"), (10, 20), (1, 10)),
+    ("Brand#34", ("LG CASE", "LG BOX", "LG PACK", "LG PKG"), (20, 30), (1, 15)),
+]
+_Q19_COMMON_L = (
+    "l_shipmode IN ('AIR', 'AIR REG') AND l_shipinstruct = 'DELIVER IN PERSON'"
+)
+_Q19_OUTPUT = items("SUM(l_extendedprice * (1 - l_discount)) AS revenue")
+
+
+def _q19_branch_sql(brand, containers, qty, size) -> str:
+    container_list = ", ".join(f"'{c}'" for c in containers)
+    return (
+        f"(p_brand = '{brand}' AND p_container IN ({container_list})"
+        f" AND l_quantity BETWEEN {qty[0]} AND {qty[1]}"
+        f" AND p_size BETWEEN {size[0]} AND {size[1]})"
+    )
+
+
+def _q19_full_predicate() -> ast.Expr:
+    branches = " OR ".join(_q19_branch_sql(*b) for b in _Q19_BRANCHES)
+    return parse_expression(f"({branches}) AND {_Q19_COMMON_L}")
+
+
+def q19_baseline(ctx: CloudContext, catalog: Catalog) -> QueryExecution:
+    lineitem, part = catalog.get("lineitem"), catalog.get("part")
+    mark = ctx.begin_query()
+    l_rows = get_table(ctx, lineitem)
+    p_rows = get_table(ctx, part)
+    joined = hash_join(
+        p_rows, part.schema.names, l_rows, lineitem.schema.names,
+        "p_partkey", "l_partkey",
+    )
+    kept = filter_rows(joined.rows, joined.column_names, _q19_full_predicate())
+    out = finish_output(kept.rows, kept.column_names, _Q19_OUTPUT)
+    n_records = len(l_rows) + len(p_rows)
+    n_fields = len(l_rows) * len(lineitem.schema) + len(p_rows) * len(part.schema)
+    phase = phase_since(
+        ctx, mark, "q19", streams=lineitem.partitions + part.partitions,
+        server_cpu_seconds=joined.cpu_seconds + kept.cpu_seconds + out.cpu_seconds,
+        ingest=(n_records, n_fields / max(n_records, 1)),
+    )
+    return ctx.finalize(mark, out.rows, out.column_names, [phase], strategy="q19 baseline")
+
+
+def q19_optimized(ctx: CloudContext, catalog: Catalog) -> QueryExecution:
+    """Push each side's part of the disjunction; finish exactly locally."""
+    lineitem, part = catalog.get("lineitem"), catalog.get("part")
+    qty_disjunction = " OR ".join(
+        f"l_quantity BETWEEN {lo} AND {hi}" for _, _, (lo, hi), _ in _Q19_BRANCHES
+    )
+    l_where = f"{_Q19_COMMON_L} AND ({qty_disjunction})"
+    p_where = " OR ".join(
+        _q19_branch_sql(*b).replace(
+            f" AND l_quantity BETWEEN {b[2][0]} AND {b[2][1]}", ""
+        )
+        for b in _Q19_BRANCHES
+    )
+    mark = ctx.begin_query()
+    l_cols = ["l_partkey", "l_quantity", "l_extendedprice", "l_discount"]
+    l_rows, _ = select_table(ctx, lineitem, projection_sql(l_cols, l_where))
+    p_cols = ["p_partkey", "p_brand", "p_size", "p_container"]
+    p_rows, _ = select_table(ctx, part, projection_sql(p_cols, p_where))
+    joined = hash_join(p_rows, p_cols, l_rows, l_cols, "p_partkey", "l_partkey")
+    # The common lineitem conjuncts were fully applied at S3; only the
+    # per-branch (brand, container, quantity, size) combination still
+    # needs an exact local check.
+    residual = parse_expression(
+        " OR ".join(_q19_branch_sql(*b) for b in _Q19_BRANCHES)
+    )
+    kept = filter_rows(joined.rows, joined.column_names, residual)
+    out = finish_output(kept.rows, kept.column_names, _Q19_OUTPUT)
+    n_records = len(l_rows) + len(p_rows)
+    n_fields = len(l_rows) * len(l_cols) + len(p_rows) * len(p_cols)
+    phase = phase_since(
+        ctx, mark, "q19", streams=lineitem.partitions + part.partitions,
+        server_cpu_seconds=joined.cpu_seconds + kept.cpu_seconds + out.cpu_seconds,
+        ingest=(n_records, n_fields / max(n_records, 1)),
+    )
+    return ctx.finalize(mark, out.rows, out.column_names, [phase], strategy="q19 optimized")
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+TPCH_QUERIES: dict[str, QueryVariants] = {
+    "q1": QueryVariants("q1", q1_baseline, q1_optimized),
+    "q3": QueryVariants("q3", q3_baseline, q3_optimized),
+    "q6": QueryVariants("q6", q6_baseline, q6_optimized),
+    "q14": QueryVariants("q14", q14_baseline, q14_optimized),
+    "q17": QueryVariants("q17", q17_baseline, q17_optimized),
+    "q19": QueryVariants("q19", q19_baseline, q19_optimized),
+}

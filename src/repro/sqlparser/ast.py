@@ -1,0 +1,347 @@
+"""AST node definitions for the SQL dialect.
+
+Nodes are immutable dataclasses.  Every node renders back to SQL via
+``to_sql()``; the Bloom-join strategy uses this to ship generated filter
+expressions to the (simulated) S3 Select service, and tests use it for
+parse/render round-trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+Expr = Union[
+    "Literal", "Column", "Star", "Unary", "Binary", "FuncCall", "Cast",
+    "Case", "InList", "Between", "Like", "IsNull", "Aggregate",
+]
+
+#: Aggregate function names the dialect (and S3 Select) understands.
+AGGREGATE_FUNCS = frozenset({"SUM", "COUNT", "AVG", "MIN", "MAX"})
+
+
+def _sql_str(value: str) -> str:
+    """Render a string literal, doubling embedded quotes."""
+    return "'" + value.replace("'", "''") + "'"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: int, float, str, bool, or None (SQL NULL)."""
+
+    value: object
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            return _sql_str(self.value)
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column reference, optionally qualified (``t.col``)."""
+
+    name: str
+    table: str | None = None
+
+    def to_sql(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` in a select list or ``COUNT(*)``."""
+
+    def to_sql(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class Unary:
+    """Unary operator: ``-expr``, ``+expr`` or ``NOT expr``."""
+
+    op: str
+    operand: Expr
+
+    def to_sql(self) -> str:
+        if self.op == "NOT":
+            return f"NOT ({self.operand.to_sql()})"
+        return f"{self.op}({self.operand.to_sql()})"
+
+
+@dataclass(frozen=True)
+class Binary:
+    """Binary operator (arithmetic, comparison, AND/OR, ``||``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """A scalar function call such as ``SUBSTRING(s, 1, 4)``."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(a.to_sql() for a in self.args)
+        return f"{self.name}({rendered})"
+
+
+@dataclass(frozen=True)
+class Cast:
+    """``CAST(expr AS TYPE)``."""
+
+    operand: Expr
+    type_name: str
+
+    def to_sql(self) -> str:
+        return f"CAST({self.operand.to_sql()} AS {self.type_name})"
+
+
+@dataclass(frozen=True)
+class Case:
+    """``CASE WHEN cond THEN val ... [ELSE val] END`` (searched form)."""
+
+    whens: tuple[tuple[Expr, Expr], ...]
+    default: Expr | None = None
+
+    def to_sql(self) -> str:
+        parts = ["CASE"]
+        for cond, value in self.whens:
+            parts.append(f"WHEN {cond.to_sql()} THEN {value.to_sql()}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default.to_sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class InList:
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(item.to_sql() for item in self.items)
+        maybe_not = "NOT " if self.negated else ""
+        return f"({self.operand.to_sql()} {maybe_not}IN ({rendered}))"
+
+
+@dataclass(frozen=True)
+class Between:
+    """``expr [NOT] BETWEEN low AND high`` (inclusive both ends)."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        maybe_not = "NOT " if self.negated else ""
+        return (
+            f"({self.operand.to_sql()} {maybe_not}BETWEEN "
+            f"{self.low.to_sql()} AND {self.high.to_sql()})"
+        )
+
+
+@dataclass(frozen=True)
+class Like:
+    """``expr [NOT] LIKE pattern`` with ``%`` and ``_`` wildcards."""
+
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        maybe_not = "NOT " if self.negated else ""
+        return f"({self.operand.to_sql()} {maybe_not}LIKE {self.pattern.to_sql()})"
+
+
+@dataclass(frozen=True)
+class IsNull:
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.to_sql()} {suffix})"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate call: ``SUM(expr)``, ``COUNT(*)``, ``AVG(expr)``, ..."""
+
+    func: str
+    operand: Expr  # Star() for COUNT(*)
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        inner = self.operand.to_sql()
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry of a select list: an expression plus optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+    def to_sql(self) -> str:
+        if self.alias:
+            return f"{self.expr.to_sql()} AS {self.alias}"
+        return self.expr.to_sql()
+
+    def output_name(self, ordinal: int) -> str:
+        """Column name this item produces in the result schema."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, Column):
+            return self.expr.name
+        return f"_{ordinal}"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: Expr
+    descending: bool = False
+
+    def to_sql(self) -> str:
+        return f"{self.expr.to_sql()} {'DESC' if self.descending else 'ASC'}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed SELECT statement."""
+
+    select_items: tuple[SelectItem, ...]
+    table: str
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = field(default=())
+    order_by: tuple[OrderItem, ...] = field(default=())
+    limit: int | None = None
+    join_table: str | None = None
+    join_condition: Expr | None = None
+
+    def to_sql(self) -> str:
+        parts = ["SELECT " + ", ".join(item.to_sql() for item in self.select_items)]
+        from_clause = f"FROM {self.table}"
+        if self.join_table:
+            from_clause += f", {self.join_table}"
+        parts.append(from_clause)
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.to_sql()}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(g.to_sql() for g in self.group_by))
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.to_sql() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+def walk(expr: Expr):
+    """Yield ``expr`` and all sub-expressions, depth-first."""
+    yield expr
+    children: tuple = ()
+    if isinstance(expr, Unary):
+        children = (expr.operand,)
+    elif isinstance(expr, Binary):
+        children = (expr.left, expr.right)
+    elif isinstance(expr, FuncCall):
+        children = expr.args
+    elif isinstance(expr, Cast):
+        children = (expr.operand,)
+    elif isinstance(expr, Case):
+        children = tuple(x for pair in expr.whens for x in pair)
+        if expr.default is not None:
+            children += (expr.default,)
+    elif isinstance(expr, InList):
+        children = (expr.operand, *expr.items)
+    elif isinstance(expr, Between):
+        children = (expr.operand, expr.low, expr.high)
+    elif isinstance(expr, Like):
+        children = (expr.operand, expr.pattern)
+    elif isinstance(expr, IsNull):
+        children = (expr.operand,)
+    elif isinstance(expr, Aggregate):
+        children = (expr.operand,)
+    for child in children:
+        yield from walk(child)
+
+
+def referenced_columns(expr: Expr) -> set[str]:
+    """Set of (unqualified) column names referenced by ``expr``."""
+    return {node.name for node in walk(expr) if isinstance(node, Column)}
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True if any sub-expression is an aggregate call."""
+    return any(isinstance(node, Aggregate) for node in walk(expr))
+
+
+def rename_columns(expr: Expr, mapping: dict[str, str]) -> Expr:
+    """Return ``expr`` with column names rewritten per ``mapping``.
+
+    Used by the indexing strategy to retarget a data-table predicate at
+    the index table's ``value`` column.  Lookup is case-insensitive;
+    qualifiers are dropped on renamed columns.
+    """
+    lowered = {k.lower(): v for k, v in mapping.items()}
+
+    def rewrite(node: Expr) -> Expr:
+        if isinstance(node, Column):
+            new_name = lowered.get(node.name.lower())
+            if new_name is not None:
+                return Column(name=new_name)
+            return node
+        if isinstance(node, Unary):
+            return Unary(node.op, rewrite(node.operand))
+        if isinstance(node, Binary):
+            return Binary(node.op, rewrite(node.left), rewrite(node.right))
+        if isinstance(node, FuncCall):
+            return FuncCall(node.name, tuple(rewrite(a) for a in node.args))
+        if isinstance(node, Cast):
+            return Cast(rewrite(node.operand), node.type_name)
+        if isinstance(node, Case):
+            return Case(
+                tuple((rewrite(c), rewrite(v)) for c, v in node.whens),
+                None if node.default is None else rewrite(node.default),
+            )
+        if isinstance(node, InList):
+            return InList(
+                rewrite(node.operand),
+                tuple(rewrite(i) for i in node.items),
+                node.negated,
+            )
+        if isinstance(node, Between):
+            return Between(
+                rewrite(node.operand), rewrite(node.low), rewrite(node.high), node.negated
+            )
+        if isinstance(node, Like):
+            return Like(rewrite(node.operand), rewrite(node.pattern), node.negated)
+        if isinstance(node, IsNull):
+            return IsNull(rewrite(node.operand), node.negated)
+        if isinstance(node, Aggregate):
+            return Aggregate(node.func, rewrite(node.operand), node.distinct)
+        return node
+
+    return rewrite(expr)

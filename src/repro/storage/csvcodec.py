@@ -1,0 +1,199 @@
+"""CSV encode/decode for table objects.
+
+Objects are stored exactly as AWS would see them: UTF-8 bytes, ``\\n``
+record delimiter, ``,`` field delimiter, RFC-4180 quoting.  The paper's
+index-table design (Section IV-A) needs the *byte offset of every row*,
+so the encoder can report per-row extents as it writes.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.storage.schema import TableSchema
+
+RECORD_DELIM = "\n"
+FIELD_DELIM = ","
+QUOTE = '"'
+
+
+def format_value(value: object) -> str:
+    """Render one Python value as a CSV field ('' for NULL)."""
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        # Repr round-trips; avoid trailing noise for integral floats.
+        if value.is_integer():
+            return f"{value:.1f}"
+        return repr(value)
+    return str(value)
+
+
+def _escape(field: str) -> str:
+    if any(ch in field for ch in (FIELD_DELIM, QUOTE, "\n", "\r")):
+        return QUOTE + field.replace(QUOTE, QUOTE + QUOTE) + QUOTE
+    return field
+
+
+def encode_row(row: Sequence[object]) -> bytes:
+    """Encode one tuple as a CSV line including the record delimiter."""
+    line = FIELD_DELIM.join(_escape(format_value(v)) for v in row)
+    return (line + RECORD_DELIM).encode()
+
+
+@dataclass(frozen=True)
+class RowExtent:
+    """Byte extent of one encoded row inside a CSV object (inclusive)."""
+
+    first_byte: int
+    last_byte: int
+
+
+def encode_table(
+    rows: Iterable[Sequence[object]], header: Sequence[str] | None = None
+) -> tuple[bytes, list[RowExtent]]:
+    """Encode rows to CSV bytes, returning per-row byte extents.
+
+    The extents exclude the header line and are exactly what the paper's
+    index tables store (``first_byte_offset`` / ``last_byte_offset``).
+    """
+    buf = io.BytesIO()
+    if header is not None:
+        buf.write(encode_row(list(header)))
+    extents: list[RowExtent] = []
+    for row in rows:
+        start = buf.tell()
+        encoded = encode_row(row)
+        buf.write(encoded)
+        extents.append(RowExtent(first_byte=start, last_byte=start + len(encoded) - 1))
+    return buf.getvalue(), extents
+
+
+def iter_records(data: bytes) -> Iterator[list[str]]:
+    """Parse CSV bytes into records (lists of string fields).
+
+    Handles RFC-4180 quoting; tolerant of a missing trailing newline.
+    """
+    text = data.decode()
+    field: list[str] = []
+    record: list[str] = []
+    in_quotes = False
+    i = 0
+    n = len(text)
+    saw_any = False
+    while i < n:
+        ch = text[i]
+        if in_quotes:
+            if ch == QUOTE:
+                if i + 1 < n and text[i + 1] == QUOTE:
+                    field.append(QUOTE)
+                    i += 2
+                    continue
+                in_quotes = False
+                i += 1
+                continue
+            field.append(ch)
+            i += 1
+            continue
+        if ch == QUOTE:
+            in_quotes = True
+            saw_any = True
+            i += 1
+            continue
+        if ch == FIELD_DELIM:
+            record.append("".join(field))
+            field = []
+            saw_any = True
+            i += 1
+            continue
+        if ch == "\n":
+            record.append("".join(field))
+            yield record
+            field, record = [], []
+            saw_any = False
+            i += 1
+            continue
+        if ch == "\r":
+            i += 1
+            continue
+        field.append(ch)
+        saw_any = True
+        i += 1
+    if saw_any or record:
+        record.append("".join(field))
+        yield record
+
+
+def iter_records_with_offsets(data: bytes) -> Iterator[tuple[int, int, list[str]]]:
+    """Like :func:`iter_records` but yields ``(first_byte, last_byte, record)``.
+
+    Offsets are inclusive byte positions of the encoded record (including
+    its trailing newline, when present) — the convention the paper's
+    index tables use.  Quoting is handled, so embedded delimiters do not
+    split records.
+    """
+    text = data.decode()
+    field: list[str] = []
+    record: list[str] = []
+    in_quotes = False
+    i = 0
+    n = len(text)
+    start = 0
+    saw_any = False
+    while i < n:
+        ch = text[i]
+        if in_quotes:
+            if ch == QUOTE:
+                if i + 1 < n and text[i + 1] == QUOTE:
+                    field.append(QUOTE)
+                    i += 2
+                    continue
+                in_quotes = False
+                i += 1
+                continue
+            field.append(ch)
+            i += 1
+            continue
+        if ch == QUOTE:
+            in_quotes = True
+            saw_any = True
+            i += 1
+            continue
+        if ch == FIELD_DELIM:
+            record.append("".join(field))
+            field = []
+            saw_any = True
+            i += 1
+            continue
+        if ch == "\n":
+            record.append("".join(field))
+            yield start, i, record
+            field, record = [], []
+            saw_any = False
+            i += 1
+            start = i
+            continue
+        if ch == "\r":
+            i += 1
+            continue
+        field.append(ch)
+        saw_any = True
+        i += 1
+    if saw_any or record:
+        record.append("".join(field))
+        yield start, n - 1, record
+
+
+def decode_table(
+    data: bytes, schema: TableSchema, has_header: bool = True
+) -> list[tuple]:
+    """Decode CSV bytes into typed tuples according to ``schema``."""
+    rows: list[tuple] = []
+    records = iter_records(data)
+    if has_header:
+        next(records, None)
+    for record in records:
+        rows.append(schema.parse_row(record))
+    return rows

@@ -1,0 +1,126 @@
+"""Table schemas: typed column descriptors shared by every layer.
+
+CSV objects are untyped bytes on the wire; a :class:`TableSchema` tells
+readers how to revive each field.  Dates are carried as ISO-8601 strings
+(lexical order equals chronological order, which is all the paper's
+queries need).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.common.errors import CatalogError
+
+#: Supported logical column types.
+COLUMN_TYPES = ("int", "float", "str", "date")
+
+
+def _parse_int(text: str) -> int | None:
+    return int(text) if text else None
+
+
+def _parse_float(text: str) -> float | None:
+    return float(text) if text else None
+
+
+def _parse_str(text: str) -> str | None:
+    return text if text else None
+
+
+_PARSERS: dict[str, Callable[[str], object]] = {
+    "int": _parse_int,
+    "float": _parse_float,
+    "str": _parse_str,
+    "date": _parse_str,
+}
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column: a name plus a logical type."""
+
+    name: str
+    type: str
+
+    def __post_init__(self):
+        if self.type not in COLUMN_TYPES:
+            raise CatalogError(
+                f"unknown column type {self.type!r} for column {self.name!r};"
+                f" expected one of {COLUMN_TYPES}"
+            )
+
+    def parse(self, text: str) -> object:
+        """Parse a CSV field into this column's Python type ('' -> NULL)."""
+        return _PARSERS[self.type](text)
+
+
+class TableSchema:
+    """An ordered list of columns with fast name -> index lookup."""
+
+    def __init__(self, columns: Sequence[ColumnDef]):
+        if not columns:
+            raise CatalogError("a table schema needs at least one column")
+        names = [c.name.lower() for c in columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate column names in schema: {names}")
+        self.columns: tuple[ColumnDef, ...] = tuple(columns)
+        self._index = {c.name.lower(): i for i, c in enumerate(columns)}
+
+    @classmethod
+    def of(cls, *specs: str) -> "TableSchema":
+        """Build a schema from ``"name:type"`` strings.
+
+        >>> TableSchema.of("l_orderkey:int", "l_shipdate:date").names
+        ('l_orderkey', 'l_shipdate')
+        """
+        columns = []
+        for spec in specs:
+            name, _, type_name = spec.partition(":")
+            columns.append(ColumnDef(name=name, type=type_name or "str"))
+        return cls(columns)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def name_to_index(self) -> dict[str, int]:
+        return dict(self._index)
+
+    def index_of(self, name: str) -> int:
+        key = name.lower()
+        if key not in self._index:
+            raise CatalogError(
+                f"no column {name!r} in schema with columns {self.names}"
+            )
+        return self._index[key]
+
+    def column(self, name: str) -> ColumnDef:
+        return self.columns[self.index_of(name)]
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def project(self, names: Iterable[str]) -> "TableSchema":
+        """Schema of a projection of this schema, in the given order."""
+        return TableSchema([self.column(n) for n in names])
+
+    def parse_row(self, fields: Sequence[str]) -> tuple:
+        """Parse one CSV record (list of strings) into a typed tuple."""
+        if len(fields) != len(self.columns):
+            raise CatalogError(
+                f"row has {len(fields)} fields, schema has {len(self.columns)}"
+            )
+        return tuple(col.parse(field) for col, field in zip(self.columns, fields))
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TableSchema) and self.columns == other.columns
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{c.name}:{c.type}" for c in self.columns)
+        return f"TableSchema({inner})"

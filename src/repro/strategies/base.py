@@ -1,0 +1,43 @@
+"""Shared pieces of the pushdown strategies."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine.operators.base import OpResult
+from repro.engine.operators.groupby import group_by_aggregate
+from repro.engine.operators.project import project
+from repro.sqlparser import ast
+
+
+def finish_output(
+    rows: list[tuple],
+    column_names: Sequence[str],
+    output_items: Sequence[ast.SelectItem] | None,
+) -> OpResult:
+    """Apply a final select list locally.
+
+    ``None`` passes rows through; a list containing aggregates runs a
+    single-group aggregation (the micro-benchmarks' ``SUM(o_totalprice)``
+    shape); otherwise it is a plain projection.
+    """
+    if output_items is None:
+        return OpResult(rows=list(rows), column_names=list(column_names))
+    has_aggregate = any(
+        not isinstance(item.expr, ast.Star) and ast.contains_aggregate(item.expr)
+        for item in output_items
+    )
+    if has_aggregate:
+        return group_by_aggregate(rows, column_names, (), output_items)
+    return project(rows, column_names, output_items)
+
+
+def sum_items(columns: Sequence[str]) -> list[ast.SelectItem]:
+    """Convenience: ``[SUM(col) AS sum_col, ...]`` select items."""
+    return [
+        ast.SelectItem(
+            expr=ast.Aggregate(func="SUM", operand=ast.Column(name=c)),
+            alias=f"sum_{c}",
+        )
+        for c in columns
+    ]

@@ -1,0 +1,233 @@
+"""The paper's three join strategies (Section V).
+
+All are two-phase hash joins differing only in what reaches the server:
+
+* **baseline join** — GET both tables in full, join locally;
+* **filtered join** — push each table's selection + projection into S3
+  Select, join locally (both tables load in parallel);
+* **Bloom join** — load the build side via S3 Select, construct a Bloom
+  filter over its join keys, and ship that filter *inside the probe
+  side's S3 Select WHERE clause* so non-matching probe rows never leave
+  storage.
+
+Bloom join degrades per Section V-B1: if the rendered filter exceeds the
+256 KB expression limit the FPR is raised; if no FPR < 1 fits, it falls
+back to a filtered join whose two scans are *serial* (the decision is
+made only after the build side is loaded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bloom.filter import build_bloom_filter_within_limit
+from repro.cloud.context import CloudContext, QueryExecution
+from repro.cloud.perf import SERVER_CPU_PER_ROW
+from repro.common.errors import PlanError
+from repro.engine.catalog import Catalog, TableInfo
+from repro.engine.operators.filter import filter_rows
+from repro.engine.operators.hashjoin import hash_join
+from repro.engine.operators.project import project_columns
+from repro.sqlparser import ast
+from repro.strategies.base import finish_output
+from repro.strategies.scans import (
+    get_table,
+    phase_since,
+    projection_sql,
+    select_table,
+)
+
+#: Default Bloom false-positive rate; the paper finds 0.01 the sweet spot
+#: (Figure 4).
+DEFAULT_FPR = 0.01
+
+
+@dataclass
+class JoinQuery:
+    """An equi-join between a build (small) and probe (large) table."""
+
+    build_table: str
+    probe_table: str
+    build_key: str
+    probe_key: str
+    build_predicate: ast.Expr | None = None
+    probe_predicate: ast.Expr | None = None
+    #: Pushdown projections; must include the join keys.  ``None`` loads
+    #: every column.
+    build_projection: list[str] | None = None
+    probe_projection: list[str] | None = None
+    #: Final select list evaluated locally (e.g. ``SUM(o_totalprice)``).
+    output: list[ast.SelectItem] | None = None
+
+
+def baseline_join(ctx: CloudContext, catalog: Catalog, query: JoinQuery) -> QueryExecution:
+    """Load both tables in full (no S3 Select) and join locally."""
+    build = catalog.get(query.build_table)
+    probe = catalog.get(query.probe_table)
+    mark = ctx.begin_query()
+    build_rows = get_table(ctx, build)
+    probe_rows = get_table(ctx, probe)
+    loaded_records = len(build_rows) + len(probe_rows)
+    loaded_fields = (
+        len(build_rows) * len(build.schema) + len(probe_rows) * len(probe.schema)
+    )
+    cpu = 0.0
+    filtered_build = filter_rows(build_rows, build.schema.names, query.build_predicate)
+    filtered_probe = filter_rows(probe_rows, probe.schema.names, query.probe_predicate)
+    cpu += filtered_build.cpu_seconds + filtered_probe.cpu_seconds
+    # Apply the query's projections locally so baseline output matches the
+    # pushdown strategies' column-for-column (it still *moved* every
+    # column over the network, which is the point of the comparison).
+    build_side = filtered_build.rows, list(build.schema.names)
+    probe_side = filtered_probe.rows, list(probe.schema.names)
+    if query.build_projection is not None:
+        projected = project_columns(*build_side, query.build_projection)
+        cpu += projected.cpu_seconds
+        build_side = projected.rows, projected.column_names
+    if query.probe_projection is not None:
+        projected = project_columns(*probe_side, query.probe_projection)
+        cpu += projected.cpu_seconds
+        probe_side = projected.rows, projected.column_names
+    joined = hash_join(
+        build_side[0], build_side[1], probe_side[0], probe_side[1],
+        query.build_key, query.probe_key,
+    )
+    cpu += joined.cpu_seconds
+    out = finish_output(joined.rows, joined.column_names, query.output)
+    cpu += out.cpu_seconds
+    phase = phase_since(
+        ctx, mark, "load+join",
+        streams=build.partitions + probe.partitions,
+        server_cpu_seconds=cpu,
+        ingest=(loaded_records, loaded_fields / max(loaded_records, 1)),
+    )
+    return ctx.finalize(mark, out.rows, out.column_names, [phase], strategy="baseline join")
+
+
+def filtered_join(ctx: CloudContext, catalog: Catalog, query: JoinQuery) -> QueryExecution:
+    """Push selections/projections into S3 Select; join locally.
+
+    Both table scans run in parallel (one phase), which is the behaviour
+    the paper contrasts with the degraded Bloom join's serial scans.
+    """
+    build = catalog.get(query.build_table)
+    probe = catalog.get(query.probe_table)
+    mark = ctx.begin_query()
+    build_rows, build_names = _select_side(
+        ctx, build, query.build_projection, query.build_predicate
+    )
+    probe_rows, probe_names = _select_side(
+        ctx, probe, query.probe_projection, query.probe_predicate
+    )
+    joined = hash_join(
+        build_rows, build_names, probe_rows, probe_names,
+        query.build_key, query.probe_key,
+    )
+    out = finish_output(joined.rows, joined.column_names, query.output)
+    avg_cols = (
+        len(build_rows) * len(build_names) + len(probe_rows) * len(probe_names)
+    ) / max(len(build_rows) + len(probe_rows), 1)
+    phase = phase_since(
+        ctx, mark, "select+join",
+        streams=build.partitions + probe.partitions,
+        server_cpu_seconds=joined.cpu_seconds + out.cpu_seconds,
+        ingest=(len(build_rows) + len(probe_rows), avg_cols),
+    )
+    return ctx.finalize(mark, out.rows, out.column_names, [phase], strategy="filtered join")
+
+
+def bloom_join(
+    ctx: CloudContext,
+    catalog: Catalog,
+    query: JoinQuery,
+    fpr: float = DEFAULT_FPR,
+    seed: int | None = None,
+) -> QueryExecution:
+    """Bloom join (Section V-A2): ship the build side's key set to S3."""
+    build = catalog.get(query.build_table)
+    probe = catalog.get(query.probe_table)
+    key_type = build.schema.column(query.build_key).type
+    if key_type != "int":
+        raise PlanError(
+            f"Bloom join requires an integer join attribute; {query.build_key!r}"
+            f" is {key_type} (paper Section V-A2 limitation)"
+        )
+
+    # Phase 1: build side via S3 Select; construct hash table + Bloom filter.
+    mark = ctx.begin_query()
+    build_rows, build_names = _select_side(
+        ctx, build, query.build_projection, query.build_predicate
+    )
+    key_idx = [n.lower() for n in build_names].index(query.build_key.lower())
+    keys = [row[key_idx] for row in build_rows if row[key_idx] is not None]
+
+    probe_where_parts = []
+    if query.probe_predicate is not None:
+        probe_where_parts.append(query.probe_predicate.to_sql())
+    probe_columns = (
+        query.probe_projection
+        if query.probe_projection is not None
+        else list(probe.schema.names)
+    )
+    base_sql = projection_sql(probe_columns, " AND ".join(probe_where_parts) or None)
+    outcome = build_bloom_filter_within_limit(
+        keys, fpr, query.probe_key, sql_overhead_bytes=len(base_sql.encode()) + 16,
+        seed=seed,
+    )
+    bloom_cpu = len(keys) * SERVER_CPU_PER_ROW["bloom_insert"]
+    phase1 = phase_since(
+        ctx, mark, "build+bloom",
+        streams=build.partitions, server_cpu_seconds=bloom_cpu,
+        ingest=(len(build_rows), len(build_names)),
+    )
+
+    # Phase 2: probe side, filtered at S3 by the Bloom predicate.  Runs
+    # after phase 1 by construction — including in the degraded case,
+    # which is precisely the paper's serial-scans caveat.
+    mark2 = ctx.metrics.mark()
+    degraded = outcome.bloom is None
+    if degraded:
+        probe_sql = base_sql
+    else:
+        bloom_pred = outcome.bloom.to_sql_predicate(query.probe_key)
+        where = " AND ".join(probe_where_parts + [bloom_pred])
+        probe_sql = projection_sql(probe_columns, where)
+    probe_rows, probe_names = select_table(ctx, probe, probe_sql)
+
+    joined = hash_join(
+        build_rows, build_names, probe_rows, probe_names,
+        query.build_key, query.probe_key,
+    )
+    out = finish_output(joined.rows, joined.column_names, query.output)
+    phase2 = phase_since(
+        ctx, mark2, "probe+join",
+        streams=probe.partitions,
+        server_cpu_seconds=joined.cpu_seconds + out.cpu_seconds,
+        ingest=(len(probe_rows), len(probe_names)),
+    )
+    details = {
+        "requested_fpr": fpr,
+        "achieved_fpr": outcome.achieved_fpr,
+        "degraded": degraded,
+        "bloom_bits": 0 if degraded else outcome.bloom.num_bits,
+        "bloom_hashes": 0 if degraded else outcome.bloom.num_hashes,
+        "build_keys": len(keys),
+        "probe_rows_returned": len(probe_rows),
+    }
+    return ctx.finalize(
+        mark, out.rows, out.column_names, [phase1, phase2],
+        strategy="bloom join", details=details,
+    )
+
+
+def _select_side(
+    ctx: CloudContext,
+    table: TableInfo,
+    projection: list[str] | None,
+    predicate: ast.Expr | None,
+) -> tuple[list[tuple], list[str]]:
+    columns = projection if projection is not None else list(table.schema.names)
+    sql = projection_sql(columns, predicate.to_sql() if predicate is not None else None)
+    rows, names = select_table(ctx, table, sql)
+    # S3 Select names computed outputs `_N`; normalize to the requested columns.
+    return rows, columns if len(columns) == len(names) else names

@@ -1,0 +1,136 @@
+"""Shared table-scan helpers for the pushdown strategies.
+
+Two ways to get table data onto the query node, matching the paper's two
+baselines:
+
+* :func:`get_table` — plain GETs of every partition object, parsed
+  locally ("server-side" processing);
+* :func:`select_table` — one S3 Select request per partition with a SQL
+  string ("S3-side" processing).
+
+Both return materialized rows; the caller wraps the metered requests into
+a :class:`~repro.cloud.metrics.Phase` via :func:`phase_since`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cloud.context import CloudContext
+from repro.cloud.metrics import Phase
+from repro.engine.catalog import TableInfo
+from repro.s3select.engine import ScanRange
+from repro.storage.csvcodec import decode_table
+from repro.storage.parquet import ParquetFile
+
+
+def get_table(ctx: CloudContext, table: TableInfo) -> list[tuple]:
+    """Load every partition with plain GETs and parse locally."""
+    rows: list[tuple] = []
+    for key in table.keys:
+        data = ctx.client.get_object(table.bucket, key)
+        if table.format == "csv":
+            rows.extend(decode_table(data, table.schema, has_header=False))
+        else:
+            rows.extend(ParquetFile(data).read_rows())
+    return rows
+
+
+def select_table(
+    ctx: CloudContext,
+    table: TableInfo,
+    sql: str,
+    scan_range_fraction: float | None = None,
+) -> tuple[list[tuple], list[str]]:
+    """Run one S3 Select per partition; concatenate results.
+
+    Args:
+        scan_range_fraction: if given, scan only the leading fraction of
+            each partition (used by sampling phases; S3 bills just the
+            range scanned).
+    """
+    rows: list[tuple] = []
+    names: list[str] = []
+    for key in table.keys:
+        scan_range = None
+        if scan_range_fraction is not None:
+            size = ctx.store.object_size(table.bucket, key)
+            end = max(1, int(size * scan_range_fraction))
+            scan_range = ScanRange(start=0, end=end)
+        result = ctx.client.select_object_content(
+            table.bucket, key, sql, scan_range=scan_range
+        )
+        rows.extend(result.rows)
+        names = result.column_names
+    return rows, names
+
+
+def select_aggregate(
+    ctx: CloudContext, table: TableInfo, sql: str
+) -> tuple[list[list[object]], list[str]]:
+    """Run an aggregate-only select per partition, keeping partials apart.
+
+    Each partition returns exactly one row of partial aggregates; the
+    caller merges them (SUM/COUNT add, MIN/MAX compare).  Returned as a
+    list of per-partition rows.
+    """
+    partials: list[list[object]] = []
+    names: list[str] = []
+    for key in table.keys:
+        result = ctx.client.select_object_content(table.bucket, key, sql)
+        if result.rows:
+            partials.append(list(result.rows[0]))
+        names = result.column_names
+    return partials, names
+
+
+def merge_sum_partials(partials: list[list[object]]) -> list[object]:
+    """Merge per-partition SUM/COUNT rows by element-wise addition.
+
+    NULL partials (empty partitions) are skipped, matching SQL SUM
+    semantics.
+    """
+    if not partials:
+        return []
+    merged: list[object] = list(partials[0])
+    for row in partials[1:]:
+        for i, value in enumerate(row):
+            if value is None:
+                continue
+            merged[i] = value if merged[i] is None else merged[i] + value
+    return merged
+
+
+def phase_since(
+    ctx: CloudContext,
+    mark: int,
+    name: str,
+    streams: int | None = None,
+    server_cpu_seconds: float = 0.0,
+    ingest: tuple[int, int] | None = None,
+) -> Phase:
+    """Bundle all requests issued since ``mark`` into one phase.
+
+    Args:
+        ingest: ``(records, columns)`` the query node materializes from
+            this phase's responses; the performance model charges
+            per-record and per-field parse time for them.
+    """
+    records, columns = ingest if ingest is not None else (0, 0)
+    return Phase.from_records(
+        name,
+        ctx.metrics.records_since(mark),
+        streams=streams,
+        server_cpu_seconds=server_cpu_seconds,
+        server_records=records,
+        server_fields=records * columns,
+    )
+
+
+def projection_sql(columns: Sequence[str], where_sql: str | None = None) -> str:
+    """Build the simple pushdown SQL used all over the strategies."""
+    select_list = ", ".join(columns) if columns else "*"
+    sql = f"SELECT {select_list} FROM S3Object"
+    if where_sql:
+        sql += f" WHERE {where_sql}"
+    return sql

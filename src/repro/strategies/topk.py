@@ -1,0 +1,179 @@
+"""The paper's top-K strategies (Section VII).
+
+* **server-side top-K** — GET the whole table, heap-select locally;
+* **sampling-based top-K** — phase 1 samples ``S`` records (projected to
+  the ORDER BY columns) and takes the K-th order statistic as a
+  threshold; phase 2 pushes ``WHERE expr <= threshold`` into S3 Select
+  and heap-selects the final K from the (much smaller) result.
+
+The optimal sample size minimizing bytes moved is ``S* = sqrt(K*N/alpha)``
+where ``alpha`` is the fraction of row bytes the ORDER BY expression
+needs (Section VII-B); :func:`optimal_sample_size` implements it and the
+Figure 8 experiment sweeps around it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cloud.context import CloudContext, QueryExecution
+from repro.common.errors import PlanError
+from repro.engine.catalog import Catalog, TableInfo
+from repro.engine.operators.topk import top_k
+from repro.sqlparser import ast
+from repro.strategies.scans import (
+    get_table,
+    phase_since,
+    projection_sql,
+    select_table,
+)
+
+
+@dataclass
+class TopKQuery:
+    """``SELECT * FROM table ORDER BY <expr> [DESC] LIMIT k``."""
+
+    table: str
+    order_column: str
+    k: int
+    descending: bool = False
+
+    def order_items(self) -> list[ast.OrderItem]:
+        return [
+            ast.OrderItem(
+                expr=ast.Column(self.order_column), descending=self.descending
+            )
+        ]
+
+
+def optimal_sample_size(k: int, n_rows: int, alpha: float) -> int:
+    """``S* = sqrt(K*N/alpha)`` clamped to ``[max(10K, 1), N]``.
+
+    The lower clamp keeps the threshold estimate stable (the paper's
+    smallest swept sample is 10x K); the upper clamp is the table.
+    """
+    if k <= 0:
+        raise PlanError(f"K must be positive, got {k}")
+    if not 0 < alpha <= 1:
+        raise PlanError(f"alpha must be in (0, 1], got {alpha}")
+    ideal = math.sqrt(k * n_rows / alpha)
+    return max(min(int(ideal), n_rows), min(10 * k, n_rows), 1)
+
+
+def order_bytes_fraction(table: TableInfo, order_column: str) -> float:
+    """Estimate alpha: the ORDER BY column's share of a row's bytes.
+
+    Approximated by column count (1/num_columns), which is within 2x for
+    TPC-H's lineitem; callers can override when they know better.
+    """
+    table.schema.index_of(order_column)  # validate the column exists
+    return 1.0 / len(table.schema)
+
+
+def server_side_top_k(
+    ctx: CloudContext, catalog: Catalog, query: TopKQuery
+) -> QueryExecution:
+    """Load everything; heap-select K locally."""
+    table = catalog.get(query.table)
+    mark = ctx.begin_query()
+    rows = get_table(ctx, table)
+    selected = top_k(rows, table.schema.names, query.order_items(), query.k)
+    phase = phase_since(
+        ctx, mark, "load+topk",
+        streams=table.partitions, server_cpu_seconds=selected.cpu_seconds,
+        ingest=(len(rows), len(table.schema)),
+    )
+    return ctx.finalize(
+        mark, selected.rows, selected.column_names, [phase],
+        strategy="server-side top-k",
+    )
+
+
+def sampling_top_k(
+    ctx: CloudContext,
+    catalog: Catalog,
+    query: TopKQuery,
+    sample_size: int | None = None,
+    alpha: float | None = None,
+) -> QueryExecution:
+    """Two-phase sampling top-K (Section VII-A).
+
+    Args:
+        sample_size: rows to sample in phase 1; defaults to the analytic
+            optimum ``sqrt(K*N/alpha)``.
+        alpha: ORDER BY bytes fraction; defaults to a column-count
+            estimate.
+
+    The threshold (the K-th order statistic of the sample) guarantees at
+    least K rows pass phase 2's pushed predicate, because the K sampled
+    records at or below it are themselves in the table.
+    """
+    table = catalog.get(query.table)
+    if query.k > table.num_rows:
+        raise PlanError(
+            f"K={query.k} exceeds table rows ({table.num_rows});"
+            " use server-side top-k"
+        )
+    if alpha is None:
+        alpha = order_bytes_fraction(table, query.order_column)
+    if sample_size is None:
+        sample_size = optimal_sample_size(query.k, table.num_rows, alpha)
+    sample_size = max(min(sample_size, table.num_rows), min(query.k, table.num_rows))
+
+    # Phase 1: sample the leading fraction of each partition, projected
+    # to the ORDER BY column.  (The paper assumes either random row order
+    # or random byte-range sampling; our generators emit rows in random
+    # order, so a prefix is a uniform sample.)
+    fraction = min(1.0, sample_size / table.num_rows)
+    mark = ctx.begin_query()
+    sample_rows, _ = select_table(
+        ctx,
+        table,
+        projection_sql([query.order_column]),
+        scan_range_fraction=fraction,
+    )
+    values = sorted(
+        (row[0] for row in sample_rows if row[0] is not None),
+        reverse=query.descending,
+    )
+    if len(values) < query.k:
+        # Sample came up short (tiny tables): keep everything in phase 2.
+        threshold = values[-1] if values else None
+        unbounded = True
+    else:
+        threshold = values[query.k - 1]
+        unbounded = False
+    cpu1 = len(sample_rows) * math.log2(max(len(sample_rows), 2)) * 6e-9
+    phase1 = phase_since(
+        ctx, mark, "sample", streams=table.partitions,
+        server_cpu_seconds=cpu1, ingest=(len(sample_rows), 1),
+    )
+
+    # Phase 2: pushed range scan; only rows at or below (above, for DESC)
+    # the threshold come back.
+    mark2 = ctx.metrics.mark()
+    if unbounded or threshold is None:
+        where = None
+    else:
+        op = ">=" if query.descending else "<="
+        where = f"{query.order_column} {op} {ast.Literal(threshold).to_sql()}"
+    scan_rows, _ = select_table(ctx, table, projection_sql(list(table.schema.names), where))
+    selected = top_k(scan_rows, table.schema.names, query.order_items(), query.k)
+    phase2 = phase_since(
+        ctx, mark2, "scan", streams=table.partitions,
+        server_cpu_seconds=selected.cpu_seconds,
+        ingest=(len(scan_rows), len(table.schema)),
+    )
+    details = {
+        "sample_size": sample_size,
+        "alpha": alpha,
+        "threshold": threshold,
+        "phase2_rows": len(scan_rows),
+        "sample_seconds": ctx.perf.phase_time(phase1),
+        "scan_seconds": ctx.perf.phase_time(phase2),
+    }
+    return ctx.finalize(
+        mark, selected.rows, selected.column_names, [phase1, phase2],
+        strategy="sampling top-k", details=details,
+    )

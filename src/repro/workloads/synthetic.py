@@ -1,0 +1,118 @@
+"""Synthetic tables for the group-by and Parquet experiments.
+
+Three generators mirroring Sections VI-C and IX:
+
+* :func:`uniform_groupby_table` — 20 columns: 10 group-ID columns where
+  column ``g{i}`` has ``2^(i+1)`` uniformly sized groups, plus 10 float
+  value columns (Figure 5's workload);
+* :func:`skewed_groupby_table` — 10 group columns with 100 groups each,
+  group sizes Zipfian(theta), plus 10 float value columns (Figures 6-7);
+* :func:`float_table` — N float columns of random values rounded to four
+  decimals (Figure 11's CSV-vs-Parquet tables).
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import derive_seed, np_rng
+from repro.storage.schema import TableSchema
+from repro.workloads.zipf import zipf_sample
+
+DEFAULT_GROUP_COLUMNS = 10
+DEFAULT_VALUE_COLUMNS = 10
+
+
+def groupby_schema(
+    group_columns: int = DEFAULT_GROUP_COLUMNS,
+    value_columns: int = DEFAULT_VALUE_COLUMNS,
+) -> TableSchema:
+    """``g0..g{G-1}`` int group IDs followed by ``v0..v{V-1}`` floats."""
+    specs = [f"g{i}:int" for i in range(group_columns)]
+    specs += [f"v{i}:float" for i in range(value_columns)]
+    return TableSchema.of(*specs)
+
+
+def uniform_groupby_table(
+    num_rows: int,
+    group_columns: int = DEFAULT_GROUP_COLUMNS,
+    value_columns: int = DEFAULT_VALUE_COLUMNS,
+    seed: int | None = None,
+) -> list[tuple]:
+    """Uniform group sizes; column ``g{i}`` has ``2^(i+1)`` groups."""
+    rng = np_rng(derive_seed(seed or 0, "uniform-groupby", num_rows))
+    group_cols = [
+        rng.integers(0, 2 ** (i + 1), num_rows) for i in range(group_columns)
+    ]
+    value_cols = [
+        rng.uniform(0.0, 1000.0, num_rows).round(4) for _ in range(value_columns)
+    ]
+    return _zip_columns(group_cols, value_cols, num_rows)
+
+
+def skewed_groupby_table(
+    num_rows: int,
+    theta: float,
+    groups_per_column: int = 100,
+    group_columns: int = DEFAULT_GROUP_COLUMNS,
+    value_columns: int = DEFAULT_VALUE_COLUMNS,
+    seed: int | None = None,
+) -> list[tuple]:
+    """Zipfian(theta) group sizes; theta=0 degenerates to uniform."""
+    rng = np_rng(derive_seed(seed or 0, "skewed-groupby", num_rows, theta))
+    group_cols = [
+        zipf_sample(groups_per_column, theta, num_rows, rng)
+        for _ in range(group_columns)
+    ]
+    value_cols = [
+        rng.uniform(0.0, 1000.0, num_rows).round(4) for _ in range(value_columns)
+    ]
+    return _zip_columns(group_cols, value_cols, num_rows)
+
+
+FILTER_SCHEMA = TableSchema.of(
+    "key:int",
+    *[f"p{i}:float" for i in range(6)],
+    "tag:str",
+)
+
+
+def filter_table(num_rows: int, seed: int | None = None) -> list[tuple]:
+    """Table for the Figure 1 filter experiment.
+
+    ``key`` is a random permutation of ``0..num_rows-1``, so the
+    predicate ``key < c`` matches exactly ``c`` rows — selectivity is
+    exact and index lookups return a known number of records.  Payload
+    columns pad rows to roughly lineitem width.
+    """
+    rng = np_rng(derive_seed(seed or 0, "filter-table", num_rows))
+    keys = rng.permutation(num_rows)
+    payload = [rng.uniform(0, 1e6, num_rows).round(4) for _ in range(6)]
+    tags = [f"row-{int(k):08d}" for k in keys]
+    rows = []
+    for r in range(num_rows):
+        rows.append(
+            (int(keys[r]), *(float(c[r]) for c in payload), tags[r])
+        )
+    return rows
+
+
+def float_schema(num_columns: int) -> TableSchema:
+    return TableSchema.of(*[f"f{i}:float" for i in range(num_columns)])
+
+
+def float_table(
+    num_rows: int, num_columns: int, seed: int | None = None
+) -> list[tuple]:
+    """Random floats rounded to four decimals (paper Section IX)."""
+    rng = np_rng(derive_seed(seed or 0, "float-table", num_rows, num_columns))
+    cols = [rng.uniform(0.0, 1.0, num_rows).round(4) for _ in range(num_columns)]
+    return _zip_columns([], cols, num_rows)
+
+
+def _zip_columns(int_cols, float_cols, num_rows: int) -> list[tuple]:
+    rows = []
+    for r in range(num_rows):
+        rows.append(
+            tuple(int(c[r]) for c in int_cols)
+            + tuple(float(c[r]) for c in float_cols)
+        )
+    return rows

@@ -1,0 +1,348 @@
+"""A deterministic pure-Python TPC-H ``dbgen``.
+
+Generates all eight TPC-H tables with spec-shaped value distributions —
+uniform order dates over 1992-01-01..1998-08-02, ``c_acctbal`` in
+[-999.99, 9999.99], discounts in [0, 0.10], the Brand#MN / container /
+type vocabularies, and so on — so the selectivities of every predicate
+the paper's experiments sweep (``c_acctbal <= v``, ``o_orderdate < d``,
+``l_shipdate`` ranges, brand/container filters) are proportionally
+faithful at any scale factor.
+
+The official dbgen's exact text corpus and RNG streams are not
+reproduced; no experiment in the paper depends on comment text.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.common.rng import derive_seed, np_rng
+from repro.storage.schema import TableSchema
+
+# ----------------------------------------------------------------------
+# schemas
+# ----------------------------------------------------------------------
+
+CUSTOMER_SCHEMA = TableSchema.of(
+    "c_custkey:int", "c_name:str", "c_address:str", "c_nationkey:int",
+    "c_phone:str", "c_acctbal:float", "c_mktsegment:str", "c_comment:str",
+)
+
+ORDERS_SCHEMA = TableSchema.of(
+    "o_orderkey:int", "o_custkey:int", "o_orderstatus:str", "o_totalprice:float",
+    "o_orderdate:date", "o_orderpriority:str", "o_clerk:str",
+    "o_shippriority:int", "o_comment:str",
+)
+
+LINEITEM_SCHEMA = TableSchema.of(
+    "l_orderkey:int", "l_partkey:int", "l_suppkey:int", "l_linenumber:int",
+    "l_quantity:float", "l_extendedprice:float", "l_discount:float", "l_tax:float",
+    "l_returnflag:str", "l_linestatus:str", "l_shipdate:date",
+    "l_commitdate:date", "l_receiptdate:date", "l_shipinstruct:str",
+    "l_shipmode:str", "l_comment:str",
+)
+
+PART_SCHEMA = TableSchema.of(
+    "p_partkey:int", "p_name:str", "p_mfgr:str", "p_brand:str", "p_type:str",
+    "p_size:int", "p_container:str", "p_retailprice:float", "p_comment:str",
+)
+
+SUPPLIER_SCHEMA = TableSchema.of(
+    "s_suppkey:int", "s_name:str", "s_address:str", "s_nationkey:int",
+    "s_phone:str", "s_acctbal:float", "s_comment:str",
+)
+
+PARTSUPP_SCHEMA = TableSchema.of(
+    "ps_partkey:int", "ps_suppkey:int", "ps_availqty:int",
+    "ps_supplycost:float", "ps_comment:str",
+)
+
+NATION_SCHEMA = TableSchema.of(
+    "n_nationkey:int", "n_name:str", "n_regionkey:int", "n_comment:str",
+)
+
+REGION_SCHEMA = TableSchema.of("r_regionkey:int", "r_name:str", "r_comment:str")
+
+TABLE_SCHEMAS = {
+    "customer": CUSTOMER_SCHEMA,
+    "orders": ORDERS_SCHEMA,
+    "lineitem": LINEITEM_SCHEMA,
+    "part": PART_SCHEMA,
+    "supplier": SUPPLIER_SCHEMA,
+    "partsupp": PARTSUPP_SCHEMA,
+    "nation": NATION_SCHEMA,
+    "region": REGION_SCHEMA,
+}
+
+# ----------------------------------------------------------------------
+# spec vocabularies
+# ----------------------------------------------------------------------
+
+SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD")
+PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+SHIP_INSTRUCT = ("DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN")
+SHIP_MODES = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+CONTAINER_1 = ("SM", "LG", "MED", "JUMBO", "WRAP")
+CONTAINER_2 = ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+TYPE_1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+TYPE_2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+TYPE_3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+NATIONS = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+)
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+P_NAME_WORDS = (
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream",
+)
+
+START_DATE = datetime.date(1992, 1, 1)
+END_DATE = datetime.date(1998, 8, 2)
+_EPOCH_SPAN = (END_DATE - START_DATE).days
+
+
+def _date_str(offset_days: int) -> str:
+    return (START_DATE + datetime.timedelta(days=int(offset_days))).isoformat()
+
+
+def _comment(rng, max_words: int = 6) -> str:
+    n = int(rng.integers(2, max_words + 1))
+    words = rng.choice(P_NAME_WORDS, size=n)
+    return " ".join(words)
+
+
+@dataclass(frozen=True)
+class TpchSizes:
+    """Row counts per table at a scale factor."""
+
+    customers: int
+    orders: int
+    parts: int
+    suppliers: int
+
+    @classmethod
+    def at(cls, scale_factor: float) -> "TpchSizes":
+        return cls(
+            customers=max(1, int(150_000 * scale_factor)),
+            orders=max(1, int(1_500_000 * scale_factor)),
+            parts=max(1, int(200_000 * scale_factor)),
+            suppliers=max(1, int(10_000 * scale_factor)),
+        )
+
+
+class TpchGenerator:
+    """Deterministic TPC-H data generator.
+
+    >>> gen = TpchGenerator(scale_factor=0.001)
+    >>> len(gen.customer()) == 150
+    True
+    """
+
+    def __init__(self, scale_factor: float = 0.01, seed: int | None = None):
+        if scale_factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {scale_factor}")
+        self.scale_factor = scale_factor
+        self.sizes = TpchSizes.at(scale_factor)
+        self._seed = seed if seed is not None else 0
+        self._cache: dict[str, list[tuple]] = {}
+
+    def _rng(self, table: str):
+        return np_rng(derive_seed(self._seed, "tpch", table, self.scale_factor))
+
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> list[tuple]:
+        """Rows of any TPC-H table, cached per generator."""
+        if name not in self._cache:
+            builder = getattr(self, name, None)
+            if builder is None or name not in TABLE_SCHEMAS:
+                raise ValueError(f"unknown TPC-H table {name!r}")
+            return builder()
+        return self._cache[name]
+
+    def customer(self) -> list[tuple]:
+        if "customer" in self._cache:
+            return self._cache["customer"]
+        rng = self._rng("customer")
+        n = self.sizes.customers
+        acctbal = rng.uniform(-999.99, 9999.99, n).round(2)
+        nations = rng.integers(0, len(NATIONS), n)
+        segments = rng.choice(SEGMENTS, n)
+        rows = []
+        for i in range(n):
+            key = i + 1
+            rows.append((
+                key,
+                f"Customer#{key:09d}",
+                f"addr-{key}",
+                int(nations[i]),
+                f"{10 + int(nations[i])}-{key % 999:03d}-{key % 9999:04d}",
+                float(acctbal[i]),
+                str(segments[i]),
+                _comment(rng),
+            ))
+        self._cache["customer"] = rows
+        return rows
+
+    def orders(self) -> list[tuple]:
+        if "orders" in self._cache:
+            return self._cache["orders"]
+        rng = self._rng("orders")
+        n = self.sizes.orders
+        # Per spec only 2/3 of customers have orders.
+        custkeys = rng.integers(1, max(self.sizes.customers, 2), n)
+        dates = rng.integers(0, _EPOCH_SPAN - 150, n)
+        totals = rng.uniform(850.0, 450_000.0, n).round(2)
+        priorities = rng.choice(PRIORITIES, n)
+        statuses = rng.choice(("O", "F", "P"), n, p=(0.49, 0.49, 0.02))
+        rows = []
+        for i in range(n):
+            key = i + 1
+            rows.append((
+                key,
+                int(custkeys[i]),
+                str(statuses[i]),
+                float(totals[i]),
+                _date_str(dates[i]),
+                str(priorities[i]),
+                f"Clerk#{int(rng.integers(1, 1000)):09d}",
+                0,
+                _comment(rng),
+            ))
+        self._cache["orders"] = rows
+        return rows
+
+    def lineitem(self) -> list[tuple]:
+        if "lineitem" in self._cache:
+            return self._cache["lineitem"]
+        orders = self.orders()
+        rng = self._rng("lineitem")
+        n_parts = self.sizes.parts
+        n_supps = self.sizes.suppliers
+        rows = []
+        line_counts = np_rng(derive_seed(self._seed, "tpch", "linecount")).integers(
+            1, 8, len(orders)
+        )
+        for (o_key, _, _, _, o_date, *_), n_lines in zip(orders, line_counts):
+            base = datetime.date.fromisoformat(o_date)
+            for line_no in range(1, int(n_lines) + 1):
+                partkey = int(rng.integers(1, n_parts + 1))
+                quantity = float(rng.integers(1, 51))
+                retail = _retail_price(partkey)
+                extended = round(quantity * retail, 2)
+                ship = base + datetime.timedelta(days=int(rng.integers(1, 122)))
+                commit = base + datetime.timedelta(days=int(rng.integers(30, 91)))
+                receipt = ship + datetime.timedelta(days=int(rng.integers(1, 31)))
+                returnflag = "N" if ship > datetime.date(1995, 6, 17) else str(
+                    rng.choice(("R", "A"))
+                )
+                rows.append((
+                    o_key,
+                    partkey,
+                    int(rng.integers(1, n_supps + 1)),
+                    line_no,
+                    quantity,
+                    extended,
+                    float(rng.integers(0, 11)) / 100.0,
+                    float(rng.integers(0, 9)) / 100.0,
+                    returnflag,
+                    "F" if ship <= datetime.date(1995, 6, 17) else "O",
+                    ship.isoformat(),
+                    commit.isoformat(),
+                    receipt.isoformat(),
+                    str(rng.choice(SHIP_INSTRUCT)),
+                    str(rng.choice(SHIP_MODES)),
+                    _comment(rng, 3),
+                ))
+        self._cache["lineitem"] = rows
+        return rows
+
+    def part(self) -> list[tuple]:
+        if "part" in self._cache:
+            return self._cache["part"]
+        rng = self._rng("part")
+        n = self.sizes.parts
+        rows = []
+        for i in range(n):
+            key = i + 1
+            m = int(rng.integers(1, 6))
+            b = int(rng.integers(1, 6))
+            p_type = (
+                f"{rng.choice(TYPE_1)} {rng.choice(TYPE_2)} {rng.choice(TYPE_3)}"
+            )
+            container = f"{rng.choice(CONTAINER_1)} {rng.choice(CONTAINER_2)}"
+            name = " ".join(rng.choice(P_NAME_WORDS, size=5))
+            rows.append((
+                key,
+                name,
+                f"Manufacturer#{m}",
+                f"Brand#{m}{b}",
+                p_type,
+                int(rng.integers(1, 51)),
+                container,
+                _retail_price(key),
+                _comment(rng),
+            ))
+        self._cache["part"] = rows
+        return rows
+
+    def supplier(self) -> list[tuple]:
+        if "supplier" in self._cache:
+            return self._cache["supplier"]
+        rng = self._rng("supplier")
+        n = self.sizes.suppliers
+        rows = []
+        for i in range(n):
+            key = i + 1
+            nation = int(rng.integers(0, len(NATIONS)))
+            rows.append((
+                key,
+                f"Supplier#{key:09d}",
+                f"s-addr-{key}",
+                nation,
+                f"{10 + nation}-{key % 999:03d}-{key % 9999:04d}",
+                float(rng.uniform(-999.99, 9999.99).__round__(2)),
+                _comment(rng),
+            ))
+        self._cache["supplier"] = rows
+        return rows
+
+    def partsupp(self) -> list[tuple]:
+        if "partsupp" in self._cache:
+            return self._cache["partsupp"]
+        rng = self._rng("partsupp")
+        n_supps = self.sizes.suppliers
+        rows = []
+        for partkey in range(1, self.sizes.parts + 1):
+            for j in range(4):
+                suppkey = ((partkey + j * (n_supps // 4 + 1)) % n_supps) + 1
+                rows.append((
+                    partkey,
+                    suppkey,
+                    int(rng.integers(1, 10_000)),
+                    float(rng.uniform(1.0, 1000.0).__round__(2)),
+                    _comment(rng, 3),
+                ))
+        self._cache["partsupp"] = rows
+        return rows
+
+    def nation(self) -> list[tuple]:
+        return [
+            (i, name, region, f"nation {name.lower()}")
+            for i, (name, region) in enumerate(NATIONS)
+        ]
+
+    def region(self) -> list[tuple]:
+        return [(i, name, f"region {name.lower()}") for i, name in enumerate(REGIONS)]
+
+
+def _retail_price(partkey: int) -> float:
+    """Spec formula: 90000 + ((partkey/10) % 20001) + 100*(partkey % 1000), /100."""
+    return (90_000 + ((partkey // 10) % 20_001) + 100 * (partkey % 1_000)) / 100.0

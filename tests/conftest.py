@@ -1,0 +1,45 @@
+"""Shared fixtures: a small TPC-H dataset loaded into a fresh context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.context import CloudContext
+from repro.engine.catalog import Catalog
+from repro.queries.dataset import load_tpch
+from repro.workloads.tpch import TpchGenerator
+
+TEST_SCALE_FACTOR = 0.002
+
+
+@pytest.fixture(scope="session")
+def tpch_rows():
+    """Generated TPC-H rows shared across the whole test session."""
+    gen = TpchGenerator(scale_factor=TEST_SCALE_FACTOR)
+    return {
+        name: gen.table(name)
+        for name in ("customer", "orders", "lineitem", "part")
+    }
+
+
+@pytest.fixture()
+def ctx():
+    return CloudContext()
+
+
+@pytest.fixture(scope="module")
+def tpch_env():
+    """(ctx, catalog) with the four main TPC-H tables loaded.
+
+    Module-scoped: loading is the expensive part and queries do not
+    mutate data.  Tests needing isolation create their own context.
+    """
+    ctx = CloudContext()
+    catalog = Catalog()
+    load_tpch(
+        ctx,
+        catalog,
+        TEST_SCALE_FACTOR,
+        index_columns={"customer": ["c_custkey", "c_acctbal"]},
+    )
+    return ctx, catalog

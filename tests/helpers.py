@@ -1,0 +1,31 @@
+"""Shared assertion helpers for the test suite."""
+
+from __future__ import annotations
+
+
+def approx_rows(rows, places=4):
+    """Normalize rows for order-insensitive comparison with FP tolerance."""
+    out = []
+    for row in rows:
+        out.append(
+            tuple(
+                round(v, places) if isinstance(v, float) else v for v in row
+            )
+        )
+    return sorted(out, key=repr)
+
+
+def assert_rows_close(a, b, rel=1e-9):
+    """Order-insensitive row comparison with relative FP tolerance."""
+    sa = sorted(a, key=repr)
+    sb = sorted(b, key=repr)
+    assert len(sa) == len(sb), f"row counts differ: {len(sa)} vs {len(sb)}"
+    for ra, rb in zip(sa, sb):
+        assert len(ra) == len(rb), f"row widths differ: {ra} vs {rb}"
+        for va, vb in zip(ra, rb):
+            if isinstance(va, float) and isinstance(vb, float):
+                assert abs(va - vb) <= rel * max(abs(va), abs(vb), 1.0), (
+                    f"{va} != {vb}"
+                )
+            else:
+                assert va == vb, f"{va!r} != {vb!r}"

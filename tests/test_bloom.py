@@ -1,0 +1,191 @@
+"""Tests for Bloom filters: sizing formulas, SQL rendering, adaptation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom.filter import (
+    BloomFilter,
+    build_bloom_filter_within_limit,
+    optimal_num_bits,
+    optimal_num_hashes,
+)
+from repro.bloom.universal_hash import (
+    UNIVERSE_PRIME,
+    is_prime,
+    make_hash_family,
+    next_prime,
+)
+from repro.expr.compiler import compile_predicate
+from repro.sqlparser.parser import parse_expression
+
+
+class TestPrimes:
+    def test_is_prime_basics(self):
+        assert [n for n in range(2, 30) if is_prime(n)] == [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+        ]
+
+    def test_next_prime(self):
+        assert next_prime(68) == 71
+        assert next_prime(97) == 97
+        assert next_prime(1) == 2
+
+    def test_universe_prime_is_prime(self):
+        assert is_prime(UNIVERSE_PRIME)
+
+
+class TestSizingFormulas:
+    """The paper's formulas: k = log2(1/p), m = s*|ln p|/(ln 2)^2."""
+
+    def test_num_hashes_examples(self):
+        assert optimal_num_hashes(0.01) == 7   # log2(100) = 6.64
+        assert optimal_num_hashes(0.5) == 1
+        assert optimal_num_hashes(0.0001) == 13
+
+    def test_num_bits_formula(self):
+        s, p = 1000, 0.01
+        expected = math.ceil(s * abs(math.log(p)) / math.log(2) ** 2)
+        assert optimal_num_bits(s, p) == expected
+
+    def test_bits_grow_as_fpr_drops(self):
+        assert optimal_num_bits(1000, 0.001) > optimal_num_bits(1000, 0.01)
+
+    def test_invalid_fpr_rejected(self):
+        for p in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(ValueError):
+                optimal_num_hashes(p)
+
+    def test_minimums(self):
+        assert optimal_num_bits(0, 0.5) == 1
+        assert optimal_num_hashes(0.9) == 1
+
+
+class TestHashFamily:
+    def test_values_in_range(self):
+        family = make_hash_family(5, 64, seed=1)
+        for h in family:
+            for x in (0, 1, 17, 10**9):
+                assert 0 <= h.apply(x) < 64
+
+    def test_deterministic_by_seed(self):
+        a = make_hash_family(3, 64, seed=42)
+        b = make_hash_family(3, 64, seed=42)
+        assert a == b
+
+    def test_sql_rendering_matches_apply(self):
+        (h,) = make_hash_family(1, 68, seed=7)
+        predicate = compile_predicate(
+            parse_expression(f"{h.to_sql('x')} = {h.apply(12345) + 1}"),
+            {"x": 0},
+        )
+        assert predicate((12345,))
+
+
+class TestBloomFilter:
+    def test_no_false_negatives_small(self):
+        bloom = BloomFilter.build(range(100), fpr=0.01, seed=1)
+        assert all(bloom.might_contain(k) for k in range(100))
+
+    def test_observed_fpr_near_target(self):
+        keys = list(range(0, 5000, 5))
+        bloom = BloomFilter.build(keys, fpr=0.01, seed=1)
+        probes = [k for k in range(100_000, 120_000)]
+        false_positives = sum(bloom.might_contain(k) for k in probes)
+        assert false_positives / len(probes) < 0.05  # target 0.01, slack 5x
+
+    def test_bit_string_is_zeros_and_ones(self):
+        bloom = BloomFilter.build([1, 2, 3], fpr=0.1, seed=1)
+        assert set(bloom.bit_string()) <= {"0", "1"}
+        assert len(bloom.bit_string()) == bloom.num_bits
+
+    def test_non_integer_key_rejected(self):
+        bloom = BloomFilter.with_capacity(10, 0.1)
+        with pytest.raises(TypeError):
+            bloom.add("string-key")
+        with pytest.raises(TypeError):
+            bloom.add(True)
+
+    def test_sql_predicate_shape(self):
+        bloom = BloomFilter.build([5, 6], fpr=0.1, seed=1)
+        sql = bloom.to_sql_predicate("o_custkey")
+        assert sql.count("SUBSTRING(") == bloom.num_hashes
+        assert "CAST(o_custkey AS INT)" in sql
+        assert sql.count(" AND ") == bloom.num_hashes - 1
+
+    def test_sql_predicate_agrees_with_might_contain(self):
+        """The rendered SQL, run through the expression compiler, must
+        classify keys exactly like the in-memory filter."""
+        bloom = BloomFilter.build([3, 17, 91], fpr=0.05, seed=2)
+        predicate = compile_predicate(
+            parse_expression(bloom.to_sql_predicate("k", cast_to_int=False)),
+            {"k": 0},
+        )
+        for key in list(range(200)) + [10**6, 10**7 + 3]:
+            assert predicate((key,)) == bloom.might_contain(key), key
+
+
+class TestLimitAdaptation:
+    """Section V-B1: degrade FPR until the SQL fits, else no filter."""
+
+    def test_fits_first_try(self):
+        outcome = build_bloom_filter_within_limit(
+            list(range(100)), 0.01, "k", seed=1
+        )
+        assert outcome.bloom is not None
+        assert outcome.achieved_fpr == 0.01
+        assert outcome.attempts == [0.01]
+
+    def test_degrades_fpr_under_tight_limit(self):
+        keys = list(range(2000))
+        outcome = build_bloom_filter_within_limit(
+            keys, 0.0001, "k", limit_bytes=40_000, seed=1
+        )
+        assert outcome.bloom is not None
+        assert outcome.achieved_fpr > 0.0001
+        assert len(outcome.attempts) > 1
+
+    def test_falls_back_to_none_when_nothing_fits(self):
+        keys = list(range(5000))
+        outcome = build_bloom_filter_within_limit(
+            keys, 0.01, "k", limit_bytes=500, seed=1
+        )
+        assert outcome.bloom is None
+        assert outcome.achieved_fpr == 1.0
+
+    def test_overhead_counts_against_limit(self):
+        keys = list(range(500))
+        free = build_bloom_filter_within_limit(
+            keys, 0.01, "k", sql_overhead_bytes=0, limit_bytes=8000, seed=1
+        )
+        cramped = build_bloom_filter_within_limit(
+            keys, 0.01, "k", sql_overhead_bytes=7500, limit_bytes=8000, seed=1
+        )
+        assert free.achieved_fpr <= cramped.achieved_fpr
+        assert len(cramped.attempts) >= len(free.attempts)
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(st.integers(0, 2**31 - 2), min_size=1, max_size=300, unique=True),
+    st.sampled_from([0.001, 0.01, 0.1, 0.5]),
+)
+def test_property_no_false_negatives(keys, fpr):
+    """A Bloom filter NEVER reports an inserted key as absent."""
+    bloom = BloomFilter.build(keys, fpr=fpr, seed=3)
+    assert all(bloom.might_contain(k) for k in keys)
+
+
+@settings(max_examples=20)
+@given(st.lists(st.integers(0, 10**6), min_size=1, max_size=50, unique=True))
+def test_property_sql_equivalence(keys):
+    """SQL-rendered membership == in-memory membership for random keys."""
+    bloom = BloomFilter.build(keys, fpr=0.01, seed=4)
+    predicate = compile_predicate(
+        parse_expression(bloom.to_sql_predicate("k", cast_to_int=False)),
+        {"k": 0},
+    )
+    for probe in keys + [k + 1 for k in keys[:10]]:
+        assert predicate((probe,)) == bloom.might_contain(probe)

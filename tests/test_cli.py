@@ -1,0 +1,71 @@
+"""Tests for the command-line interface and the explain report."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_tables_command(self, capsys):
+        assert main(["tables", "--scale-factor", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "lineitem" in out
+        assert "customer" in out
+
+    def test_query_command_optimized(self, capsys):
+        code = main([
+            "query",
+            "SELECT COUNT(*) AS n FROM customer",
+            "--scale-factor", "0.001",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimized" in out
+        assert "(150,)" in out
+
+    def test_query_command_compare(self, capsys):
+        code = main([
+            "query",
+            "SELECT SUM(l_quantity) AS q FROM lineitem WHERE l_quantity < 3",
+            "--scale-factor", "0.001",
+            "--compare",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "--- baseline ---" in out
+        assert "--- optimized ---" in out
+
+    def test_experiment_unknown_name_fails(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExplain:
+    def test_explain_contains_phases_and_cost(self):
+        from repro import PushdownDB
+        from repro.workloads.tpch import CUSTOMER_SCHEMA, TpchGenerator
+
+        db = PushdownDB()
+        gen = TpchGenerator(scale_factor=0.001)
+        db.load_table("customer", gen.customer(), CUSTOMER_SCHEMA)
+        execution = db.execute("SELECT COUNT(*) AS n FROM customer")
+        report = execution.explain(db.ctx.perf)
+        assert "strategy:" in report
+        assert "phase" in report
+        assert "cost" in report
+        assert "1 row(s)" in report
+
+    def test_explain_without_perf(self):
+        from repro import PushdownDB
+        from repro.workloads.tpch import CUSTOMER_SCHEMA, TpchGenerator
+
+        db = PushdownDB()
+        gen = TpchGenerator(scale_factor=0.001)
+        db.load_table("customer", gen.customer(), CUSTOMER_SCHEMA)
+        execution = db.execute("SELECT c_custkey FROM customer LIMIT 3")
+        report = execution.explain()
+        assert "3 row(s)" in report

@@ -1,0 +1,87 @@
+"""Tests for the common utilities (units, RNG derivation, errors)."""
+
+import pytest
+
+from repro.common.errors import (
+    ExpressionLimitExceededError,
+    NoSuchBucketError,
+    NoSuchKeyError,
+    ReproError,
+    SQLSyntaxError,
+)
+from repro.common.rng import DEFAULT_SEED, derive_seed, np_rng, py_rng
+from repro.common.units import (
+    GB,
+    MB,
+    bytes_to_gb,
+    human_bytes,
+    human_dollars,
+    human_seconds,
+)
+
+
+class TestUnits:
+    def test_decimal_not_binary(self):
+        assert GB == 10**9
+        assert MB == 10**6
+
+    def test_bytes_to_gb(self):
+        assert bytes_to_gb(2 * GB) == pytest.approx(2.0)
+
+    def test_human_bytes(self):
+        assert human_bytes(0) == "0 B"
+        assert human_bytes(999) == "999 B"
+        assert human_bytes(1500) == "1.50 KB"
+        assert human_bytes(2.5 * GB) == "2.50 GB"
+
+    def test_human_seconds(self):
+        assert human_seconds(0.25) == "250 ms"
+        assert human_seconds(12.3456) == "12.35 s"
+        assert human_seconds(600) == "10.0 min"
+        with pytest.raises(ValueError):
+            human_seconds(-1)
+
+    def test_human_dollars(self):
+        assert human_dollars(0.05) == "$0.0500"
+        assert human_dollars(0.000123) == "$0.000123"
+
+
+class TestRng:
+    def test_default_seeds_deterministic(self):
+        assert py_rng().random() == py_rng().random()
+        assert np_rng().random() == np_rng().random()
+
+    def test_explicit_seed_differs_from_default(self):
+        assert py_rng(1).random() != py_rng(DEFAULT_SEED).random()
+
+    def test_derive_seed_stable_and_label_sensitive(self):
+        a = derive_seed(42, "tpch", "customer")
+        assert a == derive_seed(42, "tpch", "customer")
+        assert a != derive_seed(42, "tpch", "orders")
+        assert a != derive_seed(43, "tpch", "customer")
+
+    def test_derived_seed_in_range(self):
+        assert 0 <= derive_seed(0, "x") < 2**63
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for cls in (SQLSyntaxError, NoSuchBucketError, NoSuchKeyError,
+                    ExpressionLimitExceededError):
+            assert issubclass(cls, ReproError)
+
+    def test_syntax_error_position_rendered(self):
+        err = SQLSyntaxError("bad token", position=7)
+        assert "position 7" in str(err)
+        assert err.position == 7
+
+    def test_expression_limit_carries_sizes(self):
+        err = ExpressionLimitExceededError(300_000, 262_144)
+        assert err.size == 300_000
+        assert err.limit == 262_144
+        assert "262144" in str(err)
+
+    def test_bucket_key_errors_carry_names(self):
+        assert NoSuchBucketError("b").bucket == "b"
+        err = NoSuchKeyError("b", "k")
+        assert (err.bucket, err.key) == ("b", "k")

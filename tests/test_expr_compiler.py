@@ -1,0 +1,225 @@
+"""Unit + property tests for the expression compiler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import TypeMismatchError, UnsupportedFeatureError
+from repro.expr.compiler import compile_expr, compile_predicate, like_to_regex
+from repro.sqlparser.parser import parse_expression
+
+SCHEMA = {"a": 0, "b": 1, "s": 2, "d": 3}
+
+
+def ev(sql, row=(0, 0, "", "1995-01-01")):
+    return compile_expr(parse_expression(sql), SCHEMA)(row)
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert ev("1 + 2 * 3") == 7
+        assert ev("10 - 4") == 6
+        assert ev("7 % 3") == 1
+        assert ev("-a", (5, 0, "", "")) == -5
+
+    def test_division_int_exact_stays_int(self):
+        assert ev("6 / 3") == 2
+        assert isinstance(ev("6 / 3"), int)
+
+    def test_division_inexact_is_float(self):
+        assert ev("7 / 2") == 3.5
+
+    def test_division_by_zero_is_null(self):
+        assert ev("1 / 0") is None
+
+    def test_column_lookup(self):
+        assert ev("a + b", (2, 3, "", "")) == 5
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(UnsupportedFeatureError, match="unknown column"):
+            ev("nope")
+
+    def test_arithmetic_on_string_raises(self):
+        with pytest.raises(TypeMismatchError):
+            ev("s + 1", (0, 0, "x", ""))
+
+
+class TestNullSemantics:
+    def test_null_propagates_through_arithmetic(self):
+        assert ev("a + 1", (None, 0, "", "")) is None
+
+    def test_null_comparison_is_null(self):
+        assert ev("a = 1", (None, 0, "", "")) is None
+
+    def test_predicate_treats_null_as_false(self):
+        pred = compile_predicate(parse_expression("a = 1"), SCHEMA)
+        assert pred((None, 0, "", "")) is False
+
+    def test_and_or_three_valued(self):
+        assert ev("a = 1 AND b = 1", (None, 1, "", "")) is None
+        assert ev("a = 1 AND b = 2", (None, 1, "", "")) is False
+        assert ev("a = 1 OR b = 1", (None, 1, "", "")) is True
+        assert ev("a = 1 OR b = 2", (None, 1, "", "")) is None
+
+    def test_is_null(self):
+        assert ev("a IS NULL", (None, 0, "", "")) is True
+        assert ev("a IS NOT NULL", (None, 0, "", "")) is False
+
+    def test_coalesce(self):
+        assert ev("COALESCE(a, b, 9)", (None, None, "", "")) == 9
+        assert ev("COALESCE(a, 5)", (3, 0, "", "")) == 3
+
+    def test_aggregates_skip_nulls_in_count(self):
+        # COUNT semantics live in aggregates; here NULL in IN-list operand.
+        assert ev("a IN (1, 2)", (None, 0, "", "")) is None
+
+
+class TestComparisons:
+    def test_numeric_comparison(self):
+        assert ev("a < b", (1, 2, "", "")) is True
+
+    def test_string_comparison_lexical(self):
+        assert ev("s < 'b'", (0, 0, "a", "")) is True
+
+    def test_date_strings_compare_chronologically(self):
+        assert ev("d < '1996-01-01'") is True
+        assert ev("d >= '1995-01-01'") is True
+
+    def test_string_number_coercion(self):
+        assert ev("s = 5", (0, 0, "5", "")) is True
+
+    def test_incomparable_raises(self):
+        with pytest.raises(TypeMismatchError):
+            ev("s = 5", (0, 0, "abc", ""))
+
+    def test_between_inclusive(self):
+        assert ev("a BETWEEN 1 AND 3", (1, 0, "", "")) is True
+        assert ev("a BETWEEN 1 AND 3", (3, 0, "", "")) is True
+        assert ev("a BETWEEN 1 AND 3", (4, 0, "", "")) is False
+
+    def test_in_list(self):
+        assert ev("a IN (1, 2, 3)", (2, 0, "", "")) is True
+        assert ev("a NOT IN (1, 2, 3)", (9, 0, "", "")) is True
+
+
+class TestCase:
+    def test_first_matching_when_wins(self):
+        sql = "CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' ELSE 'many' END"
+        assert ev(sql, (1, 0, "", "")) == "one"
+        assert ev(sql, (2, 0, "", "")) == "two"
+        assert ev(sql, (9, 0, "", "")) == "many"
+
+    def test_no_else_yields_null(self):
+        assert ev("CASE WHEN a = 1 THEN 'x' END", (2, 0, "", "")) is None
+
+
+class TestFunctions:
+    def test_substring_one_based(self):
+        assert ev("SUBSTRING('abcdef', 2, 3)") == "bcd"
+
+    def test_substring_without_length(self):
+        assert ev("SUBSTRING('abcdef', 4)") == "def"
+
+    def test_substring_bloom_shape(self):
+        # The exact shape of the paper's Listing 1, evaluated.
+        assert ev("SUBSTRING('101', ((1 * a + 0) % 97) % 3 + 1, 1)", (2, 0, "", "")) == "1"
+
+    def test_substring_start_before_one(self):
+        assert ev("SUBSTRING('abc', 0, 2)") == "a"
+
+    def test_substring_negative_length_raises(self):
+        with pytest.raises(TypeMismatchError):
+            ev("SUBSTRING('abc', 1, -1)")
+
+    def test_string_functions(self):
+        assert ev("UPPER('ab')") == "AB"
+        assert ev("LOWER('AB')") == "ab"
+        assert ev("TRIM('  x ')") == "x"
+        assert ev("LENGTH('abc')") == 3
+
+    def test_math_functions(self):
+        assert ev("ABS(-3)") == 3
+        assert ev("FLOOR(2.7)") == 2
+        assert ev("CEIL(2.1)") == 3
+        assert ev("MOD(7, 3)") == 1
+        assert ev("SQRT(9)") == 3.0
+
+    def test_year(self):
+        assert ev("YEAR(d)") == 1995
+
+    def test_date_validates(self):
+        with pytest.raises(TypeMismatchError):
+            ev("DATE('not-a-date')")
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(UnsupportedFeatureError):
+            ev("FROBNICATE(1)")
+
+    def test_concat(self):
+        assert ev("'a' || 'b'") == "ab"
+
+
+class TestCast:
+    def test_cast_string_to_int(self):
+        assert ev("CAST(s AS INT)", (0, 0, " 42 ", "")) == 42
+
+    def test_cast_float_to_int_truncates(self):
+        assert ev("CAST(2.9 AS INT)") == 2
+
+    def test_cast_to_float(self):
+        assert ev("CAST('2.5' AS FLOAT)") == 2.5
+
+    def test_cast_bad_value_raises(self):
+        with pytest.raises(TypeMismatchError):
+            ev("CAST('xyz' AS INT)")
+
+    def test_cast_null_stays_null(self):
+        assert ev("CAST(a AS INT)", (None, 0, "", "")) is None
+
+
+class TestLike:
+    def test_percent_wildcard(self):
+        assert ev("s LIKE 'PROMO%'", (0, 0, "PROMO BRUSHED TIN", "")) is True
+        assert ev("s LIKE 'PROMO%'", (0, 0, "LARGE TIN", "")) is False
+
+    def test_underscore_wildcard(self):
+        assert ev("s LIKE 'a_c'", (0, 0, "abc", "")) is True
+        assert ev("s LIKE 'a_c'", (0, 0, "abbc", "")) is False
+
+    def test_regex_metacharacters_escaped(self):
+        assert ev("s LIKE 'a.c'", (0, 0, "abc", "")) is False
+        assert ev("s LIKE 'a.c'", (0, 0, "a.c", "")) is True
+
+    def test_like_to_regex_anchored(self):
+        assert like_to_regex("b%").match("abc") is None
+
+
+@given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+def test_property_arithmetic_matches_python(a, b):
+    """Compiled +,-,* agree with Python over random ints."""
+    row = (a, b, "", "")
+    assert ev("a + b", row) == a + b
+    assert ev("a - b", row) == a - b
+    assert ev("a * b", row) == a * b
+
+
+@given(st.integers(0, 10**9), st.integers(1, 997), st.integers(0, 997))
+def test_property_modulo_chain_matches_python(x, m, b):
+    """The Bloom hash arithmetic shape agrees with Python semantics."""
+    row = (x, 0, "", "")
+    expected = ((3 * x + b) % 997) % max(m, 1) + 1
+    got = ev(f"((3 * a + {b}) % 997) % {max(m, 1)} + 1", row)
+    assert got == expected
+
+
+@given(st.text(alphabet="ab%_c", max_size=8), st.text(alphabet="abc", max_size=8))
+def test_property_like_matches_reference(pattern, text):
+    """LIKE agrees with a simple reference implementation."""
+    import fnmatch
+
+    reference = fnmatch.fnmatchcase(
+        text, pattern.replace("%", "*").replace("_", "?")
+    )
+    row = (0, 0, text, "")
+    escaped = pattern.replace("'", "''")
+    assert ev(f"s LIKE '{escaped}'", row) is reference

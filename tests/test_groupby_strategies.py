@@ -1,0 +1,188 @@
+"""Tests for the four group-by strategies (paper Section VI)."""
+
+import pytest
+
+from helpers import approx_rows
+from repro.cloud.context import CloudContext
+from repro.common.errors import PlanError
+from repro.engine.catalog import Catalog, load_table
+from repro.sqlparser.parser import parse_expression
+from repro.strategies import groupby as gb
+from repro.strategies.groupby import (
+    AggSpec,
+    GroupByQuery,
+    filtered_group_by,
+    hybrid_group_by,
+    s3_side_group_by,
+    server_side_group_by,
+)
+from repro.workloads.synthetic import (
+    groupby_schema,
+    skewed_groupby_table,
+    uniform_groupby_table,
+)
+
+NUM_ROWS = 4_000
+
+
+@pytest.fixture(scope="module")
+def env():
+    ctx, catalog = CloudContext(), Catalog()
+    load_table(
+        ctx, catalog, "uniform", uniform_groupby_table(NUM_ROWS, seed=5),
+        groupby_schema(), bucket="gb", partitions=4,
+    )
+    load_table(
+        ctx, catalog, "skewed", skewed_groupby_table(NUM_ROWS, theta=1.3, seed=5),
+        groupby_schema(), bucket="gb", partitions=4,
+    )
+    return ctx, catalog
+
+
+def base_query(table="uniform", group="g2", funcs=("sum",)):
+    return GroupByQuery(
+        table=table,
+        group_columns=[group],
+        aggregates=[AggSpec(f, "v0") for f in funcs],
+    )
+
+
+ALL = [server_side_group_by, filtered_group_by, s3_side_group_by, hybrid_group_by]
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("group", ["g0", "g2", "g4"])
+    def test_all_strategies_agree(self, env, group):
+        ctx, catalog = env
+        query = base_query(group=group)
+        reference = None
+        for fn in ALL:
+            rows = approx_rows(fn(ctx, catalog, query).rows)
+            if reference is None:
+                reference = rows
+            else:
+                assert rows == reference, fn.__name__
+
+    @pytest.mark.parametrize("funcs", [
+        ("sum", "count"), ("min", "max"), ("avg",), ("sum", "avg", "count"),
+    ])
+    def test_aggregate_functions(self, env, funcs):
+        ctx, catalog = env
+        query = base_query(funcs=funcs)
+        reference = approx_rows(server_side_group_by(ctx, catalog, query).rows)
+        for fn in (filtered_group_by, s3_side_group_by, hybrid_group_by):
+            assert approx_rows(fn(ctx, catalog, query).rows) == reference, fn.__name__
+
+    def test_skewed_data_agreement(self, env):
+        ctx, catalog = env
+        query = base_query(table="skewed", group="g0", funcs=("sum", "count"))
+        reference = approx_rows(filtered_group_by(ctx, catalog, query).rows)
+        assert approx_rows(hybrid_group_by(ctx, catalog, query).rows) == reference
+
+    def test_predicate_respected(self, env):
+        ctx, catalog = env
+        query = GroupByQuery(
+            table="uniform",
+            group_columns=["g1"],
+            aggregates=[AggSpec("count", "1", "n")],
+            predicate=parse_expression("v0 < 500"),
+        )
+        reference = approx_rows(server_side_group_by(ctx, catalog, query).rows)
+        for fn in (filtered_group_by, s3_side_group_by):
+            assert approx_rows(fn(ctx, catalog, query).rows) == reference
+
+    def test_multi_column_groups(self, env):
+        ctx, catalog = env
+        query = GroupByQuery(
+            table="uniform",
+            group_columns=["g0", "g1"],
+            aggregates=[AggSpec("sum", "v1")],
+        )
+        reference = approx_rows(server_side_group_by(ctx, catalog, query).rows)
+        assert approx_rows(s3_side_group_by(ctx, catalog, query).rows) == reference
+
+    def test_expression_aggregate(self, env):
+        ctx, catalog = env
+        query = GroupByQuery(
+            table="uniform",
+            group_columns=["g0"],
+            aggregates=[AggSpec("sum", "v0 * (1 - v1 / 1000)", "weird")],
+        )
+        reference = approx_rows(server_side_group_by(ctx, catalog, query).rows, places=2)
+        assert approx_rows(
+            s3_side_group_by(ctx, catalog, query).rows, places=2
+        ) == reference
+
+
+class TestS3SideMechanics:
+    def test_two_phases(self, env):
+        ctx, catalog = env
+        execution = s3_side_group_by(ctx, catalog, base_query())
+        assert [p.name for p in execution.phases] == ["collect-groups", "s3-aggregate"]
+
+    def test_chunking_under_tiny_budget(self, env, monkeypatch):
+        """Even with a tiny SQL budget, chunked pushdown stays correct."""
+        ctx, catalog = env
+        monkeypatch.setattr(gb, "_SQL_BUDGET_BYTES", 600)
+        query = base_query(group="g4", funcs=("sum", "count"))
+        reference = approx_rows(server_side_group_by(ctx, catalog, query).rows)
+        chunked = approx_rows(s3_side_group_by(ctx, catalog, query).rows)
+        assert chunked == reference
+
+    def test_returned_bytes_tiny(self, env):
+        ctx, catalog = env
+        table = catalog.get("uniform")
+        filtered = filtered_group_by(ctx, catalog, base_query())
+        pushed = s3_side_group_by(ctx, catalog, base_query())
+        assert pushed.phases[1].select_returned_bytes < (
+            filtered.bytes_returned / 10
+        )
+        assert pushed.bytes_scanned >= 2 * table.total_bytes  # two scans
+
+
+class TestHybridMechanics:
+    def test_single_group_column_required(self, env):
+        ctx, catalog = env
+        query = GroupByQuery(
+            table="uniform", group_columns=["g0", "g1"],
+            aggregates=[AggSpec("sum", "v0")],
+        )
+        with pytest.raises(PlanError):
+            hybrid_group_by(ctx, catalog, query)
+
+    def test_split_details_reported(self, env):
+        ctx, catalog = env
+        execution = hybrid_group_by(
+            ctx, catalog, base_query(table="skewed", group="g0"), s3_groups=6
+        )
+        assert execution.details["large_groups"] == 6
+        assert execution.details["s3_side_seconds"] > 0
+        assert execution.details["server_side_seconds"] > 0
+
+    def test_more_pushed_groups_fewer_tail_rows(self, env):
+        ctx, catalog = env
+        query = base_query(table="skewed", group="g0")
+        small = hybrid_group_by(ctx, catalog, query, s3_groups=2)
+        large = hybrid_group_by(ctx, catalog, query, s3_groups=10)
+        assert large.details["tail_rows"] < small.details["tail_rows"]
+
+    def test_sample_fraction_parameter(self, env):
+        ctx, catalog = env
+        query = base_query(table="skewed", group="g0")
+        out = hybrid_group_by(ctx, catalog, query, sample_fraction=0.10)
+        reference = approx_rows(server_side_group_by(ctx, catalog, query).rows)
+        assert approx_rows(out.rows) == reference
+
+
+class TestAggSpec:
+    def test_output_name_default_and_override(self):
+        assert AggSpec("sum", "v0").output_name == "sum_v0"
+        assert AggSpec("sum", "v0", "total").output_name == "total"
+
+    def test_expression_columns_resolved(self):
+        spec = AggSpec("sum", "a * (1 - b)")
+        assert spec.referenced_columns() == {"a", "b"}
+
+    def test_unknown_func_rejected(self):
+        with pytest.raises(PlanError):
+            AggSpec("median", "v0")

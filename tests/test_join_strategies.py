@@ -1,0 +1,128 @@
+"""Tests for baseline / filtered / Bloom joins (paper Section V)."""
+
+import pytest
+
+from helpers import assert_rows_close
+from repro.common.errors import PlanError
+from repro.queries.common import items
+from repro.sqlparser.parser import parse_expression
+from repro.strategies.join import (
+    JoinQuery,
+    baseline_join,
+    bloom_join,
+    filtered_join,
+)
+
+ALL = [baseline_join, filtered_join, bloom_join]
+
+
+def join_query(**overrides):
+    base = dict(
+        build_table="customer",
+        probe_table="orders",
+        build_key="c_custkey",
+        probe_key="o_custkey",
+        build_predicate=parse_expression("c_acctbal <= -900"),
+        build_projection=["c_custkey", "c_acctbal"],
+        probe_projection=["o_custkey", "o_totalprice", "o_orderdate"],
+    )
+    base.update(overrides)
+    return JoinQuery(**base)
+
+
+class TestAgreement:
+    def test_all_strategies_same_rows(self, tpch_env):
+        ctx, catalog = tpch_env
+        query = join_query()
+        results = [fn(ctx, catalog, query) for fn in ALL]
+        assert len(results[0].rows) > 0, "fixture query should match something"
+        assert_rows_close(results[0].rows, results[1].rows)
+        assert_rows_close(results[0].rows, results[2].rows)
+
+    def test_with_probe_predicate(self, tpch_env):
+        ctx, catalog = tpch_env
+        query = join_query(
+            probe_predicate=parse_expression("o_orderdate < '1994-01-01'")
+        )
+        results = [fn(ctx, catalog, query) for fn in ALL]
+        assert_rows_close(results[0].rows, results[1].rows)
+        assert_rows_close(results[0].rows, results[2].rows)
+
+    def test_aggregate_output(self, tpch_env):
+        ctx, catalog = tpch_env
+        query = join_query(output=items("SUM(o_totalprice) AS total"))
+        values = [fn(ctx, catalog, query).rows[0][0] for fn in ALL]
+        assert values[0] == pytest.approx(values[1])
+        assert values[0] == pytest.approx(values[2])
+
+    def test_empty_build_side(self, tpch_env):
+        ctx, catalog = tpch_env
+        query = join_query(build_predicate=parse_expression("c_acctbal < -99999"))
+        for fn in ALL:
+            assert fn(ctx, catalog, query).rows == []
+
+
+class TestBloomBehaviour:
+    def test_bloom_reduces_returned_bytes(self, tpch_env):
+        ctx, catalog = tpch_env
+        query = join_query(build_predicate=parse_expression("c_acctbal <= -950"))
+        plain = filtered_join(ctx, catalog, query)
+        bloomed = bloom_join(ctx, catalog, query)
+        assert bloomed.bytes_returned < plain.bytes_returned
+
+    def test_bloom_details_recorded(self, tpch_env):
+        ctx, catalog = tpch_env
+        execution = bloom_join(ctx, catalog, join_query(), fpr=0.01)
+        details = execution.details
+        assert details["requested_fpr"] == 0.01
+        assert details["achieved_fpr"] == 0.01
+        assert not details["degraded"]
+        assert details["bloom_hashes"] == 7  # log2(1/0.01) rounded
+
+    def test_lower_fpr_means_more_hashes(self, tpch_env):
+        ctx, catalog = tpch_env
+        strict = bloom_join(ctx, catalog, join_query(), fpr=0.0001)
+        loose = bloom_join(ctx, catalog, join_query(), fpr=0.5)
+        assert strict.details["bloom_hashes"] > loose.details["bloom_hashes"]
+        assert strict.details["probe_rows_returned"] <= (
+            loose.details["probe_rows_returned"]
+        )
+
+    def test_degraded_bloom_still_correct(self, tpch_env):
+        """Force the 256 KB degradation path via a huge FPR... actually by
+        making every customer a build key so no filter fits; the join must
+        then fall back to a (serial) filtered join and stay correct."""
+        ctx, catalog = tpch_env
+        query = join_query(build_predicate=None)  # all customers
+        reference = baseline_join(ctx, catalog, query)
+        bloomed = bloom_join(ctx, catalog, query, fpr=1e-15)
+        # At fpr=1e-15 with thousands of keys the rendered filter cannot
+        # fit 256 KB at any fpr < 1 only if the key count is large enough;
+        # accept either path but require correctness.
+        assert_rows_close(reference.rows, bloomed.rows)
+
+    def test_two_phases(self, tpch_env):
+        ctx, catalog = tpch_env
+        execution = bloom_join(ctx, catalog, join_query())
+        assert [p.name for p in execution.phases] == ["build+bloom", "probe+join"]
+
+    def test_non_integer_key_rejected(self, tpch_env):
+        ctx, catalog = tpch_env
+        query = join_query(build_key="c_name", probe_key="o_clerk")
+        with pytest.raises(PlanError, match="integer join attribute"):
+            bloom_join(ctx, catalog, query)
+
+
+class TestAccountingShapes:
+    def test_baseline_moves_both_tables(self, tpch_env):
+        ctx, catalog = tpch_env
+        total = (
+            catalog.get("customer").total_bytes + catalog.get("orders").total_bytes
+        )
+        execution = baseline_join(ctx, catalog, join_query())
+        assert execution.bytes_transferred == total
+
+    def test_filtered_single_phase_baseline_style(self, tpch_env):
+        ctx, catalog = tpch_env
+        execution = filtered_join(ctx, catalog, join_query())
+        assert len(execution.phases) == 1  # parallel scans, one phase

@@ -1,0 +1,154 @@
+"""Tests for the SQL planner and the PushdownDB facade."""
+
+import pytest
+
+from helpers import assert_rows_close
+from repro.common.errors import CatalogError, PlanError
+from repro.planner.database import PushdownDB
+from repro.planner.planner import plan_and_execute
+from repro.workloads.tpch import (
+    CUSTOMER_SCHEMA,
+    LINEITEM_SCHEMA,
+    ORDERS_SCHEMA,
+    TpchGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = PushdownDB()
+    gen = TpchGenerator(scale_factor=0.002)
+    database.load_table("lineitem", gen.lineitem(), LINEITEM_SCHEMA)
+    database.load_table("customer", gen.customer(), CUSTOMER_SCHEMA)
+    database.load_table("orders", gen.orders(), ORDERS_SCHEMA)
+    return database
+
+
+def both_modes(db, sql):
+    baseline = db.execute(sql, mode="baseline")
+    optimized = db.execute(sql, mode="optimized")
+    assert_rows_close(baseline.rows, optimized.rows)
+    return baseline, optimized
+
+
+class TestSingleTable:
+    def test_projection_and_filter(self, db):
+        _, optimized = both_modes(
+            db,
+            "SELECT l_orderkey, l_extendedprice FROM lineitem"
+            " WHERE l_shipdate < '1992-06-01'",
+        )
+        assert optimized.column_names == ["l_orderkey", "l_extendedprice"]
+        assert len(optimized.rows) > 0
+
+    def test_fully_pushed_aggregate(self, db):
+        baseline, optimized = both_modes(
+            db,
+            "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem"
+            " WHERE l_quantity < 24",
+        )
+        assert optimized.strategy == "optimized single-table"
+        # Baseline moved the whole table; optimized returned one number.
+        assert optimized.bytes_returned < baseline.bytes_transferred / 1000
+
+    def test_avg_aggregate_runs_locally_but_matches(self, db):
+        both_modes(db, "SELECT AVG(l_quantity) AS q FROM lineitem")
+
+    def test_group_by_order_limit(self, db):
+        baseline, optimized = both_modes(
+            db,
+            "SELECT l_returnflag, SUM(l_quantity) AS q, COUNT(*) AS n"
+            " FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag",
+        )
+        assert optimized.column_names == ["l_returnflag", "q", "n"]
+
+    def test_order_by_limit_uses_topk(self, db):
+        baseline, optimized = both_modes(
+            db,
+            "SELECT l_orderkey, l_extendedprice FROM lineitem"
+            " ORDER BY l_extendedprice LIMIT 7",
+        )
+        assert len(optimized.rows) == 7
+        prices = [r[1] for r in optimized.rows]
+        assert prices == sorted(prices)
+
+    def test_select_star(self, db):
+        _, optimized = both_modes(
+            db, "SELECT * FROM customer WHERE c_acctbal <= -990"
+        )
+        assert optimized.column_names == list(CUSTOMER_SCHEMA.names)
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM nope")
+
+    def test_unknown_mode_rejected(self, db):
+        with pytest.raises(PlanError):
+            db.execute("SELECT * FROM customer", mode="turbo")
+
+
+class TestJoins:
+    def test_aggregate_join(self, db):
+        both_modes(
+            db,
+            "SELECT SUM(o_totalprice) AS t FROM customer, orders"
+            " WHERE c_custkey = o_custkey AND c_acctbal <= -900",
+        )
+
+    def test_join_with_group_by(self, db):
+        baseline, optimized = both_modes(
+            db,
+            "SELECT c_mktsegment, COUNT(*) AS n FROM customer, orders"
+            " WHERE c_custkey = o_custkey AND o_orderdate < '1993-01-01'"
+            " GROUP BY c_mktsegment ORDER BY c_mktsegment",
+        )
+        assert len(optimized.rows) == 5  # five market segments
+
+    def test_join_key_order_irrelevant(self, db):
+        a = db.execute(
+            "SELECT COUNT(*) AS n FROM customer, orders WHERE c_custkey = o_custkey"
+        )
+        b = db.execute(
+            "SELECT COUNT(*) AS n FROM customer, orders WHERE o_custkey = c_custkey"
+        )
+        assert a.rows == b.rows
+
+    def test_residual_cross_table_predicate(self, db):
+        both_modes(
+            db,
+            "SELECT COUNT(*) AS n FROM customer, orders"
+            " WHERE c_custkey = o_custkey AND c_acctbal < o_totalprice / 100",
+        )
+
+    def test_bloom_used_for_selective_builds(self, db):
+        execution = db.execute(
+            "SELECT SUM(o_totalprice) AS t FROM customer, orders"
+            " WHERE c_custkey = o_custkey AND c_acctbal <= -950",
+            mode="optimized",
+        )
+        # The Bloom-filtered probe scan must return far less than the
+        # whole orders table.
+        assert execution.bytes_returned < db.table("orders").total_bytes / 3
+
+    def test_missing_join_condition_rejected(self, db):
+        with pytest.raises(PlanError, match="equi-join"):
+            db.execute("SELECT * FROM customer, orders WHERE c_acctbal < 0")
+
+
+class TestFacade:
+    def test_table_names(self, db):
+        assert set(db.table_names()) == {"lineitem", "customer", "orders"}
+
+    def test_execution_reports_costs(self, db):
+        execution = db.execute("SELECT COUNT(*) AS n FROM customer")
+        assert execution.runtime_seconds > 0
+        assert execution.cost.total > 0
+        assert execution.num_requests > 0
+
+    def test_calibration_changes_pricing(self):
+        database = PushdownDB()
+        gen = TpchGenerator(scale_factor=0.001)
+        database.load_table("customer", gen.customer(), CUSTOMER_SCHEMA)
+        scale = database.calibrate_to_paper_scale(10e9)
+        assert 0 < scale < 1e-3
+        assert database.ctx.pricing.select_scan_per_gb > 0.002

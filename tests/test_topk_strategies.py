@@ -1,0 +1,142 @@
+"""Tests for server-side and sampling top-K (paper Section VII)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import PlanError
+from repro.strategies.topk import (
+    TopKQuery,
+    optimal_sample_size,
+    order_bytes_fraction,
+    sampling_top_k,
+    server_side_top_k,
+)
+
+
+def price_column(execution, catalog):
+    idx = catalog.get("lineitem").schema.index_of("l_extendedprice")
+    return [r[idx] for r in execution.rows]
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("k", [1, 10, 100])
+    def test_ascending(self, tpch_env, k):
+        ctx, catalog = tpch_env
+        query = TopKQuery(table="lineitem", order_column="l_extendedprice", k=k)
+        server = server_side_top_k(ctx, catalog, query)
+        sampled = sampling_top_k(ctx, catalog, query)
+        assert price_column(server, catalog) == price_column(sampled, catalog)
+        assert len(server.rows) == k
+
+    def test_descending(self, tpch_env):
+        ctx, catalog = tpch_env
+        query = TopKQuery(
+            table="lineitem", order_column="l_extendedprice", k=25, descending=True
+        )
+        server = server_side_top_k(ctx, catalog, query)
+        sampled = sampling_top_k(ctx, catalog, query)
+        assert price_column(server, catalog) == price_column(sampled, catalog)
+
+    def test_results_actually_sorted(self, tpch_env):
+        ctx, catalog = tpch_env
+        query = TopKQuery(table="lineitem", order_column="l_extendedprice", k=50)
+        prices = price_column(sampling_top_k(ctx, catalog, query), catalog)
+        assert prices == sorted(prices)
+
+    def test_explicit_sample_sizes(self, tpch_env):
+        ctx, catalog = tpch_env
+        query = TopKQuery(table="lineitem", order_column="l_extendedprice", k=20)
+        reference = price_column(server_side_top_k(ctx, catalog, query), catalog)
+        n = catalog.get("lineitem").num_rows
+        for sample_size in (25, n // 10, n):
+            out = sampling_top_k(ctx, catalog, query, sample_size=sample_size)
+            assert price_column(out, catalog) == reference, sample_size
+
+    def test_k_larger_than_table_rejected(self, tpch_env):
+        ctx, catalog = tpch_env
+        n = catalog.get("lineitem").num_rows
+        query = TopKQuery(table="lineitem", order_column="l_extendedprice", k=n + 1)
+        with pytest.raises(PlanError):
+            sampling_top_k(ctx, catalog, query)
+
+
+class TestMechanics:
+    def test_phase2_returns_fewer_rows_than_table(self, tpch_env):
+        ctx, catalog = tpch_env
+        query = TopKQuery(table="lineitem", order_column="l_extendedprice", k=10)
+        out = sampling_top_k(ctx, catalog, query)
+        assert out.details["phase2_rows"] < catalog.get("lineitem").num_rows
+        assert out.details["phase2_rows"] >= 10
+
+    def test_larger_sample_tighter_threshold(self, tpch_env):
+        ctx, catalog = tpch_env
+        n = catalog.get("lineitem").num_rows
+        query = TopKQuery(table="lineitem", order_column="l_extendedprice", k=10)
+        small = sampling_top_k(ctx, catalog, query, sample_size=max(10, n // 100))
+        large = sampling_top_k(ctx, catalog, query, sample_size=n // 2)
+        assert large.details["phase2_rows"] <= small.details["phase2_rows"]
+
+    def test_details_have_phase_split(self, tpch_env):
+        ctx, catalog = tpch_env
+        query = TopKQuery(table="lineitem", order_column="l_extendedprice", k=10)
+        out = sampling_top_k(ctx, catalog, query)
+        assert out.details["sample_seconds"] > 0
+        assert out.details["scan_seconds"] > 0
+        assert out.runtime_seconds == pytest.approx(
+            out.details["sample_seconds"] + out.details["scan_seconds"]
+        )
+
+
+class TestSampleSizeModel:
+    def test_formula(self):
+        # S* = sqrt(K*N/alpha): K=100, N=6e7, alpha=0.1 -> ~2.45e5
+        # (the paper quotes 2.4e5 for these values in Section VII-C1).
+        s = optimal_sample_size(100, 60_000_000, 0.1)
+        assert s == pytest.approx(math.sqrt(100 * 60_000_000 / 0.1), rel=0.05)
+
+    def test_clamped_to_table(self):
+        assert optimal_sample_size(10, 100, 0.5) == 100
+
+    def test_lower_clamp_10k(self):
+        assert optimal_sample_size(5, 10**9, 1.0) >= 50
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PlanError):
+            optimal_sample_size(0, 100, 0.5)
+        with pytest.raises(PlanError):
+            optimal_sample_size(10, 100, 0.0)
+
+    def test_alpha_estimate(self, tpch_env):
+        _, catalog = tpch_env
+        table = catalog.get("lineitem")
+        alpha = order_bytes_fraction(table, "l_extendedprice")
+        assert alpha == pytest.approx(1.0 / 16)
+
+    def test_smaller_alpha_bigger_sample(self):
+        assert optimal_sample_size(100, 10**6, 0.05) > optimal_sample_size(
+            100, 10**6, 0.5
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(st.integers(0, 10**6), min_size=30, max_size=200),
+    st.integers(1, 20),
+)
+def test_property_sampling_topk_correct_on_random_tables(values, k):
+    """Sampling top-K equals sorted-prefix on arbitrary integer tables."""
+    from repro.cloud.context import CloudContext
+    from repro.engine.catalog import Catalog, load_table
+    from repro.storage.schema import TableSchema
+
+    schema = TableSchema.of("pos:int", "val:int")
+    rows = [(i, v) for i, v in enumerate(values)]
+    ctx, catalog = CloudContext(), Catalog()
+    load_table(ctx, catalog, "lineitem", rows, schema, partitions=3)
+    query = TopKQuery(table="lineitem", order_column="val", k=k)
+    out = sampling_top_k(ctx, catalog, query, alpha=0.5)
+    got = [r[1] for r in out.rows]
+    assert got == sorted(values)[:k]

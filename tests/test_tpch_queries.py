@@ -1,0 +1,85 @@
+"""Integration tests: TPC-H Q1/Q3/Q6/Q14/Q17/Q19 + Figure 10 micro queries.
+
+The load-bearing assertion everywhere: the optimized (pushdown) variant
+must return the same answer as the baseline that computes everything on
+the query node.
+"""
+
+import pytest
+
+from helpers import assert_rows_close
+from repro.queries.micro import MICRO_QUERIES
+from repro.queries.tpch_queries import TPCH_QUERIES
+
+
+@pytest.mark.parametrize("name", sorted(TPCH_QUERIES))
+def test_tpch_query_variants_agree(tpch_env, name):
+    ctx, catalog = tpch_env
+    variants = TPCH_QUERIES[name]
+    baseline = variants.baseline(ctx, catalog)
+    optimized = variants.optimized(ctx, catalog)
+    assert_rows_close(baseline.rows, optimized.rows, rel=1e-6)
+    assert baseline.rows, f"{name} baseline returned no rows"
+
+
+@pytest.mark.parametrize("name", sorted(MICRO_QUERIES))
+def test_micro_query_variants_agree(tpch_env, name):
+    ctx, catalog = tpch_env
+    variants = MICRO_QUERIES[name]
+    baseline = variants.baseline(ctx, catalog)
+    optimized = variants.optimized(ctx, catalog)
+    assert_rows_close(baseline.rows, optimized.rows, rel=1e-6)
+
+
+class TestQueryShapes:
+    def test_q1_returns_flag_status_groups(self, tpch_env):
+        ctx, catalog = tpch_env
+        result = TPCH_QUERIES["q1"].optimized(ctx, catalog)
+        assert result.column_names[:2] == ["l_returnflag", "l_linestatus"]
+        keys = [(r[0], r[1]) for r in result.rows]
+        assert keys == sorted(keys)  # ORDER BY l_returnflag, l_linestatus
+        assert {k[0] for k in keys} <= {"A", "N", "R"}
+
+    def test_q1_count_adds_up(self, tpch_env):
+        ctx, catalog = tpch_env
+        result = TPCH_QUERIES["q1"].baseline(ctx, catalog)
+        count_idx = result.column_names.index("count_order")
+        lineitem = catalog.get("lineitem")
+        assert sum(r[count_idx] for r in result.rows) <= lineitem.num_rows
+
+    def test_q3_top10_sorted_by_revenue(self, tpch_env):
+        ctx, catalog = tpch_env
+        result = TPCH_QUERIES["q3"].optimized(ctx, catalog)
+        assert len(result.rows) <= 10
+        revenue_idx = result.column_names.index("revenue")
+        revenues = [r[revenue_idx] for r in result.rows]
+        assert revenues == sorted(revenues, reverse=True)
+
+    def test_q6_single_value(self, tpch_env):
+        ctx, catalog = tpch_env
+        result = TPCH_QUERIES["q6"].optimized(ctx, catalog)
+        assert len(result.rows) == 1
+        assert result.rows[0][0] is None or result.rows[0][0] > 0
+
+    def test_q14_percentage_in_range(self, tpch_env):
+        ctx, catalog = tpch_env
+        result = TPCH_QUERIES["q14"].optimized(ctx, catalog)
+        (value,) = result.rows[0]
+        assert 0.0 <= value <= 100.0
+
+    def test_optimized_moves_less_data(self, tpch_env):
+        """Every optimized variant must move (return + transfer) less data
+        to the query node than its baseline — that is the paper's thesis."""
+        ctx, catalog = tpch_env
+        for name, variants in TPCH_QUERIES.items():
+            baseline = variants.baseline(ctx, catalog)
+            optimized = variants.optimized(ctx, catalog)
+            moved_baseline = baseline.bytes_returned + baseline.bytes_transferred
+            moved_optimized = optimized.bytes_returned + optimized.bytes_transferred
+            assert moved_optimized < moved_baseline, name
+
+    def test_baseline_never_uses_select(self, tpch_env):
+        ctx, catalog = tpch_env
+        for name, variants in TPCH_QUERIES.items():
+            baseline = variants.baseline(ctx, catalog)
+            assert baseline.bytes_scanned == 0, f"{name} baseline used S3 Select"

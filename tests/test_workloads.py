@@ -1,0 +1,198 @@
+"""Tests for the TPC-H generator, Zipf sampling, and synthetic tables."""
+
+import datetime
+
+import pytest
+
+from repro.workloads.synthetic import (
+    FILTER_SCHEMA,
+    filter_table,
+    float_schema,
+    float_table,
+    groupby_schema,
+    skewed_groupby_table,
+    uniform_groupby_table,
+)
+from repro.workloads.tpch import (
+    CUSTOMER_SCHEMA,
+    LINEITEM_SCHEMA,
+    ORDERS_SCHEMA,
+    TABLE_SCHEMAS,
+    TpchGenerator,
+    TpchSizes,
+)
+from repro.workloads.zipf import head_mass, zipf_sample, zipf_weights
+
+import numpy as np
+
+
+class TestTpchSizes:
+    def test_row_counts_scale(self):
+        sizes = TpchSizes.at(0.01)
+        assert sizes.customers == 1500
+        assert sizes.orders == 15000
+        assert sizes.parts == 2000
+        assert sizes.suppliers == 100
+
+    def test_minimum_one_row(self):
+        sizes = TpchSizes.at(1e-9)
+        assert sizes.customers >= 1
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return TpchGenerator(scale_factor=0.002)
+
+
+class TestTpchGenerator:
+    def test_deterministic(self):
+        a = TpchGenerator(scale_factor=0.001).customer()
+        b = TpchGenerator(scale_factor=0.001).customer()
+        assert a == b
+
+    def test_rows_match_schemas(self, gen):
+        for name, schema in TABLE_SCHEMAS.items():
+            rows = gen.table(name)
+            assert rows, name
+            assert len(rows[0]) == len(schema), name
+
+    def test_customer_distributions(self, gen):
+        rows = gen.customer()
+        idx = CUSTOMER_SCHEMA.index_of("c_acctbal")
+        balances = [r[idx] for r in rows]
+        assert min(balances) >= -999.99
+        assert max(balances) <= 9999.99
+        # roughly 1/11 of customers below 0 (spec range -999.99..9999.99)
+        negative = sum(1 for b in balances if b < 0) / len(balances)
+        assert 0.03 < negative < 0.2
+
+    def test_customer_keys_dense(self, gen):
+        rows = gen.customer()
+        assert [r[0] for r in rows] == list(range(1, len(rows) + 1))
+
+    def test_orders_reference_customers(self, gen):
+        n_cust = len(gen.customer())
+        idx = ORDERS_SCHEMA.index_of("o_custkey")
+        assert all(1 <= r[idx] <= n_cust for r in gen.orders())
+
+    def test_order_dates_in_spec_range(self, gen):
+        idx = ORDERS_SCHEMA.index_of("o_orderdate")
+        for row in gen.orders():
+            date = datetime.date.fromisoformat(row[idx])
+            assert datetime.date(1992, 1, 1) <= date <= datetime.date(1998, 8, 2)
+
+    def test_lineitem_foreign_keys_and_dates(self, gen):
+        order_keys = {r[0] for r in gen.orders()}
+        li = gen.lineitem()
+        s = LINEITEM_SCHEMA
+        for row in li[:500]:
+            assert row[s.index_of("l_orderkey")] in order_keys
+            ship = row[s.index_of("l_shipdate")]
+            receipt = row[s.index_of("l_receiptdate")]
+            assert ship < receipt
+
+    def test_lineitem_discount_range(self, gen):
+        idx = LINEITEM_SCHEMA.index_of("l_discount")
+        discounts = {r[idx] for r in gen.lineitem()}
+        assert min(discounts) >= 0.0
+        assert max(discounts) <= 0.10
+
+    def test_lineitem_extendedprice_consistent(self, gen):
+        s = LINEITEM_SCHEMA
+        for row in gen.lineitem()[:100]:
+            qty = row[s.index_of("l_quantity")]
+            price = row[s.index_of("l_extendedprice")]
+            assert price == pytest.approx(qty * price / qty)
+            assert price > 0
+
+    def test_part_brand_vocabulary(self, gen):
+        idx = TABLE_SCHEMAS["part"].index_of("p_brand")
+        brands = {r[idx] for r in gen.part()}
+        assert all(b.startswith("Brand#") and len(b) == 8 for b in brands)
+
+    def test_nation_region_fixed(self, gen):
+        assert len(gen.nation()) == 25
+        assert len(gen.region()) == 5
+
+    def test_partsupp_four_suppliers_per_part(self, gen):
+        rows = gen.partsupp()
+        assert len(rows) == 4 * len(gen.part())
+
+    def test_unknown_table_rejected(self, gen):
+        with pytest.raises(ValueError):
+            gen.table("widgets")
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ValueError):
+            TpchGenerator(scale_factor=0)
+
+
+class TestZipf:
+    def test_weights_normalized(self):
+        weights = zipf_weights(100, 1.3)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_theta_zero_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_paper_skew_property(self):
+        """theta = 1.3: '59% of rows belong to the four largest groups'."""
+        assert head_mass(100, 1.3, 4) == pytest.approx(0.59, abs=0.03)
+
+    def test_sample_range_and_skew(self):
+        rng = np.random.default_rng(0)
+        sample = zipf_sample(100, 1.3, 20_000, rng)
+        assert sample.min() >= 0 and sample.max() < 100
+        top4 = np.isin(sample, [0, 1, 2, 3]).mean()
+        assert 0.5 < top4 < 0.68
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -1.0)
+
+
+class TestSyntheticTables:
+    def test_uniform_groupby_group_cardinalities(self):
+        rows = uniform_groupby_table(4000, seed=1)
+        schema = groupby_schema()
+        assert len(rows[0]) == len(schema) == 20
+        for i in range(5):
+            column = {r[i] for r in rows}
+            assert len(column) == 2 ** (i + 1), f"g{i}"
+
+    def test_uniform_groups_roughly_even(self):
+        rows = uniform_groupby_table(4000, seed=1)
+        from collections import Counter
+
+        counts = Counter(r[1] for r in rows)  # g1: 4 groups
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_skewed_groupby_is_skewed(self):
+        rows = skewed_groupby_table(4000, theta=1.3, seed=1)
+        from collections import Counter
+
+        counts = Counter(r[0] for r in rows)
+        top4 = sum(c for _, c in counts.most_common(4)) / len(rows)
+        assert top4 > 0.5
+
+    def test_filter_table_keys_are_permutation(self):
+        rows = filter_table(500, seed=1)
+        assert sorted(r[0] for r in rows) == list(range(500))
+        assert len(rows[0]) == len(FILTER_SCHEMA)
+
+    def test_filter_table_exact_selectivity(self):
+        rows = filter_table(500, seed=2)
+        assert sum(1 for r in rows if r[0] < 50) == 50
+
+    def test_float_table_shape_and_range(self):
+        rows = float_table(100, 3, seed=1)
+        assert len(rows[0]) == len(float_schema(3)) == 3
+        assert all(0.0 <= v < 1.0 for r in rows for v in r)
+
+    def test_float_values_rounded_to_4_decimals(self):
+        rows = float_table(50, 1, seed=1)
+        for (v,) in rows:
+            assert round(v, 4) == v
