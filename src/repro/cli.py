@@ -18,8 +18,10 @@ from repro.common.units import human_bytes, human_dollars, human_seconds
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.cloud.context import set_default_pipeline
     from repro.experiments import ALL_EXPERIMENTS
 
+    set_default_pipeline(workers=args.workers, batch_size=args.batch_size)
     names = list(ALL_EXPERIMENTS) if "all" in args.names else args.names
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
@@ -37,7 +39,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.workloads.tpch import TABLE_SCHEMAS, TpchGenerator
 
     gen = TpchGenerator(scale_factor=args.scale_factor)
-    db = PushdownDB()
+    db = PushdownDB(workers=args.workers, batch_size=args.batch_size)
     for table in ("customer", "orders", "lineitem", "part"):
         db.load_table(table, gen.table(table), TABLE_SCHEMAS[table])
     db.calibrate_to_paper_scale()
@@ -76,8 +78,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_pipeline_knobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="concurrent partition-scan requests (default: serial);"
+                 " affects wall-clock only, never results or cost",
+        )
+        p.add_argument(
+            "--batch-size", type=int, default=None, metavar="ROWS",
+            help="rows per RecordBatch in the streaming executor",
+        )
+
     p_exp = sub.add_parser("experiment", help="run paper-figure experiments")
     p_exp.add_argument("names", nargs="+", help="fig1..fig11, or 'all'")
+    add_pipeline_knobs(p_exp)
     p_exp.set_defaults(fn=_cmd_experiment)
 
     p_query = sub.add_parser("query", help="run SQL over a TPC-H dataset")
@@ -88,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--compare", action="store_true",
                          help="run both modes and show both reports")
     p_query.add_argument("--max-rows", type=int, default=10)
+    add_pipeline_knobs(p_query)
     p_query.set_defaults(fn=_cmd_query)
 
     p_tables = sub.add_parser("tables", help="show TPC-H table sizes")

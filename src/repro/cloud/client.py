@@ -9,6 +9,8 @@ byte range, ``select_object_content``).
 
 from __future__ import annotations
 
+import time
+
 from repro.cloud.metrics import MetricsCollector, RequestKind, RequestRecord
 from repro.s3select.engine import ScanRange, SelectResult, execute_select
 from repro.s3select.validator import EXPRESSION_LIMIT_BYTES
@@ -29,12 +31,23 @@ class S3Client:
         #: contexts set this to 1/scale because ranged GETs are issued
         #: per matching *row* and row counts shrink with the dataset.
         self.range_request_weight: float = 1.0
+        #: Real seconds slept per request, emulating network round-trip
+        #: latency the in-process store otherwise lacks.  Zero by
+        #: default (no behavior change); the throughput benchmarks set
+        #: it so concurrent partition scans have actual I/O waits to
+        #: overlap.  Does not affect simulated runtime or cost.
+        self.request_delay: float = 0.0
+
+    def _simulate_latency(self) -> None:
+        if self.request_delay > 0:
+            time.sleep(self.request_delay)
 
     # ------------------------------------------------------------------
     # plain data plane
     # ------------------------------------------------------------------
     def get_object(self, bucket: str, key: str) -> bytes:
         """Fetch a whole object (one metered GET)."""
+        self._simulate_latency()
         data = self.store.get_bytes(bucket, key)
         self.metrics.record(
             RequestRecord(
@@ -53,6 +66,7 @@ class S3Client:
         per GET — the indexing strategy's cost hinges on that, so this
         client deliberately offers no multi-range call.
         """
+        self._simulate_latency()
         data = self.store.get_range(bucket, key, first_byte, last_byte)
         self.metrics.record(
             RequestRecord(
@@ -81,6 +95,7 @@ class S3Client:
         as a single request with the caller-supplied paper-equivalent
         ``weight``.
         """
+        self._simulate_latency()
         payloads = [
             self.store.get_range(bucket, key, first, last)
             for first, last in ranges
@@ -115,6 +130,7 @@ class S3Client:
         Suggestion 4 and Section IX extensions respectively (neither is
         available on the real service).
         """
+        self._simulate_latency()
         obj = self.store.get_object(bucket, key)
         result = execute_select(
             obj, sql, scan_range=scan_range, expression_limit=expression_limit,

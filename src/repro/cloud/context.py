@@ -15,7 +15,31 @@ from repro.cloud.client import S3Client
 from repro.cloud.metrics import MetricsCollector, Phase
 from repro.cloud.perf import PAPER_PERF, PerfModel
 from repro.cloud.pricing import PAPER_PRICING, CostBreakdown, Pricing, cost_of_query
+from repro.storage.csvcodec import DEFAULT_BATCH_SIZE
 from repro.storage.object_store import ObjectStore
+
+#: Process-wide defaults for the streaming-pipeline knobs.  ``None``
+#: workers means serial partition scans (the pre-pipeline behavior); the
+#: CLI and the experiment harness override these via
+#: :func:`set_default_pipeline` so every context they create inherits
+#: the chosen concurrency without threading parameters through each
+#: experiment.
+_PIPELINE_DEFAULTS = {"workers": None, "batch_size": DEFAULT_BATCH_SIZE}
+
+
+def set_default_pipeline(
+    workers: int | None = None, batch_size: int | None = None
+) -> None:
+    """Set process-wide defaults for ``CloudContext`` pipeline knobs.
+
+    Arguments left as ``None`` keep their current default.
+    """
+    if workers is not None:
+        _PIPELINE_DEFAULTS["workers"] = max(1, int(workers))
+    if batch_size is not None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        _PIPELINE_DEFAULTS["batch_size"] = int(batch_size)
 
 
 @dataclass
@@ -86,12 +110,31 @@ class CloudContext:
         perf: PerfModel | None = None,
         pricing: Pricing | None = None,
         store: ObjectStore | None = None,
+        workers: int | None = None,
+        batch_size: int | None = None,
     ):
+        """Args:
+            workers: default partition-scan concurrency for this context
+                (``None`` falls back to the process default, normally
+                serial).  Concurrency changes wall-clock only — rows,
+                bytes and dollar cost are independent of it.
+            batch_size: rows per RecordBatch in the streaming pipeline.
+        """
         self.store = store if store is not None else ObjectStore()
         self.metrics = MetricsCollector()
         self.client = S3Client(self.store, self.metrics)
         self.perf = perf if perf is not None else PAPER_PERF
         self.pricing = pricing if pricing is not None else PAPER_PRICING
+        self.workers = (
+            max(1, int(workers)) if workers is not None
+            else _PIPELINE_DEFAULTS["workers"]
+        )
+        self.batch_size = (
+            int(batch_size) if batch_size is not None
+            else _PIPELINE_DEFAULTS["batch_size"]
+        )
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
 
     def calibrate_to_paper_scale(self, data_bytes: int, paper_bytes: float) -> float:
         """Re-rate the context so ``data_bytes`` behaves like paper scale.

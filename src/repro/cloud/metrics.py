@@ -10,6 +10,7 @@ records in dollars.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -50,24 +51,38 @@ class MetricsCollector:
     Strategies call :meth:`mark` before a phase and :meth:`records_since`
     after it to attribute requests to phases without threading labels
     through every call.
+
+    Recording is thread-safe: the concurrent partition scans of
+    :func:`repro.strategies.scans.scan_partitions` issue requests from a
+    worker pool, so appends may race.  Marks are only taken between
+    phases (never while workers are in flight), so a mark still cleanly
+    partitions the record list; the *order* of records within a
+    concurrent phase is unspecified, which is fine because every
+    consumer aggregates per-phase sums or deals records onto one stream
+    each.
     """
 
     def __init__(self):
         self._records: list[RequestRecord] = []
+        self._lock = threading.Lock()
 
     def record(self, record: RequestRecord) -> None:
-        self._records.append(record)
+        with self._lock:
+            self._records.append(record)
 
     def mark(self) -> int:
         """Return a position token for :meth:`records_since`."""
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def records_since(self, mark: int) -> list[RequestRecord]:
-        return self._records[mark:]
+        with self._lock:
+            return self._records[mark:]
 
     @property
     def records(self) -> list[RequestRecord]:
-        return list(self._records)
+        with self._lock:
+            return list(self._records)
 
     # ------------------------------------------------------------------
     # aggregates
@@ -89,7 +104,8 @@ class MetricsCollector:
         return sum(r.bytes_transferred for r in self._records)
 
     def reset(self) -> None:
-        self._records.clear()
+        with self._lock:
+            self._records.clear()
 
 
 @dataclass
@@ -138,6 +154,11 @@ class Phase:
     record and per field, which is what separates "load 4 of 20 columns"
     from "load everything" (paper Fig 5) while keeping wide-row GET loads
     and S3 Select responses on one mechanism.
+
+    ``workers`` optionally bounds how many of the phase's streams can be
+    in flight at once (the concurrent-scan worker pool).  ``None`` keeps
+    the historical fully-overlapped model — every stream concurrent —
+    which is also what the paper's testbed assumed.
     """
 
     name: str
@@ -145,6 +166,7 @@ class Phase:
     server_cpu_seconds: float = 0.0
     server_records: float = 0.0
     server_fields: float = 0.0
+    workers: int | None = None
 
     @classmethod
     def from_records(
@@ -155,6 +177,7 @@ class Phase:
         server_cpu_seconds: float = 0.0,
         server_records: float = 0.0,
         server_fields: float = 0.0,
+        workers: int | None = None,
     ) -> "Phase":
         """Build a phase by dealing records round-robin onto N streams.
 
@@ -174,6 +197,7 @@ class Phase:
             server_cpu_seconds=server_cpu_seconds,
             server_records=server_records,
             server_fields=server_fields,
+            workers=workers,
         )
 
     @property

@@ -1,14 +1,29 @@
 """Local (query-node) operator primitives.
 
 PushdownDB executes whatever S3 Select cannot on the query node.  Each
-local operator here transforms materialized row batches and reports an
-estimated CPU time, which strategies fold into their phases'
+local operator comes in two shapes:
+
+* a **materialized** function (``filter_rows``, ``project``, ...) that
+  transforms full row lists and returns an :class:`OpResult`;
+* a **streaming** variant (``filter_batches``, ``project_batches``, ...)
+  that consumes and produces iterators of RecordBatches (``list[tuple]``
+  chunks), charging the same per-row CPU into a :class:`CpuTally` as the
+  batches flow.  Pipeline-breaking operators (sort, group-by, top-K)
+  drain their input internally and return an :class:`OpResult`.
+
+Estimated CPU time is folded into the owning phase's
 ``server_cpu_seconds`` so the performance model can charge local compute.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+from repro.storage.csvcodec import chunk_rows
+
+#: One RecordBatch: a chunk of row tuples flowing through the pipeline.
+Batch = List[tuple]
 
 
 @dataclass
@@ -32,3 +47,42 @@ class CpuTally:
 
     def add_seconds(self, seconds: float) -> None:
         self.seconds += seconds
+
+
+def batches_of(rows: Iterable[tuple], batch_size: int) -> Iterator[Batch]:
+    """Chunk a row iterable into RecordBatches of ``batch_size`` rows."""
+    return chunk_rows(rows, batch_size)
+
+
+def rows_of(batches: Iterable[Batch]) -> Iterator[tuple]:
+    """Flatten a batch stream back into individual rows."""
+    for batch in batches:
+        yield from batch
+
+
+def materialize(batches: Iterable[Batch]) -> list[tuple]:
+    """Drain a batch stream into one row list (the pipeline's sink)."""
+    out: list[tuple] = []
+    for batch in batches:
+        out.extend(batch)
+    return out
+
+
+class BatchCounter:
+    """Counts rows flowing through a batch stream without buffering it.
+
+    The planner wraps scan sources in one of these so ingest accounting
+    (records / fields materialized on the query node) reflects what the
+    pipeline actually pulled.
+    """
+
+    __slots__ = ("_batches", "rows")
+
+    def __init__(self, batches: Iterable[Batch]):
+        self._batches = batches
+        self.rows = 0
+
+    def __iter__(self) -> Iterator[Batch]:
+        for batch in self._batches:
+            self.rows += len(batch)
+            yield batch

@@ -6,12 +6,36 @@ table bytes: parse, then filter locally.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.cloud.perf import SERVER_CPU_PER_ROW
-from repro.engine.operators.base import OpResult
+from repro.engine.operators.base import Batch, CpuTally, OpResult
 from repro.expr.compiler import compile_predicate
 from repro.sqlparser import ast
+
+
+def filter_batches(
+    batches: Iterable[Batch],
+    column_names: Sequence[str],
+    predicate: ast.Expr | None,
+    tally: CpuTally | None = None,
+) -> Iterator[Batch]:
+    """Streaming :func:`filter_rows`: filter each RecordBatch as it flows.
+
+    Charges the same per-input-row CPU as the materialized variant into
+    ``tally`` while batches are pulled, so a downstream LIMIT that stops
+    early also stops paying.
+    """
+    if predicate is None:
+        yield from batches
+        return
+    schema = {name: i for i, name in enumerate(column_names)}
+    keep = compile_predicate(predicate, schema)
+    per_row = SERVER_CPU_PER_ROW["filter"]
+    for batch in batches:
+        if tally is not None:
+            tally.add_seconds(len(batch) * per_row)
+        yield [row for row in batch if keep(row)]
 
 
 def filter_rows(

@@ -7,17 +7,31 @@ queries with GROUP BY.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.cloud.perf import SERVER_CPU_PER_ROW
-from repro.engine.operators.base import OpResult
+from repro.engine.operators.base import Batch, OpResult, rows_of
 from repro.expr.aggregates import CompiledAggregate, split_aggregate_expr
 from repro.expr.compiler import compile_expr
 from repro.sqlparser import ast
 
 
+def group_by_batches(
+    batches: Iterable[Batch],
+    column_names: Sequence[str],
+    group_exprs: Sequence[ast.Expr],
+    agg_items: Sequence[ast.SelectItem],
+) -> OpResult:
+    """Streaming :func:`group_by_aggregate`: a pipeline breaker.
+
+    Drains the batch stream into hash-table accumulators as batches
+    arrive — nothing upstream is ever materialized whole.
+    """
+    return group_by_aggregate(rows_of(batches), column_names, group_exprs, agg_items)
+
+
 def group_by_aggregate(
-    rows: list[tuple],
+    rows: Iterable[tuple],
     column_names: Sequence[str],
     group_exprs: Sequence[ast.Expr],
     agg_items: Sequence[ast.SelectItem],

@@ -8,11 +8,59 @@ reach the query node*; they all finish here.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.cloud.perf import SERVER_CPU_PER_ROW
 from repro.common.errors import PlanError
-from repro.engine.operators.base import OpResult
+from repro.engine.operators.base import Batch, CpuTally, OpResult
+
+
+def hash_join_batches(
+    build_rows: list[tuple],
+    build_names: Sequence[str],
+    probe_batches: Iterable[Batch],
+    probe_names: Sequence[str],
+    build_key: str,
+    probe_key: str,
+    tally: CpuTally | None = None,
+) -> tuple[list[str], Iterator[Batch]]:
+    """Streaming :func:`hash_join`: build eagerly, probe batch by batch.
+
+    The build side is a pipeline breaker (hashed up front, charged to
+    ``tally`` immediately); the probe side streams, so joined batches
+    reach downstream operators while later probe batches are still being
+    produced.  Returns ``(output_names, joined_batches)``.
+    """
+    out_names = [*build_names, *probe_names]
+    if len(set(n.lower() for n in out_names)) != len(out_names):
+        raise PlanError(f"join would produce duplicate column names: {out_names}")
+
+    build_idx = _index_of(build_names, build_key)
+    probe_idx = _index_of(probe_names, probe_key)
+
+    table: dict[object, list[tuple]] = {}
+    for row in build_rows:
+        key = row[build_idx]
+        if key is None:
+            continue  # NULL never matches an equi-join
+        table.setdefault(key, []).append(row)
+    if tally is not None:
+        tally.add_seconds(len(build_rows) * SERVER_CPU_PER_ROW["hash_build"])
+
+    def probe() -> Iterator[Batch]:
+        per_row = SERVER_CPU_PER_ROW["hash_probe"]
+        for batch in probe_batches:
+            if tally is not None:
+                tally.add_seconds(len(batch) * per_row)
+            out: Batch = []
+            for row in batch:
+                matches = table.get(row[probe_idx])
+                if matches:
+                    for build_row in matches:
+                        out.append(build_row + row)
+            yield out
+
+    return out_names, probe()
 
 
 def hash_join(

@@ -2,9 +2,32 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
-from repro.engine.operators.base import OpResult
+from repro.engine.operators.base import Batch, OpResult
+
+
+def limit_batches(batches: Iterable[Batch], n: int | None) -> Iterator[Batch]:
+    """Streaming LIMIT: stop pulling upstream once ``n`` rows have passed.
+
+    This is where streaming pays off end to end — upstream scans and
+    operators past the cut-off batch are never evaluated.
+    """
+    if n is None:
+        yield from batches
+        return
+    if n < 0:
+        raise ValueError(f"LIMIT must be non-negative, got {n}")
+    remaining = n
+    if remaining == 0:
+        return
+    for batch in batches:
+        if len(batch) >= remaining:
+            yield batch[:remaining]
+            return
+        remaining -= len(batch)
+        if batch:
+            yield batch
 
 
 def limit_rows(rows: list[tuple], column_names: Sequence[str], n: int | None) -> OpResult:

@@ -2,23 +2,21 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.cloud.perf import SERVER_CPU_PER_ROW
-from repro.engine.operators.base import OpResult
+from repro.engine.operators.base import Batch, CpuTally, OpResult
 from repro.expr.compiler import compile_expr
 from repro.sqlparser import ast
 
 
-def project(
-    rows: list[tuple],
-    column_names: Sequence[str],
-    items: Sequence[ast.SelectItem],
-) -> OpResult:
-    """Project ``rows`` through ``items`` (no aggregates, no ``*``)."""
+def _compile_items(
+    column_names: Sequence[str], items: Sequence[ast.SelectItem]
+) -> tuple[list, list[str]]:
+    """Extractor functions + output names for a select list."""
     schema = {name: i for i, name in enumerate(column_names)}
     extractors = []
-    out_names = []
+    out_names: list[str] = []
     for ordinal, item in enumerate(items, start=1):
         if isinstance(item.expr, ast.Star):
             for idx, name in enumerate(column_names):
@@ -27,6 +25,41 @@ def project(
             continue
         extractors.append(compile_expr(item.expr, schema))
         out_names.append(item.output_name(ordinal))
+    return extractors, out_names
+
+
+def projected_names(
+    column_names: Sequence[str], items: Sequence[ast.SelectItem]
+) -> list[str]:
+    """Output column names of :func:`project` without evaluating rows."""
+    return _compile_items(column_names, items)[1]
+
+
+def project_batches(
+    batches: Iterable[Batch],
+    column_names: Sequence[str],
+    items: Sequence[ast.SelectItem],
+    tally: CpuTally | None = None,
+) -> Iterator[Batch]:
+    """Streaming :func:`project`: evaluate the select list per batch.
+
+    Output names are available up front via :func:`projected_names`.
+    """
+    extractors, _ = _compile_items(column_names, items)
+    per_row = len(extractors) * SERVER_CPU_PER_ROW["filter"]
+    for batch in batches:
+        if tally is not None:
+            tally.add_seconds(len(batch) * per_row)
+        yield [tuple(fn(row) for fn in extractors) for row in batch]
+
+
+def project(
+    rows: list[tuple],
+    column_names: Sequence[str],
+    items: Sequence[ast.SelectItem],
+) -> OpResult:
+    """Project ``rows`` through ``items`` (no aggregates, no ``*``)."""
+    extractors, out_names = _compile_items(column_names, items)
     out = [tuple(fn(row) for fn in extractors) for row in rows]
     cpu = len(rows) * len(extractors) * SERVER_CPU_PER_ROW["filter"]
     return OpResult(rows=out, column_names=out_names, cpu_seconds=cpu)

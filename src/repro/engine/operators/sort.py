@@ -6,7 +6,7 @@ import math
 from typing import Sequence
 
 from repro.cloud.perf import SERVER_CPU_PER_ROW
-from repro.engine.operators.base import OpResult
+from repro.engine.operators.base import OpResult, materialize
 from repro.expr.compiler import compile_expr
 from repro.sqlparser import ast
 
@@ -48,6 +48,15 @@ def make_key_fn(column_names: Sequence[str], order_items: Sequence[ast.OrderItem
     def key_fn(row: tuple) -> tuple:
         return tuple(SortKey(fn(row), desc) for fn, desc in compiled)
     return key_fn
+
+
+def sort_batches(
+    batches,
+    column_names: Sequence[str],
+    order_items: Sequence[ast.OrderItem],
+) -> OpResult:
+    """Streaming :func:`sort_rows`: a pipeline breaker (drains its input)."""
+    return sort_rows(materialize(batches), column_names, order_items)
 
 
 def sort_rows(

@@ -9,13 +9,38 @@ O(n log n) sort, which matters in Figure 9's CPU-cost trend as K grows.
 from __future__ import annotations
 
 import heapq
+import itertools
 import math
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.cloud.perf import SERVER_CPU_PER_ROW
-from repro.engine.operators.base import OpResult
+from repro.engine.operators.base import Batch, OpResult
 from repro.sqlparser import ast
 from repro.engine.operators.sort import make_key_fn
+
+
+def top_k_batches(
+    batches: Iterable[Batch],
+    column_names: Sequence[str],
+    order_items: Sequence[ast.OrderItem],
+    k: int,
+) -> OpResult:
+    """Streaming :func:`top_k`: drains its input keeping only K rows live.
+
+    Equivalent to ``nsmallest`` over the whole input (ties keep input
+    order, since the running best is re-merged in order), but memory is
+    bounded by K + one batch instead of the full row set.
+    """
+    if k < 0:
+        raise ValueError(f"K must be non-negative, got {k}")
+    key_fn = make_key_fn(column_names, order_items)
+    best: list[tuple] = []
+    n = 0
+    for batch in batches:
+        n += len(batch)
+        best = heapq.nsmallest(k, itertools.chain(best, batch), key=key_fn)
+    cpu = n * max(1.0, math.log2(max(k, 2))) * SERVER_CPU_PER_ROW["heap"]
+    return OpResult(rows=best, column_names=list(column_names), cpu_seconds=cpu)
 
 
 def top_k(

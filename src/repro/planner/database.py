@@ -30,8 +30,18 @@ class PushdownDB:
         perf: PerfModel | None = None,
         pricing: Pricing | None = None,
         bucket: str = "pushdowndb",
+        workers: int | None = None,
+        batch_size: int | None = None,
     ):
-        self.ctx = CloudContext(perf=perf, pricing=pricing)
+        """Args:
+            workers: concurrent partition-scan requests per table scan
+                (default serial).  Changes wall-clock only; rows, bytes
+                and simulated cost are identical for any setting.
+            batch_size: rows per RecordBatch in the streaming executor.
+        """
+        self.ctx = CloudContext(
+            perf=perf, pricing=pricing, workers=workers, batch_size=batch_size
+        )
         self.catalog = Catalog()
         self.bucket = bucket
 

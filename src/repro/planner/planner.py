@@ -21,20 +21,19 @@ from dataclasses import dataclass
 from repro.cloud.context import CloudContext, QueryExecution
 from repro.common.errors import PlanError
 from repro.engine.catalog import Catalog, TableInfo
-from repro.engine.operators.base import CpuTally
-from repro.engine.operators.filter import filter_rows
-from repro.engine.operators.groupby import group_by_aggregate
-from repro.engine.operators.hashjoin import hash_join
-from repro.engine.operators.limit import limit_rows
-from repro.engine.operators.project import project
-from repro.engine.operators.sort import sort_rows
-from repro.engine.operators.topk import top_k
+from repro.engine.operators.base import BatchCounter, CpuTally, materialize
+from repro.engine.operators.filter import filter_batches, filter_rows
+from repro.engine.operators.groupby import group_by_batches
+from repro.engine.operators.hashjoin import hash_join_batches
+from repro.engine.operators.limit import limit_batches
+from repro.engine.operators.project import project_batches, projected_names
+from repro.engine.operators.sort import sort_batches
+from repro.engine.operators.topk import top_k_batches
 from repro.queries.common import bloom_where
 from repro.sqlparser import ast
 from repro.sqlparser.parser import parse
-from repro.strategies.base import finish_output
 from repro.strategies.scans import (
-    get_table,
+    iter_scan_batches,
     merge_sum_partials,
     phase_since,
     projection_sql,
@@ -65,6 +64,13 @@ def plan_and_execute(
 def _execute_single(
     ctx: CloudContext, catalog: Catalog, query: ast.Query, mode: str
 ) -> QueryExecution:
+    """Run a single-table query as a streaming RecordBatch pipeline.
+
+    The scan source issues every partition request up front (so request
+    and byte accounting never depend on how far the pipeline is pulled),
+    then batches flow through the local tail; a LIMIT cuts parsing and
+    operator work short without changing what was billed.
+    """
     table = catalog.get(query.table)
     tally = CpuTally()
     mark = ctx.begin_query()
@@ -73,23 +79,27 @@ def _execute_single(
         return _execute_pushed_aggregate(ctx, table, query, mark)
 
     if mode == "baseline":
-        rows = get_table(ctx, table)
         names = list(table.schema.names)
-        filtered = tally.add(filter_rows(rows, names, query.where))
-        rows = filtered.rows
+        # Ingest is counted after the local filter, exactly as the
+        # materialized planner did (the model charges parse time for
+        # rows the tail consumes; a LIMIT that stops pulling shrinks it).
+        source = BatchCounter(
+            filter_batches(iter_scan_batches(ctx, table), names, query.where, tally)
+        )
     else:
         needed = _needed_columns(query, table)
         where_sql = query.where.to_sql() if query.where is not None else None
-        rows, _ = select_table(ctx, table, projection_sql(needed, where_sql))
+        source = BatchCounter(
+            iter_scan_batches(ctx, table, projection_sql(needed, where_sql))
+        )
         names = needed
 
-    scanned_records = len(rows)
-    scanned_fields = len(rows) * len(names)
-    rows, names = _local_tail(query, rows, names, tally)
+    scanned_columns = len(names)
+    rows, names = _local_tail_batches(query, iter(source), names, tally)
     phase = phase_since(
         ctx, mark, "scan", streams=table.partitions,
         server_cpu_seconds=tally.seconds,
-        ingest=(scanned_records, scanned_fields / max(scanned_records, 1)),
+        ingest=(source.rows, scanned_columns),
     )
     return ctx.finalize(mark, rows, names, [phase], strategy=f"{mode} single-table")
 
@@ -145,34 +155,40 @@ def _needed_columns(query: ast.Query, table: TableInfo) -> list[str]:
     return needed
 
 
-def _local_tail(
-    query: ast.Query, rows: list[tuple], names: list[str], tally: CpuTally
+def _local_tail_batches(
+    query: ast.Query, stream, names: list[str], tally: CpuTally
 ) -> tuple[list[tuple], list[str]]:
-    """GROUP BY / aggregate / ORDER BY / LIMIT, evaluated locally."""
+    """GROUP BY / aggregate / ORDER BY / LIMIT as a streaming pipeline.
+
+    ``stream`` is an iterator of RecordBatches.  Row-at-a-time operators
+    (projection, LIMIT) stay streaming; pipeline breakers (group-by,
+    aggregation, sort, top-K) drain the stream internally and re-enter
+    the pipeline as a single batch.
+    """
     if query.group_by:
         grouped = tally.add(
-            group_by_aggregate(rows, names, query.group_by, _agg_items(query))
+            group_by_batches(stream, names, query.group_by, _agg_items(query))
         )
-        rows, names = grouped.rows, grouped.column_names
+        stream, names = iter([grouped.rows]), grouped.column_names
     elif any(
         not isinstance(i.expr, ast.Star) and ast.contains_aggregate(i.expr)
         for i in query.select_items
     ):
-        out = tally.add(finish_output(rows, names, list(query.select_items)))
-        rows, names = out.rows, out.column_names
+        out = tally.add(
+            group_by_batches(stream, names, (), list(query.select_items))
+        )
+        stream, names = iter([out.rows]), out.column_names
     elif not all(isinstance(i.expr, ast.Star) for i in query.select_items):
-        out = tally.add(project(rows, names, query.select_items))
-        rows, names = out.rows, out.column_names
+        stream = project_batches(stream, names, query.select_items, tally)
+        names = projected_names(names, query.select_items)
 
     if query.order_by:
         if query.limit is not None:
-            out = tally.add(top_k(rows, names, query.order_by, query.limit))
+            out = tally.add(top_k_batches(stream, names, query.order_by, query.limit))
             return out.rows, names
-        out = tally.add(sort_rows(rows, names, query.order_by))
-        rows = out.rows
-    if query.limit is not None:
-        rows = limit_rows(rows, names, query.limit).rows
-    return rows, names
+        out = tally.add(sort_batches(stream, names, query.order_by))
+        stream = iter([out.rows])
+    return materialize(limit_batches(stream, query.limit)), names
 
 
 def _agg_items(query: ast.Query) -> list[ast.SelectItem]:
@@ -318,24 +334,33 @@ def _join_needed_columns(
 def _execute_join(
     ctx: CloudContext, catalog: Catalog, query: ast.Query, mode: str
 ) -> QueryExecution:
+    """Two-table equi-join as a streaming pipeline.
+
+    The build side is a pipeline breaker (its rows must be hashed before
+    probing), so it materializes; the probe side streams batch-by-batch
+    through the join, the residual filter, and the local tail.
+    """
     plan, _ = _build_join_plan(catalog, query)
     tally = CpuTally()
     mark = ctx.begin_query()
     build_cols = _join_needed_columns(query, plan.build, plan.build_key, plan.residual)
     probe_cols = _join_needed_columns(query, plan.probe, plan.probe_key, plan.residual)
     phases = []
+    mark2 = mark
 
     if mode == "baseline":
-        build_rows = get_table(ctx, plan.build)
-        probe_rows = get_table(ctx, plan.probe)
+        build_rows = materialize(iter_scan_batches(ctx, plan.build))
         b = tally.add(filter_rows(build_rows, plan.build.schema.names, plan.build_pred))
-        p = tally.add(filter_rows(probe_rows, plan.probe.schema.names, plan.probe_pred))
-        joined = tally.add(
-            hash_join(
-                b.rows, plan.build.schema.names, p.rows, plan.probe.schema.names,
-                plan.build_key, plan.probe_key,
-            )
+        probe_stream = filter_batches(
+            iter_scan_batches(ctx, plan.probe),
+            plan.probe.schema.names, plan.probe_pred, tally,
         )
+        names, joined_stream = hash_join_batches(
+            b.rows, plan.build.schema.names,
+            probe_stream, plan.probe.schema.names,
+            plan.build_key, plan.probe_key, tally,
+        )
+        probe_source = None
     else:
         build_sql = projection_sql(
             build_cols,
@@ -363,25 +388,15 @@ def _execute_join(
             if clause is not None:
                 probe_clauses.append(clause)
         probe_sql = projection_sql(probe_cols, " AND ".join(probe_clauses) or None)
-        probe_rows, _ = select_table(ctx, plan.probe, probe_sql)
-        joined = tally.add(
-            hash_join(
-                build_rows, build_cols, probe_rows, probe_cols,
-                plan.build_key, plan.probe_key,
-            )
-        )
-        phases.append(
-            phase_since(
-                ctx, mark2, "probe-scan", streams=plan.probe.partitions,
-                ingest=(len(probe_rows), len(probe_cols)),
-            )
+        probe_source = BatchCounter(iter_scan_batches(ctx, plan.probe, probe_sql))
+        names, joined_stream = hash_join_batches(
+            build_rows, build_cols, probe_source, probe_cols,
+            plan.build_key, plan.probe_key, tally,
         )
 
-    rows, names = joined.rows, joined.column_names
     if plan.residual is not None:
-        kept = tally.add(filter_rows(rows, names, plan.residual))
-        rows = kept.rows
-    rows, names = _local_tail(query, rows, names, tally)
+        joined_stream = filter_batches(joined_stream, names, plan.residual, tally)
+    rows, names = _local_tail_batches(query, joined_stream, names, tally)
 
     if mode == "baseline":
         n_records = plan.build.num_rows + plan.probe.num_rows
@@ -398,5 +413,11 @@ def _execute_join(
             )
         ]
     else:
+        phases.append(
+            phase_since(
+                ctx, mark2, "probe-scan", streams=plan.probe.partitions,
+                ingest=(probe_source.rows, len(probe_cols)),
+            )
+        )
         phases[-1].server_cpu_seconds += tally.seconds
     return ctx.finalize(mark, rows, names, phases, strategy=f"{mode} join")

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 from repro.common.errors import UnsupportedFeatureError
 from repro.expr.aggregates import CompiledAggregate, split_aggregate_expr
@@ -29,7 +30,13 @@ from repro.s3select.validator import (
     validate_select_sql,
 )
 from repro.sqlparser import ast, parser
-from repro.storage.csvcodec import encode_row, iter_records_with_offsets
+from repro.storage.csvcodec import (
+    DEFAULT_BATCH_SIZE,
+    chunk_rows,
+    encode_row,
+    iter_decode_table,
+    iter_records_with_offsets,
+)
 from repro.storage.object_store import StoredObject
 from repro.storage.parquet import ParquetFile
 from repro.storage.schema import TableSchema
@@ -122,34 +129,55 @@ def _execute_csv(
 ) -> SelectResult:
     schema = object_schema(obj)
     has_header = obj.metadata.get("header", True)
-    rows = []
     if scan_range is not None:
         window = obj.data[scan_range.start : scan_range.end]
         bytes_scanned = len(window)
-        # A record is in-range if it *starts* inside the range; the engine
-        # reads through its end (we approximate by dropping a final
-        # partial record unless the range ends at the object boundary).
-        records = list(iter_records_with_offsets(window))
-        if records and scan_range.end < len(obj.data) and not window.endswith(b"\n"):
-            records = records[:-1]
-        for _, _, record in records:
-            if has_header and record == list(schema.names):
-                continue  # range started at 0 and swallowed the header
-            rows.append(schema.parse_row(record))
+        rows = _iter_range_rows(obj, window, scan_range, schema, has_header)
     else:
         bytes_scanned = len(obj.data)
-        records_iter = iter_records_with_offsets(obj.data)
-        if has_header:
-            next(records_iter, None)
-        for _, _, record in records_iter:
-            rows.append(schema.parse_row(record))
+        rows = iter_decode_table(obj.data, schema, has_header=has_header)
     return _evaluate(query, rows, schema, bytes_scanned)
+
+
+def _iter_range_rows(
+    obj: StoredObject,
+    window: bytes,
+    scan_range: ScanRange,
+    schema: TableSchema,
+    has_header: bool,
+) -> Iterator[tuple]:
+    """Lazily parse the rows of one CSV ScanRange window.
+
+    A record is in-range if it *starts* inside the range; the engine
+    reads through its end.  We approximate by dropping a trailing record
+    only when the range genuinely cuts it mid-content: a trailing record
+    is complete when the range reaches the object boundary, when the
+    window ends with the record delimiter, or when the delimiter is the
+    very next byte after the window (a range ending exactly on a record
+    boundary must not lose that record).
+    """
+    keep_trailing = (
+        scan_range.end >= len(obj.data)
+        or window.endswith(b"\n")
+        or obj.data[scan_range.end : scan_range.end + 1] == b"\n"
+    )
+    header = list(schema.names)
+    pending: list[str] | None = None
+    for _, _, record in iter_records_with_offsets(window):
+        if pending is not None:
+            yield schema.parse_row(pending)
+        if has_header and record == header:
+            pending = None  # range started at 0 and swallowed the header
+            continue
+        pending = record
+    if pending is not None and keep_trailing:
+        yield schema.parse_row(pending)
 
 
 def _execute_parquet(obj: StoredObject, query: ast.Query) -> SelectResult:
     pq = ParquetFile(obj.data)
     needed = _referenced_columns(query, pq.schema)
-    rows = pq.read_rows(needed)
+    rows = pq.iter_rows(needed)
     schema = pq.schema.project(needed) if needed else pq.schema
     bytes_scanned = pq.scan_bytes_for(needed if needed else None)
     return _evaluate(query, rows, schema, bytes_scanned)
@@ -168,41 +196,70 @@ def _referenced_columns(query: ast.Query, schema: TableSchema) -> list[str]:
     return [n for n in schema.names if n.lower() in lowered]
 
 
-def _evaluate(
-    query: ast.Query, rows: list[tuple], schema: TableSchema, bytes_scanned: int
-) -> SelectResult:
-    name_to_index = schema.name_to_index
-    rows_scanned = len(rows)
-    term_evals = rows_scanned * expression_complexity(query)
+class _RowCounter:
+    """Counts rows pulled from a lazy source (the ``rows_scanned`` meter).
 
-    if query.where is not None:
-        predicate = compile_predicate(query.where, name_to_index)
-        rows = [row for row in rows if predicate(row)]
+    With LIMIT early-termination the engine stops pulling once enough
+    output rows exist, so the count reflects what was actually parsed.
+    """
+
+    __slots__ = ("_rows", "count")
+
+    def __init__(self, rows: Iterable[tuple]):
+        self._rows = rows
+        self.count = 0
+
+    def __iter__(self) -> Iterator[tuple]:
+        for row in self._rows:
+            self.count += 1
+            yield row
+
+
+def _filtered_batches(
+    source: Iterable[tuple], predicate, batch_size: int = DEFAULT_BATCH_SIZE
+) -> Iterator[list[tuple]]:
+    """Chunk ``source`` into RecordBatches, applying ``predicate`` per batch."""
+    for batch in chunk_rows(source, batch_size):
+        yield [r for r in batch if predicate(r)] if predicate else batch
+
+
+def _evaluate(
+    query: ast.Query,
+    rows: Iterable[tuple],
+    schema: TableSchema,
+    bytes_scanned: int,
+) -> SelectResult:
+    """Evaluate ``query`` over a lazy row source, batch by batch.
+
+    ``rows_scanned`` / ``term_evals`` meter the records actually parsed;
+    ``bytes_scanned`` is fixed by the caller (the full object or the
+    requested ScanRange — billing does not shrink when LIMIT stops the
+    scan early, matching the byte accounting of the materialized engine).
+    """
+    name_to_index = schema.name_to_index
+    counter = _RowCounter(rows)
+    predicate = (
+        compile_predicate(query.where, name_to_index)
+        if query.where is not None
+        else None
+    )
+    batches = _filtered_batches(counter, predicate)
 
     if query.group_by:
-        out_rows, names = _run_grouped_aggregation(query, rows, name_to_index)
-        payload = b"".join(encode_row(row) for row in out_rows)
-        return SelectResult(
-            payload=payload,
-            rows=out_rows,
-            column_names=names,
-            bytes_scanned=bytes_scanned,
-            bytes_returned=len(payload),
-            rows_scanned=rows_scanned,
-            term_evals=term_evals,
-        )
-
-    is_aggregation = any(
-        not isinstance(item.expr, ast.Star) and ast.contains_aggregate(item.expr)
-        for item in query.select_items
-    )
-    if is_aggregation:
-        out_rows, names = _run_aggregation(query, rows, name_to_index)
+        out_rows, names = _run_grouped_aggregation(query, batches, name_to_index)
     else:
-        out_rows, names = _run_projection(query, rows, schema, name_to_index)
-
-    if query.limit is not None:
-        out_rows = out_rows[: query.limit]
+        is_aggregation = any(
+            not isinstance(item.expr, ast.Star) and ast.contains_aggregate(item.expr)
+            for item in query.select_items
+        )
+        if is_aggregation:
+            out_rows, names = _run_aggregation(query, batches, name_to_index)
+            if query.limit is not None:
+                out_rows = out_rows[: query.limit]
+        else:
+            out_rows, names = _run_projection(
+                query, batches, schema, name_to_index, query.limit
+            )
 
     payload = b"".join(encode_row(row) for row in out_rows)
     return SelectResult(
@@ -211,17 +268,23 @@ def _evaluate(
         column_names=names,
         bytes_scanned=bytes_scanned,
         bytes_returned=len(payload),
-        rows_scanned=rows_scanned,
-        term_evals=term_evals,
+        rows_scanned=counter.count,
+        term_evals=counter.count * expression_complexity(query),
     )
 
 
 def _run_projection(
     query: ast.Query,
-    rows: list[tuple],
+    batches: Iterable[list[tuple]],
     schema: TableSchema,
     name_to_index: dict[str, int],
+    limit: int | None,
 ) -> tuple[list[tuple], list[str]]:
+    """Project batches through the select list, stopping at ``limit`` rows.
+
+    Early termination is what makes ``LIMIT n`` cheap: the batch source
+    is never pulled past the batch that completes the n-th output row.
+    """
     extractors = []
     names: list[str] = []
     for ordinal, item in enumerate(query.select_items, start=1):
@@ -232,12 +295,18 @@ def _run_projection(
             continue
         extractors.append(compile_expr(item.expr, name_to_index))
         names.append(item.output_name(ordinal))
-    out = [tuple(fn(row) for fn in extractors) for row in rows]
+    out: list[tuple] = []
+    for batch in batches:
+        out.extend(tuple(fn(row) for fn in extractors) for row in batch)
+        if limit is not None and len(out) >= limit:
+            return out[:limit], names
     return out, names
 
 
 def _run_aggregation(
-    query: ast.Query, rows: list[tuple], name_to_index: dict[str, int]
+    query: ast.Query,
+    batches: Iterable[list[tuple]],
+    name_to_index: dict[str, int],
 ) -> tuple[list[tuple], list[str]]:
     """Evaluate an aggregate-only select list over filtered rows.
 
@@ -256,10 +325,11 @@ def _run_aggregation(
     accumulators = [
         [agg.new_accumulator() for agg in compiled] for compiled, _ in per_item
     ]
-    for row in rows:
-        for (compiled, _), accs in zip(per_item, accumulators):
-            for agg, acc in zip(compiled, accs):
-                acc.add(agg.input_value(row))
+    for batch in batches:
+        for row in batch:
+            for (compiled, _), accs in zip(per_item, accumulators):
+                for agg, acc in zip(compiled, accs):
+                    acc.add(agg.input_value(row))
 
     values: list[object] = []
     for (compiled, finisher), accs in zip(per_item, accumulators):
@@ -272,7 +342,9 @@ def _run_aggregation(
 
 
 def _run_grouped_aggregation(
-    query: ast.Query, rows: list[tuple], name_to_index: dict[str, int]
+    query: ast.Query,
+    batches: Iterable[list[tuple]],
+    name_to_index: dict[str, int],
 ) -> tuple[list[tuple], list[str]]:
     """Partial group-by at the storage side (Suggestion 4 extension).
 
@@ -304,18 +376,19 @@ def _run_grouped_aggregation(
         layout.append(("group", key_pos))
 
     groups: dict[tuple, list] = {}
-    for row in rows:
-        key = tuple(fn(row) for fn in group_fns)
-        state = groups.get(key)
-        if state is None:
-            state = [
-                [agg.new_accumulator() for agg in compiled]
-                for compiled, _ in agg_items
-            ]
-            groups[key] = state
-        for (compiled, _), accs in zip(agg_items, state):
-            for agg, acc in zip(compiled, accs):
-                acc.add(agg.input_value(row))
+    for batch in batches:
+        for row in batch:
+            key = tuple(fn(row) for fn in group_fns)
+            state = groups.get(key)
+            if state is None:
+                state = [
+                    [agg.new_accumulator() for agg in compiled]
+                    for compiled, _ in agg_items
+                ]
+                groups[key] = state
+            for (compiled, _), accs in zip(agg_items, state):
+                for agg, acc in zip(compiled, accs):
+                    acc.add(agg.input_value(row))
 
     out: list[tuple] = []
     for key, state in groups.items():

@@ -18,6 +18,11 @@ RECORD_DELIM = "\n"
 FIELD_DELIM = ","
 QUOTE = '"'
 
+#: Rows per :class:`RecordBatch` in the streaming execution pipeline.
+#: Large enough to amortize per-batch overhead, small enough that a
+#: batch of wide TPC-H rows stays cache-resident.
+DEFAULT_BATCH_SIZE = 4096
+
 
 def format_value(value: object) -> str:
     """Render one Python value as a CSV field ('' for NULL)."""
@@ -186,14 +191,62 @@ def iter_records_with_offsets(data: bytes) -> Iterator[tuple[int, int, list[str]
         yield start, n - 1, record
 
 
+def chunk_rows(rows: Iterable[tuple], batch_size: int) -> Iterator[list[tuple]]:
+    """Chunk a row iterable into RecordBatches of ``batch_size`` rows.
+
+    The single chunking implementation behind every batch iterator in
+    the pipeline (CSV/Parquet decode, S3 Select evaluation, partition
+    re-chunking, operator helpers).  The final batch may be short;
+    empty input yields no batches.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    batch: list[tuple] = []
+    for row in rows:
+        batch.append(row)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def iter_decode_table(
+    data: bytes, schema: TableSchema, has_header: bool = True
+) -> Iterator[tuple]:
+    """Lazily decode CSV bytes into typed tuples according to ``schema``.
+
+    Unlike :func:`decode_table` nothing is materialized: rows are parsed
+    on demand, so a consumer that stops early (LIMIT, top-K sampling)
+    never pays for the rest of the object.
+    """
+    records = iter_records(data)
+    if has_header:
+        next(records, None)
+    parse_row = schema.parse_row
+    for record in records:
+        yield parse_row(record)
+
+
+def iter_decode_batches(
+    data: bytes,
+    schema: TableSchema,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    has_header: bool = True,
+) -> Iterator[list[tuple]]:
+    """Lazily decode CSV bytes into :data:`DEFAULT_BATCH_SIZE`-row batches.
+
+    The unit of the streaming execution core: each yielded list is one
+    RecordBatch.  The final batch may be short; empty input yields no
+    batches.
+    """
+    yield from chunk_rows(
+        iter_decode_table(data, schema, has_header=has_header), batch_size
+    )
+
+
 def decode_table(
     data: bytes, schema: TableSchema, has_header: bool = True
 ) -> list[tuple]:
     """Decode CSV bytes into typed tuples according to ``schema``."""
-    rows: list[tuple] = []
-    records = iter_records(data)
-    if has_header:
-        next(records, None)
-    for record in records:
-        rows.append(schema.parse_row(record))
-    return rows
+    return list(iter_decode_table(data, schema, has_header=has_header))

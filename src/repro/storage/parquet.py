@@ -25,10 +25,10 @@ import json
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.common.errors import ReproError
-from repro.storage.csvcodec import format_value
+from repro.storage.csvcodec import chunk_rows, format_value
 from repro.storage.schema import ColumnDef, TableSchema
 
 MAGIC = b"SPQ1"
@@ -195,11 +195,49 @@ class ParquetFile:
                 result[name].extend(self._read_chunk(group, idx))
         return result
 
+    def iter_row_group_rows(
+        self, names: Sequence[str] | None = None
+    ) -> Iterator[list[tuple]]:
+        """Lazily yield one batch of row tuples per row group.
+
+        Only the referenced column chunks of each group are decompressed,
+        and only when the group is reached — a consumer that stops early
+        (LIMIT pushdown) never decodes the remaining groups.
+        """
+        names = list(names) if names is not None else list(self.schema.names)
+        indexes = [self.schema.index_of(n) for n in names]
+        for group in self.row_groups:
+            columns = [self._read_chunk(group, idx) for idx in indexes]
+            yield list(zip(*columns)) if columns else []
+
+    def iter_batches(
+        self,
+        names: Sequence[str] | None = None,
+        batch_size: int | None = None,
+    ) -> Iterator[list[tuple]]:
+        """Lazily yield RecordBatches, optionally re-chunked to ``batch_size``.
+
+        ``batch_size=None`` keeps the natural row-group granularity (one
+        batch per group), which avoids copying.
+        """
+        if batch_size is None:
+            yield from self.iter_row_group_rows(names)
+            return
+        if batch_size <= 0:
+            raise ParquetFormatError(f"batch_size must be positive, got {batch_size}")
+        yield from chunk_rows(self.iter_rows(names), batch_size)
+
+    def iter_rows(self, names: Sequence[str] | None = None) -> Iterator[tuple]:
+        """Lazily yield row tuples (optionally projected to ``names``)."""
+        for batch in self.iter_row_group_rows(names):
+            yield from batch
+
     def read_rows(self, names: Sequence[str] | None = None) -> list[tuple]:
         """Materialize rows (optionally projected to ``names``)."""
-        names = list(names) if names is not None else list(self.schema.names)
-        columns = self.read_columns(names)
-        return list(zip(*(columns[n] for n in names))) if names else []
+        out: list[tuple] = []
+        for batch in self.iter_row_group_rows(names):
+            out.extend(batch)
+        return out
 
     def scan_bytes_for(self, names: Sequence[str] | None = None) -> int:
         """Bytes a column-selective scan reads: referenced chunks + footer."""

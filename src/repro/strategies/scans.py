@@ -8,50 +8,92 @@ baselines:
 * :func:`select_table` — one S3 Select request per partition with a SQL
   string ("S3-side" processing).
 
-Both return materialized rows; the caller wraps the metered requests into
-a :class:`~repro.cloud.metrics.Phase` via :func:`phase_since`.
+Both are built on :func:`scan_partitions`, which fans the per-partition
+requests out over a worker pool (``workers`` knob, default serial) and
+hands back per-partition results.  :func:`iter_scan_batches` exposes the
+same scan as a stream of RecordBatches for the planner's streaming
+pipeline.  The caller wraps the metered requests into a
+:class:`~repro.cloud.metrics.Phase` via :func:`phase_since`.
+
+Concurrency never changes *what* is metered: every partition request is
+issued regardless of how results are consumed, so rows, bytes and cost
+are identical for any ``workers`` setting — only wall-clock changes.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 from repro.cloud.context import CloudContext
 from repro.cloud.metrics import Phase
+from repro.common.errors import ReproError
 from repro.engine.catalog import TableInfo
 from repro.s3select.engine import ScanRange
-from repro.storage.csvcodec import decode_table
+from repro.storage.csvcodec import (
+    DEFAULT_BATCH_SIZE,
+    chunk_rows,
+    decode_table,
+    iter_decode_batches,
+)
 from repro.storage.parquet import ParquetFile
 
 
-def get_table(ctx: CloudContext, table: TableInfo) -> list[tuple]:
-    """Load every partition with plain GETs and parse locally."""
-    rows: list[tuple] = []
-    for key in table.keys:
-        data = ctx.client.get_object(table.bucket, key)
-        if table.format == "csv":
-            rows.extend(decode_table(data, table.schema, has_header=False))
-        else:
-            rows.extend(ParquetFile(data).read_rows())
-    return rows
+@dataclass(frozen=True)
+class PartitionScan:
+    """Result of scanning one table partition (GET + parse, or S3 Select)."""
+
+    index: int
+    key: str
+    rows: list[tuple]
+    #: Column names of an S3 Select response; ``None`` for raw GETs
+    #: (the table schema applies unchanged).
+    column_names: list[str] | None
 
 
-def select_table(
+def _resolve_workers(ctx: CloudContext, workers: int | None) -> int:
+    if workers is None:
+        workers = getattr(ctx, "workers", None)
+    if workers is None:
+        return 1
+    return max(1, int(workers))
+
+
+def scan_partitions(
     ctx: CloudContext,
     table: TableInfo,
-    sql: str,
+    sql: str | None = None,
+    *,
+    workers: int | None = None,
     scan_range_fraction: float | None = None,
-) -> tuple[list[tuple], list[str]]:
-    """Run one S3 Select per partition; concatenate results.
+    ordered: bool = True,
+) -> Iterator[PartitionScan]:
+    """Scan every partition of ``table``, optionally concurrently.
 
     Args:
-        scan_range_fraction: if given, scan only the leading fraction of
-            each partition (used by sampling phases; S3 bills just the
-            range scanned).
+        sql: S3 Select SQL to push per partition; ``None`` issues plain
+            GETs and parses locally.
+        workers: concurrent partition requests.  ``None`` falls back to
+            ``ctx.workers`` (default serial).  Every partition is always
+            scanned — concurrency affects wall-clock only, never the
+            metered requests, rows, or cost.
+        scan_range_fraction: scan only the leading fraction of each
+            partition (sampling phases; S3 bills just the range).
+        ordered: yield results in partition order (deterministic row
+            order for callers that concatenate).  ``False`` yields in
+            completion order.
     """
-    rows: list[tuple] = []
-    names: list[str] = []
-    for key in table.keys:
+    workers = _resolve_workers(ctx, workers)
+
+    def scan_one(index: int, key: str) -> PartitionScan:
+        if sql is None:
+            data = ctx.client.get_object(table.bucket, key)
+            if table.format == "csv":
+                rows = decode_table(data, table.schema, has_header=False)
+            else:
+                rows = ParquetFile(data).read_rows()
+            return PartitionScan(index=index, key=key, rows=rows, column_names=None)
         scan_range = None
         if scan_range_fraction is not None:
             size = ctx.store.object_size(table.bucket, key)
@@ -60,27 +102,149 @@ def select_table(
         result = ctx.client.select_object_content(
             table.bucket, key, sql, scan_range=scan_range
         )
-        rows.extend(result.rows)
-        names = result.column_names
+        return PartitionScan(
+            index=index,
+            key=key,
+            rows=result.rows,
+            column_names=list(result.column_names),
+        )
+
+    items = list(enumerate(table.keys))
+    if workers <= 1 or len(items) <= 1:
+        return iter([scan_one(i, k) for i, k in items])
+    with ThreadPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        futures = [pool.submit(scan_one, i, k) for i, k in items]
+        ordering = futures if ordered else as_completed(futures)
+        results = [f.result() for f in ordering]
+    return iter(results)
+
+
+def iter_scan_batches(
+    ctx: CloudContext,
+    table: TableInfo,
+    sql: str | None = None,
+    *,
+    workers: int | None = None,
+    batch_size: int | None = None,
+    scan_range_fraction: float | None = None,
+) -> Iterator[list[tuple]]:
+    """Stream a table scan as RecordBatches, in partition order.
+
+    The per-partition requests are issued eagerly (so request/byte
+    accounting is independent of how far the stream is consumed); for
+    plain GETs the *decoding* is lazy, so a downstream LIMIT that stops
+    pulling never parses the remaining bytes.
+    """
+    if batch_size is None:
+        batch_size = getattr(ctx, "batch_size", DEFAULT_BATCH_SIZE)
+    if sql is None and scan_range_fraction is None:
+        return _iter_get_batches(ctx, table, workers=workers, batch_size=batch_size)
+    scans = scan_partitions(
+        ctx, table, sql, workers=workers, scan_range_fraction=scan_range_fraction
+    )
+    return chunk_rows(
+        (row for scan in scans for row in scan.rows), batch_size
+    )
+
+
+def _iter_get_batches(
+    ctx: CloudContext, table: TableInfo, workers: int | None, batch_size: int
+) -> Iterator[list[tuple]]:
+    """GET every partition (metered, possibly concurrent), decode lazily."""
+    workers = _resolve_workers(ctx, workers)
+    keys = list(table.keys)
+    if workers <= 1 or len(keys) <= 1:
+        payloads = [ctx.client.get_object(table.bucket, k) for k in keys]
+    else:
+        with ThreadPoolExecutor(max_workers=min(workers, len(keys))) as pool:
+            payloads = list(
+                pool.map(lambda k: ctx.client.get_object(table.bucket, k), keys)
+            )
+
+    def decoded() -> Iterator[list[tuple]]:
+        for data in payloads:
+            if table.format == "csv":
+                yield from iter_decode_batches(
+                    data, table.schema, batch_size=batch_size, has_header=False
+                )
+            else:
+                yield from ParquetFile(data).iter_batches(batch_size=batch_size)
+
+    return decoded()
+
+
+def get_table(
+    ctx: CloudContext, table: TableInfo, workers: int | None = None
+) -> list[tuple]:
+    """Load every partition with plain GETs and parse locally."""
+    rows: list[tuple] = []
+    for scan in scan_partitions(ctx, table, workers=workers):
+        rows.extend(scan.rows)
+    return rows
+
+
+def _merge_names(names: list[str], scan: PartitionScan) -> list[str]:
+    """Adopt the first partition's column names; insist the rest agree."""
+    if not scan.column_names:
+        return names
+    if not names:
+        return scan.column_names
+    if scan.column_names != names:
+        raise ReproError(
+            f"partition {scan.key!r} returned columns {scan.column_names},"
+            f" expected {names}"
+        )
+    return names
+
+
+def select_table(
+    ctx: CloudContext,
+    table: TableInfo,
+    sql: str,
+    scan_range_fraction: float | None = None,
+    workers: int | None = None,
+) -> tuple[list[tuple], list[str]]:
+    """Run one S3 Select per partition; concatenate results.
+
+    Column names come from the first partition's response (they are a
+    function of the query and schema, so an empty trailing partition can
+    no longer blank them out) and are asserted consistent across
+    partitions.
+
+    Args:
+        scan_range_fraction: if given, scan only the leading fraction of
+            each partition (used by sampling phases; S3 bills just the
+            range scanned).
+        workers: concurrent partition requests (default ``ctx.workers``).
+    """
+    rows: list[tuple] = []
+    names: list[str] = []
+    for scan in scan_partitions(
+        ctx, table, sql, workers=workers, scan_range_fraction=scan_range_fraction
+    ):
+        rows.extend(scan.rows)
+        names = _merge_names(names, scan)
     return rows, names
 
 
 def select_aggregate(
-    ctx: CloudContext, table: TableInfo, sql: str
+    ctx: CloudContext,
+    table: TableInfo,
+    sql: str,
+    workers: int | None = None,
 ) -> tuple[list[list[object]], list[str]]:
     """Run an aggregate-only select per partition, keeping partials apart.
 
     Each partition returns exactly one row of partial aggregates; the
     caller merges them (SUM/COUNT add, MIN/MAX compare).  Returned as a
-    list of per-partition rows.
+    list of per-partition rows, in partition order.
     """
     partials: list[list[object]] = []
     names: list[str] = []
-    for key in table.keys:
-        result = ctx.client.select_object_content(table.bucket, key, sql)
-        if result.rows:
-            partials.append(list(result.rows[0]))
-        names = result.column_names
+    for scan in scan_partitions(ctx, table, sql, workers=workers):
+        if scan.rows:
+            partials.append(list(scan.rows[0]))
+        names = _merge_names(names, scan)
     return partials, names
 
 
@@ -108,6 +272,7 @@ def phase_since(
     streams: int | None = None,
     server_cpu_seconds: float = 0.0,
     ingest: tuple[int, int] | None = None,
+    workers: int | None = None,
 ) -> Phase:
     """Bundle all requests issued since ``mark`` into one phase.
 
@@ -115,6 +280,9 @@ def phase_since(
         ingest: ``(records, columns)`` the query node materializes from
             this phase's responses; the performance model charges
             per-record and per-field parse time for them.
+        workers: bound the modeled stream concurrency of the phase
+            (see :class:`~repro.cloud.metrics.Phase`).  ``None`` keeps
+            the fully overlapped model.
     """
     records, columns = ingest if ingest is not None else (0, 0)
     return Phase.from_records(
@@ -124,6 +292,7 @@ def phase_since(
         server_cpu_seconds=server_cpu_seconds,
         server_records=records,
         server_fields=records * columns,
+        workers=workers,
     )
 
 

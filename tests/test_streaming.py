@@ -1,0 +1,450 @@
+"""Tests for the streaming RecordBatch pipeline and concurrent scans.
+
+Covers the PR-1 refactor end to end:
+
+* ScanRange boundary semantics (range ending on a record boundary,
+  range swallowing the header, range past EOF);
+* LIMIT early-termination accounting (fewer rows parsed, identical
+  bytes billed);
+* lazy batch iterators agreeing with the materializing codecs;
+* streaming operator variants agreeing with the materialized ones,
+  including charged CPU;
+* ``select_table`` column-name handling over empty partitions;
+* ``workers > 1`` vs ``workers = 1`` producing identical rows, bytes
+  and cost — differentially on every TPC-H query;
+* thread-safety of the metrics collector.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cloud.context import CloudContext
+from repro.cloud.metrics import MetricsCollector, Phase, RequestKind, RequestRecord
+from repro.cloud.perf import PAPER_PERF
+from repro.common.errors import ReproError
+from repro.engine.catalog import Catalog, load_table
+from repro.engine.operators.base import BatchCounter, CpuTally, batches_of, materialize
+from repro.engine.operators.filter import filter_batches, filter_rows
+from repro.engine.operators.groupby import group_by_aggregate, group_by_batches
+from repro.engine.operators.hashjoin import hash_join, hash_join_batches
+from repro.engine.operators.limit import limit_batches
+from repro.engine.operators.project import project, project_batches, projected_names
+from repro.engine.operators.sort import sort_batches, sort_rows
+from repro.engine.operators.topk import top_k, top_k_batches
+from repro.queries.dataset import load_tpch
+from repro.queries.tpch_queries import TPCH_QUERIES
+from repro.s3select.engine import ScanRange, execute_select
+from repro.sqlparser import ast
+from repro.sqlparser.parser import parse, parse_expression
+from repro.storage.csvcodec import (
+    decode_table,
+    encode_table,
+    iter_decode_batches,
+)
+from repro.storage.object_store import StoredObject
+from repro.storage.parquet import ParquetFile, write_parquet
+from repro.storage.schema import TableSchema
+from repro.strategies.scans import scan_partitions, select_aggregate, select_table
+
+SCHEMA = TableSchema.of("k:int", "v:float")
+SPEC = ["k:int", "v:float"]
+
+
+def _csv_object(rows, header=False):
+    data, _ = encode_table(rows, header=list(SCHEMA.names) if header else None)
+    return StoredObject(
+        data, {"format": "csv", "schema": SPEC, "header": header}
+    )
+
+
+ROWS = [(i, float(i) * 1.5) for i in range(20)]
+
+
+# ----------------------------------------------------------------------
+# ScanRange edges
+# ----------------------------------------------------------------------
+
+class TestScanRangeEdges:
+    def test_range_ending_exactly_on_record_boundary_keeps_record(self):
+        """End lands on a record's final content byte, delimiter just
+        outside: the record is complete and must not be dropped."""
+        obj = _csv_object(ROWS)
+        lines = obj.data.split(b"\n")
+        # End of the third record's content (newline is at index end).
+        end = len(lines[0]) + len(lines[1]) + len(lines[2]) + 2
+        assert obj.data[end : end + 1] == b"\n"
+        result = execute_select(
+            obj, "SELECT k FROM S3Object", scan_range=ScanRange(0, end)
+        )
+        assert [r[0] for r in result.rows] == [0, 1, 2]
+
+    def test_range_ending_after_newline_keeps_record(self):
+        obj = _csv_object(ROWS)
+        first = obj.data.index(b"\n") + 1
+        result = execute_select(
+            obj, "SELECT k FROM S3Object", scan_range=ScanRange(0, first)
+        )
+        assert [r[0] for r in result.rows] == [0]
+
+    def test_range_cutting_mid_record_drops_partial(self):
+        obj = _csv_object(ROWS)
+        first = obj.data.index(b"\n") + 1
+        # Stop two bytes into the second record: genuinely partial.
+        result = execute_select(
+            obj, "SELECT k FROM S3Object", scan_range=ScanRange(0, first + 2)
+        )
+        assert [r[0] for r in result.rows] == [0]
+        assert result.bytes_scanned == first + 2
+
+    def test_range_swallowing_header_skips_it(self):
+        obj = _csv_object(ROWS, header=True)
+        result = execute_select(
+            obj, "SELECT k FROM S3Object",
+            scan_range=ScanRange(0, len(obj.data) // 2),
+        )
+        assert result.rows
+        assert result.rows[0] == (0,)  # header row not parsed as data
+
+    def test_range_past_eof_clamps_billing(self):
+        obj = _csv_object(ROWS)
+        result = execute_select(
+            obj, "SELECT k FROM S3Object",
+            scan_range=ScanRange(0, len(obj.data) + 10_000),
+        )
+        assert [r[0] for r in result.rows] == [r[0] for r in ROWS]
+        assert result.bytes_scanned == len(obj.data)
+
+
+# ----------------------------------------------------------------------
+# LIMIT early termination
+# ----------------------------------------------------------------------
+
+class TestLimitEarlyTermination:
+    def test_limit_stops_parsing_but_bills_full_object(self):
+        rows = [(i, float(i)) for i in range(50_000)]
+        obj = _csv_object(rows)
+        limited = execute_select(obj, "SELECT k FROM S3Object LIMIT 3")
+        assert limited.rows == [(0,), (1,), (2,)]
+        assert limited.rows_scanned < len(rows)
+        # Billing is for the scanned range, not the parsed prefix.
+        assert limited.bytes_scanned == len(obj.data)
+
+    def test_limit_larger_than_table_scans_everything(self):
+        obj = _csv_object(ROWS)
+        result = execute_select(obj, "SELECT k FROM S3Object LIMIT 10000")
+        assert result.rows_scanned == len(ROWS)
+        assert len(result.rows) == len(ROWS)
+
+    def test_full_scan_accounting_unchanged(self):
+        obj = _csv_object(ROWS)
+        result = execute_select(obj, "SELECT k FROM S3Object WHERE k >= 5")
+        assert result.rows_scanned == len(ROWS)
+        assert result.term_evals == len(ROWS)
+        assert result.bytes_scanned == len(obj.data)
+
+
+# ----------------------------------------------------------------------
+# batch iterators vs materializing codecs
+# ----------------------------------------------------------------------
+
+class TestBatchIterators:
+    def test_csv_batches_concatenate_to_decode_table(self):
+        data, _ = encode_table(ROWS)
+        whole = decode_table(data, SCHEMA, has_header=False)
+        for batch_size in (1, 3, 7, 1000):
+            batches = list(
+                iter_decode_batches(data, SCHEMA, batch_size, has_header=False)
+            )
+            assert [r for b in batches for r in b] == whole
+            assert all(len(b) <= batch_size for b in batches)
+
+    def test_parquet_batches_concatenate_to_read_rows(self):
+        rows = [(i, float(i)) for i in range(100)]
+        pq = ParquetFile(write_parquet(rows, SCHEMA, row_group_rows=13))
+        whole = pq.read_rows()
+        assert whole == rows
+        assert [r for b in pq.iter_batches() for r in b] == rows
+        for batch_size in (4, 13, 50, 500):
+            batches = list(pq.iter_batches(batch_size=batch_size))
+            assert [r for b in batches for r in b] == rows
+            assert all(len(b) <= batch_size for b in batches)
+
+    def test_parquet_batches_project_columns(self):
+        rows = [(i, float(i)) for i in range(30)]
+        pq = ParquetFile(write_parquet(rows, SCHEMA, row_group_rows=7))
+        assert [r for b in pq.iter_batches(names=["v"]) for r in b] == [
+            (float(i),) for i in range(30)
+        ]
+
+    def test_empty_input_yields_no_batches(self):
+        data, _ = encode_table([])
+        assert list(iter_decode_batches(data, SCHEMA, has_header=False)) == []
+
+
+# ----------------------------------------------------------------------
+# streaming operators vs materialized operators
+# ----------------------------------------------------------------------
+
+NAMES = ["k", "v"]
+OP_ROWS = [(i % 7, float(i)) for i in range(100)]
+
+
+def _stream(batch_size=9):
+    return batches_of(iter(OP_ROWS), batch_size)
+
+
+class TestStreamingOperators:
+    def test_filter_batches_matches_filter_rows(self):
+        pred = parse_expression("k >= 3")
+        tally = CpuTally()
+        got = materialize(filter_batches(_stream(), NAMES, pred, tally))
+        want = filter_rows(OP_ROWS, NAMES, pred)
+        assert got == want.rows
+        assert tally.seconds == pytest.approx(want.cpu_seconds)
+
+    def test_project_batches_matches_project(self):
+        items = parse("SELECT v, k * 2 FROM S3Object").select_items
+        tally = CpuTally()
+        got = materialize(project_batches(_stream(), NAMES, items, tally))
+        want = project(OP_ROWS, NAMES, items)
+        assert got == want.rows
+        assert projected_names(NAMES, items) == want.column_names
+        assert tally.seconds == pytest.approx(want.cpu_seconds)
+
+    def test_group_by_batches_matches_group_by_aggregate(self):
+        q = parse("SELECT k, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY k")
+        agg_items = [i for i in q.select_items if ast.contains_aggregate(i.expr)]
+        got = group_by_batches(_stream(), NAMES, q.group_by, agg_items)
+        want = group_by_aggregate(OP_ROWS, NAMES, q.group_by, agg_items)
+        assert got.rows == want.rows
+        assert got.column_names == want.column_names
+        assert got.cpu_seconds == pytest.approx(want.cpu_seconds)
+
+    def test_sort_and_topk_batches_match(self):
+        order = parse("SELECT k FROM t ORDER BY v DESC").order_by
+        assert sort_batches(_stream(), NAMES, order).rows == (
+            sort_rows(OP_ROWS, NAMES, order).rows
+        )
+        for k in (0, 5, 100, 1000):
+            got = top_k_batches(_stream(), NAMES, order, k)
+            want = top_k(OP_ROWS, NAMES, order, k)
+            assert got.rows == want.rows
+            assert got.cpu_seconds == pytest.approx(want.cpu_seconds)
+
+    def test_topk_batches_tie_stability(self):
+        rows = [(1, float(i % 2)) for i in range(40)]
+        order = parse("SELECT k FROM t ORDER BY v").order_by
+        got = top_k_batches(batches_of(iter(rows), 6), NAMES, order, 10)
+        assert got.rows == top_k(rows, NAMES, order, 10).rows
+
+    def test_hash_join_batches_matches_hash_join(self):
+        build = [(i, f"n{i}") for i in range(10)]
+        probe = [(i % 13, float(i)) for i in range(60)]
+        tally = CpuTally()
+        names, joined = hash_join_batches(
+            build, ["id", "name"], batches_of(iter(probe), 7), ["fk", "x"],
+            "id", "fk", tally,
+        )
+        got = materialize(joined)
+        want = hash_join(build, ["id", "name"], probe, ["fk", "x"], "id", "fk")
+        assert got == want.rows
+        assert names == want.column_names
+        assert tally.seconds == pytest.approx(want.cpu_seconds)
+
+    def test_limit_batches_stops_pulling_upstream(self):
+        pulled = []
+
+        def source():
+            for i, batch in enumerate(batches_of(iter(OP_ROWS), 10)):
+                pulled.append(i)
+                yield batch
+
+        out = materialize(limit_batches(source(), 25))
+        assert out == OP_ROWS[:25]
+        assert pulled == [0, 1, 2]  # 3 batches of 10, not all 10 batches
+
+    def test_batch_counter_counts_consumed_rows(self):
+        counter = BatchCounter(batches_of(iter(OP_ROWS), 8))
+        materialize(limit_batches(counter, 20))
+        assert counter.rows == 24  # three 8-row batches pulled
+
+
+# ----------------------------------------------------------------------
+# select_table / select_aggregate column names over empty partitions
+# ----------------------------------------------------------------------
+
+class TestPartitionScanNames:
+    def _ctx_with_table(self, rows, partitions):
+        ctx = CloudContext()
+        catalog = Catalog()
+        info = load_table(
+            ctx, catalog, "t", rows, SCHEMA, bucket="b", partitions=partitions
+        )
+        return ctx, info
+
+    def test_names_survive_empty_final_partition(self):
+        # 3 rows over 3 partitions, then an empty fourth partition object.
+        ctx, info = self._ctx_with_table([(1, 1.0), (2, 2.0), (3, 3.0)], 3)
+        ctx.store.put_object(
+            "b", "t/part-9999.csv", b"",
+            metadata={"format": "csv", "schema": SPEC, "header": False},
+        )
+        info.keys.append("t/part-9999.csv")
+        rows, names = select_table(ctx, info, "SELECT k, v FROM S3Object")
+        assert rows == [(1, 1.0), (2, 2.0), (3, 3.0)]
+        assert names == ["k", "v"]
+
+    def test_names_present_for_empty_table(self):
+        ctx, info = self._ctx_with_table([], 4)
+        rows, names = select_table(ctx, info, "SELECT k FROM S3Object")
+        assert rows == []
+        assert names == ["k"]
+
+    def test_aggregate_names_from_first_partition(self):
+        ctx, info = self._ctx_with_table([(i, float(i)) for i in range(8)], 4)
+        partials, names = select_aggregate(
+            ctx, info, "SELECT SUM(v) AS s FROM S3Object"
+        )
+        assert names == ["s"]
+        assert len(partials) == 4
+
+    def test_inconsistent_partition_columns_rejected(self):
+        ctx, info = self._ctx_with_table([(1, 1.0), (2, 2.0)], 2)
+        # Corrupt one partition's schema metadata so its response differs.
+        obj = ctx.store.get_object("b", info.keys[1])
+        ctx.store.put_object(
+            "b", info.keys[1], obj.data,
+            metadata={"format": "csv", "schema": ["q:int", "w:float"],
+                      "header": False},
+        )
+        with pytest.raises(ReproError):
+            select_table(ctx, info, "SELECT * FROM S3Object")
+
+
+# ----------------------------------------------------------------------
+# concurrent scans: identical results and accounting
+# ----------------------------------------------------------------------
+
+class TestConcurrentScans:
+    def _table(self, ctx):
+        catalog = Catalog()
+        rows = [(i, float(i) * 0.5) for i in range(500)]
+        return load_table(
+            ctx, catalog, "t", rows, SCHEMA, bucket="b", partitions=16
+        )
+
+    def test_scan_partitions_ordered_and_complete(self):
+        ctx = CloudContext()
+        info = self._table(ctx)
+        serial = list(scan_partitions(ctx, info, "SELECT k FROM S3Object"))
+        pooled = list(
+            scan_partitions(ctx, info, "SELECT k FROM S3Object", workers=8)
+        )
+        assert [s.index for s in pooled] == [s.index for s in serial]
+        assert [s.rows for s in pooled] == [s.rows for s in serial]
+
+    def test_unordered_scan_covers_every_partition(self):
+        ctx = CloudContext()
+        info = self._table(ctx)
+        scans = list(
+            scan_partitions(
+                ctx, info, "SELECT k FROM S3Object", workers=8, ordered=False
+            )
+        )
+        assert sorted(s.index for s in scans) == list(range(16))
+
+    def test_get_and_select_identical_across_worker_counts(self):
+        baseline = None
+        for workers in (1, 4):
+            ctx = CloudContext(workers=workers)
+            info = self._table(ctx)
+            mark = ctx.metrics.mark()
+            rows, names = select_table(
+                ctx, info, "SELECT k, v FROM S3Object WHERE k < 100"
+            )
+            records = ctx.metrics.records_since(mark)
+            summary = (
+                rows, names, len(records),
+                sum(r.bytes_scanned for r in records),
+                sum(r.bytes_returned for r in records),
+            )
+            if baseline is None:
+                baseline = summary
+            else:
+                assert summary == baseline
+
+
+@pytest.fixture(scope="module")
+def tpch_envs():
+    """The same TPC-H dataset loaded into a serial and a concurrent context."""
+    envs = {}
+    for workers in (1, 4):
+        ctx = CloudContext(workers=workers)
+        catalog = Catalog()
+        load_tpch(ctx, catalog, 0.002, seed=11)
+        envs[workers] = (ctx, catalog)
+    return envs
+
+
+class TestTpchWorkersDifferential:
+    """Every TPC-H query must be byte-for-byte independent of ``workers``."""
+
+    @pytest.mark.parametrize("name", sorted(TPCH_QUERIES))
+    @pytest.mark.parametrize("variant", ["baseline", "optimized"])
+    def test_rows_bytes_cost_identical(self, name, variant, tpch_envs):
+        outcomes = {}
+        for workers, (ctx, catalog) in tpch_envs.items():
+            query_fn = getattr(TPCH_QUERIES[name], variant)
+            outcomes[workers] = query_fn(ctx, catalog)
+        a, b = outcomes[1], outcomes[4]
+        assert a.rows == b.rows
+        assert a.column_names == b.column_names
+        assert a.bytes_scanned == b.bytes_scanned
+        assert a.bytes_returned == b.bytes_returned
+        assert a.bytes_transferred == b.bytes_transferred
+        assert a.num_requests == b.num_requests
+        assert a.runtime_seconds == pytest.approx(b.runtime_seconds)
+        assert a.cost.total == pytest.approx(b.cost.total)
+
+
+# ----------------------------------------------------------------------
+# metrics thread safety & Phase.workers modeling
+# ----------------------------------------------------------------------
+
+class TestMetricsConcurrency:
+    def test_concurrent_recording_loses_nothing(self):
+        metrics = MetricsCollector()
+        per_thread, threads = 500, 8
+
+        def hammer():
+            for _ in range(per_thread):
+                metrics.record(
+                    RequestRecord(kind=RequestKind.GET, bucket="b", key="k",
+                                  bytes_transferred=1)
+                )
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert metrics.num_requests == per_thread * threads
+        assert metrics.bytes_transferred == per_thread * threads
+
+    def test_phase_workers_bounds_modeled_overlap(self):
+        records = [
+            RequestRecord(kind=RequestKind.SELECT, bucket="b", key=f"k{i}",
+                          bytes_scanned=60_000_000)
+            for i in range(8)
+        ]
+        unbounded = Phase.from_records("scan", records)
+        bounded = Phase.from_records("scan", records, workers=2)
+        t_unbounded = PAPER_PERF.phase_time(unbounded)
+        t_bounded = PAPER_PERF.phase_time(bounded)
+        # 8 one-second streams: fully overlapped ~1s, two lanes ~4s.
+        assert t_bounded > t_unbounded
+        assert t_bounded == pytest.approx(4 * (t_unbounded - PAPER_PERF.request_latency)
+                                          + PAPER_PERF.request_latency)
