@@ -1,0 +1,13 @@
+"""Optimizer bench: chooser picks vs measured winners across the sweeps."""
+
+from conftest import emit, run_once
+from repro.experiments import auto_strategy
+
+
+def test_auto_strategy_matches_measured_winners(benchmark, capsys):
+    result = run_once(benchmark, lambda: auto_strategy.run())
+    emit(capsys, result)
+    agree = sum(1 for r in result.rows if r["agree"])
+    # Full-size sweeps must agree everywhere; the crossover tolerance is
+    # only for the reduced tier-1 configuration.
+    assert agree == len(result.rows), result.notes

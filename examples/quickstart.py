@@ -15,6 +15,13 @@ The facade also exposes the streaming-pipeline knobs:
   operators; queries stream batches end to end instead of materializing
   whole tables, so a ``LIMIT`` stops parsing early.
 
+Beyond the fixed ``baseline`` / ``optimized`` modes there is
+``mode="auto"``: the cost-based optimizer prices every candidate plan
+from table statistics (collected at load time) and runs whichever it
+predicts cheapest; ``db.explain(sql)`` prints the per-candidate table
+without executing anything.  The CLI spelling is
+``python -m repro query "<SQL>" --strategy auto``.
+
 Run:  python examples/quickstart.py
 """
 
@@ -75,6 +82,15 @@ def main() -> None:
         if len(optimized.rows) > 5:
             print(f"    ... {len(optimized.rows) - 5} more rows")
         print()
+
+    # `auto` asks the cost-based optimizer to pick the plan: it prices
+    # baseline vs optimized from the statistics collected at load time
+    # and runs the predicted-cheapest one.  EXPLAIN shows its reasoning.
+    sql = "SELECT * FROM orders"  # pushdown buys nothing here: auto says GET
+    print("optimizer EXPLAIN for", repr(sql))
+    print(db.explain(sql))
+    picked = db.execute(sql, mode="auto").details["optimizer"]["picked"]
+    print(f"  auto ran the {picked!r} plan\n")
 
     # The workers knob changes real wall-clock, never the answer: add a
     # little per-request latency so there is network time to overlap,

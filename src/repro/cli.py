@@ -44,10 +44,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
         db.load_table(table, gen.table(table), TABLE_SCHEMAS[table])
     db.calibrate_to_paper_scale()
 
-    modes = ("baseline", "optimized") if args.compare else (args.mode,)
+    strategy = args.strategy if args.strategy is not None else args.mode
+    if args.compare:
+        # Compare the two fixed plans; when auto was asked for, run it
+        # too so its EXPLAIN report appears alongside the measurements.
+        modes = ("baseline", "optimized") + (("auto",) if strategy == "auto" else ())
+    else:
+        modes = (strategy,)
     for mode in modes:
         execution = db.execute(args.sql, mode=mode)
         print(f"--- {mode} ---")
+        # Render the optimizer's candidate table as its own block rather
+        # than as a raw dict inside the execution report.
+        summary = execution.details.pop("optimizer", None)
+        if summary is not None:
+            from repro.optimizer.chooser import render_choice_summary
+
+            print(render_choice_summary(summary, "sql"))
         print(execution.explain(db.ctx.perf))
         for row in execution.rows[: args.max_rows]:
             print(" ", row)
@@ -97,8 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_query = sub.add_parser("query", help="run SQL over a TPC-H dataset")
     p_query.add_argument("sql")
     p_query.add_argument("--scale-factor", type=float, default=0.005)
-    p_query.add_argument("--mode", choices=("baseline", "optimized"),
-                         default="optimized")
+    p_query.add_argument(
+        "--strategy", choices=("baseline", "optimized", "auto"), default=None,
+        help="physical plan: 'baseline' loads whole tables with GETs,"
+             " 'optimized' pushes work into S3 Select, 'auto' lets the"
+             " cost-based optimizer pick from per-candidate estimates"
+             " and prints its EXPLAIN report (default: optimized)",
+    )
+    p_query.add_argument("--mode", choices=("baseline", "optimized", "auto"),
+                         default="optimized",
+                         help="deprecated alias for --strategy")
     p_query.add_argument("--compare", action="store_true",
                          help="run both modes and show both reports")
     p_query.add_argument("--max-rows", type=int, default=10)

@@ -35,6 +35,9 @@ class IndexInfo:
     #: ``TableInfo.keys``.
     keys: list[str]
     schema: TableSchema
+    #: Total encoded size of the index objects; the cost model scans
+    #: these in the indexing strategy's phase 1.
+    total_bytes: int = 0
 
 
 @dataclass
@@ -50,10 +53,21 @@ class TableInfo:
     total_bytes: int
     partition_rows: list[int] = field(default_factory=list)
     indexes: dict[str, IndexInfo] = field(default_factory=dict)
+    #: Optimizer statistics collected at load time (``None`` when the
+    #: table was registered with ``collect_stats=False``).
+    stats: "TableStats | None" = None
 
     @property
     def partitions(self) -> int:
         return len(self.keys)
+
+    def stats_or_default(self) -> "TableStats":
+        """Collected statistics, or a synthesized fallback."""
+        if self.stats is not None:
+            return self.stats
+        from repro.optimizer.stats import synthesize_table_stats
+
+        return synthesize_table_stats(self.schema, self.num_rows, self.total_bytes)
 
     def index_for(self, column: str) -> IndexInfo:
         key = column.lower()
@@ -114,6 +128,7 @@ def load_table(
     index_columns: Iterable[str] = (),
     row_group_rows: int = DEFAULT_ROW_GROUP_ROWS,
     compression: str = "zlib",
+    collect_stats: bool = True,
 ) -> TableInfo:
     """Write ``rows`` to partitioned objects and register the table.
 
@@ -125,6 +140,10 @@ def load_table(
     Args:
         index_columns: columns to build Section IV-A index tables for.
             Index objects live under ``{name}/index/{column}/``.
+        collect_stats: run the optimizer's statistics pass over ``rows``
+            (row/column counts, min/max, distinct, widths, MCVs) and
+            attach the result to the catalog entry.  One linear pass at
+            load time; disable for throughput-sensitive bulk loads.
     """
     if data_format not in ("csv", "parquet"):
         raise CatalogError(f"unknown format {data_format!r}")
@@ -168,6 +187,10 @@ def load_table(
         total_bytes=total_bytes,
         partition_rows=partition_rows,
     )
+    if collect_stats:
+        from repro.optimizer.stats import collect_table_stats
+
+        info.stats = collect_table_stats(rows, schema)
 
     for column in index_columns:
         if data_format != "csv":
@@ -197,6 +220,7 @@ def _build_index(
     )
     index_spec = [f"{c.name}:{c.type}" for c in index_schema.columns]
     index_keys = []
+    index_bytes = 0
     for i, (sl, extents) in enumerate(zip(slices, extents_per_partition)):
         chunk = rows[sl]
         index_rows = [
@@ -212,4 +236,8 @@ def _build_index(
             metadata={"format": "csv", "schema": index_spec, "header": False},
         )
         index_keys.append(key)
-    return IndexInfo(column=column.lower(), keys=index_keys, schema=index_schema)
+        index_bytes += len(data)
+    return IndexInfo(
+        column=column.lower(), keys=index_keys, schema=index_schema,
+        total_bytes=index_bytes,
+    )

@@ -6,6 +6,7 @@ sized for seconds-scale execution; the benchmarks call these and print
 """
 
 from repro.experiments import (  # noqa: F401
+    auto_strategy,
     fig01_filter,
     fig02_join_customer,
     fig03_join_orders,
@@ -32,4 +33,5 @@ ALL_EXPERIMENTS = {
     "fig9": fig09_topk_k.run,
     "fig10": fig10_tpch.run,
     "fig11": fig11_parquet.run,
+    "auto": auto_strategy.run,
 }

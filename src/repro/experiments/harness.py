@@ -108,3 +108,20 @@ def calibrate_tables(
     """Calibrate ``ctx`` so the named tables behave like ``paper_bytes``."""
     total = sum(catalog.get(t).total_bytes for t in table_names)
     return ctx.calibrate_to_paper_scale(total, paper_bytes)
+
+
+def winners_by_sweep(
+    rows: Sequence[dict], sweep_key: str, metric: str = "cost_total"
+) -> dict:
+    """Measured winner per swept point: ``sweep value -> strategy``.
+
+    Works over :func:`execution_row`-shaped rows; the optimizer
+    experiments use it as the ground truth the chooser's picks are
+    validated against.
+    """
+    best: dict = {}
+    for row in rows:
+        value = row[sweep_key]
+        if value not in best or row[metric] < best[value][metric]:
+            best[value] = row
+    return {value: row["strategy"] for value, row in best.items()}

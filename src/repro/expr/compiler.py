@@ -271,27 +271,47 @@ def _compile_case(expr: ast.Case, schema: dict[str, int]) -> RowFunc:
 
 
 def _compile_in(expr: ast.InList, schema: dict[str, int]) -> RowFunc:
+    """``IN`` with SQL three-valued semantics.
+
+    A NULL operand yields NULL; a miss against a list that *contains* a
+    NULL also yields NULL (the NULL item might have been equal), and only
+    a miss against an all-non-NULL list yields FALSE.  ``NOT IN`` negates
+    TRUE/FALSE and leaves NULL alone.
+    """
     operand = _compile(expr.operand, schema)
     items = [_compile(item, schema) for item in expr.items]
     constant_items = all(isinstance(item, ast.Literal) for item in expr.items)
     negated = expr.negated
     if constant_items:
-        values = frozenset(item.value for item in expr.items)  # type: ignore[union-attr]
+        literals = [item.value for item in expr.items]  # type: ignore[union-attr]
+        values = frozenset(v for v in literals if v is not None)
+        has_null_item = any(v is None for v in literals)
 
         def member_const(row: tuple) -> object:
             value = operand(row)
             if value is None:
                 return None
-            result = value in values
-            return (not result) if negated else result
+            if value in values:
+                return not negated
+            if has_null_item:
+                return None
+            return negated
         return member_const
 
     def member(row: tuple) -> object:
         value = operand(row)
         if value is None:
             return None
-        result = any(item(row) == value for item in items)
-        return (not result) if negated else result
+        saw_null = False
+        for item in items:
+            candidate = item(row)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                return not negated
+        if saw_null:
+            return None
+        return negated
     return member
 
 
@@ -302,14 +322,25 @@ def _compile_between(expr: ast.Between, schema: dict[str, int]) -> RowFunc:
     negated = expr.negated
 
     def between(row: tuple) -> object:
+        # SQL defines BETWEEN as (x >= lo AND x <= hi) with three-valued
+        # AND: a NULL bound makes one comparison UNKNOWN, but the other
+        # comparison can still decide FALSE (e.g. ``5 BETWEEN NULL AND
+        # 3``); only an undecided conjunction yields NULL.
         value = operand(row)
         lo, hi = low(row), high(row)
-        if value is None or lo is None or hi is None:
-            return None
-        value, lo = _coerce_pair(value, lo, "BETWEEN")
-        value, hi = _coerce_pair(value, hi, "BETWEEN")
-        result = lo <= value <= hi
-        return (not result) if negated else result
+        above: object = None
+        if value is not None and lo is not None:
+            a, b = _coerce_pair(value, lo, "BETWEEN")
+            above = a >= b
+        below: object = None
+        if value is not None and hi is not None:
+            a, b = _coerce_pair(value, hi, "BETWEEN")
+            below = a <= b
+        if above is False or below is False:
+            return negated
+        if above is None or below is None:
+            return None  # NOT of UNKNOWN is still UNKNOWN
+        return not negated
     return between
 
 

@@ -1,0 +1,43 @@
+"""Cost-based optimizer: statistics, per-strategy cost model, chooser.
+
+The paper's central observation (Sections IV-VII, Figures 1-9) is that
+no pushdown strategy dominates: server-side vs S3-side filtering flips
+with selectivity, Bloom joins win only below a size ratio, S3-side
+group-by degrades with the group count, and sampling top-K needs K well
+under the table size.  This package makes the reproduction choose for
+itself:
+
+* :mod:`repro.optimizer.stats` — per-table/per-column statistics
+  collected at load time into the catalog;
+* :mod:`repro.optimizer.selectivity` — predicate selectivity estimation
+  from those statistics, plus an optional (metered) ScanRange sampling
+  probe;
+* :mod:`repro.optimizer.cost` — per-candidate predictions of requests,
+  bytes scanned/returned/transferred, simulated runtime and dollar cost,
+  built on the *same* :mod:`repro.cloud.perf` phase math and
+  :mod:`repro.cloud.pricing` sheet the execution layer is billed with;
+* :mod:`repro.optimizer.chooser` — ranks the candidates, runs the
+  winner, and renders an EXPLAIN-style report.
+"""
+
+from repro.optimizer.chooser import (  # noqa: F401
+    Choice,
+    choose,
+    choose_filter_strategy,
+    choose_group_by_strategy,
+    choose_join_strategy,
+    choose_top_k_strategy,
+    explain_choice,
+    render_choice_summary,
+    run_auto,
+)
+from repro.optimizer.cost import CostModel, StrategyEstimate  # noqa: F401
+from repro.optimizer.selectivity import (  # noqa: F401
+    estimate_selectivity,
+    probe_selectivity,
+)
+from repro.optimizer.stats import (  # noqa: F401
+    ColumnStats,
+    TableStats,
+    collect_table_stats,
+)

@@ -79,16 +79,37 @@ class PushdownDB:
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
-    def execute(self, sql: str, mode: str = "optimized") -> QueryExecution:
+    def execute(
+        self, sql: str, mode: str = "optimized", strategy: str | None = None
+    ) -> QueryExecution:
         """Run a SQL query.
 
         Args:
             sql: a single-table or two-table SELECT (see
                 :mod:`repro.planner.planner` for the supported subset).
             mode: ``"optimized"`` uses the paper's pushdown strategies;
-                ``"baseline"`` loads whole tables with plain GETs.
+                ``"baseline"`` loads whole tables with plain GETs;
+                ``"auto"`` lets the cost-based optimizer pick whichever
+                the statistics predict cheaper (the per-candidate
+                estimates land in ``execution.details["optimizer"]``).
+            strategy: alias for ``mode`` matching the CLI's
+                ``--strategy`` flag; wins when both are given.
         """
-        return plan_and_execute(self.ctx, self.catalog, sql, mode)
+        return plan_and_execute(
+            self.ctx, self.catalog, sql, strategy if strategy is not None else mode
+        )
+
+    def explain(self, sql: str) -> str:
+        """The optimizer's EXPLAIN report for ``sql`` (no execution).
+
+        Lists every candidate plan's predicted requests, bytes, runtime
+        and dollar cost, and marks the pick.
+        """
+        from repro.optimizer.chooser import choose_planner_mode
+        from repro.sqlparser.parser import parse
+
+        choice = choose_planner_mode(self.ctx, self.catalog, parse(sql))
+        return choice.explain()
 
     def calibrate_to_paper_scale(self, paper_bytes: float = 10e9) -> float:
         """Re-rate the context as if loaded data were paper-sized."""

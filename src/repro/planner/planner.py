@@ -48,13 +48,31 @@ _ADDITIVE = {"SUM", "COUNT"}
 def plan_and_execute(
     ctx: CloudContext, catalog: Catalog, sql: str, mode: str = "optimized"
 ) -> QueryExecution:
-    """Parse, plan, and run ``sql``; returns the finalized execution."""
-    if mode not in ("baseline", "optimized"):
-        raise PlanError(f"unknown mode {mode!r}; use 'baseline' or 'optimized'")
+    """Parse, plan, and run ``sql``; returns the finalized execution.
+
+    ``mode="auto"`` asks the cost-based optimizer to pick between the
+    baseline and optimized physical plans; the per-candidate estimates
+    land in ``execution.details["optimizer"]``.
+    """
+    if mode not in ("baseline", "optimized", "auto"):
+        raise PlanError(
+            f"unknown mode {mode!r}; use 'baseline', 'optimized' or 'auto'"
+        )
     query = parse(sql)
+    summary = None
+    if mode == "auto":
+        from repro.optimizer.chooser import choose_planner_mode
+
+        choice = choose_planner_mode(ctx, catalog, query)
+        mode = choice.picked
+        summary = choice.summary()
     if query.join_table is not None:
-        return _execute_join(ctx, catalog, query, mode)
-    return _execute_single(ctx, catalog, query, mode)
+        execution = _execute_join(ctx, catalog, query, mode)
+    else:
+        execution = _execute_single(ctx, catalog, query, mode)
+    if summary is not None:
+        execution.details["optimizer"] = summary
+    return execution
 
 
 # ----------------------------------------------------------------------

@@ -36,8 +36,13 @@ def format_value(value: object) -> str:
     return str(value)
 
 
+#: Characters that force a field into RFC-4180 quotes: the field and
+#: record delimiters, the quote itself, and CR (CRLF tolerance).
+_QUOTE_TRIGGERS = frozenset({FIELD_DELIM, QUOTE, RECORD_DELIM, "\n", "\r"})
+
+
 def _escape(field: str) -> str:
-    if any(ch in field for ch in (FIELD_DELIM, QUOTE, "\n", "\r")):
+    if any(ch in _QUOTE_TRIGGERS for ch in field):
         return QUOTE + field.replace(QUOTE, QUOTE + QUOTE) + QUOTE
     return field
 
@@ -134,19 +139,27 @@ def iter_records(data: bytes) -> Iterator[list[str]]:
 def iter_records_with_offsets(data: bytes) -> Iterator[tuple[int, int, list[str]]]:
     """Like :func:`iter_records` but yields ``(first_byte, last_byte, record)``.
 
-    Offsets are inclusive byte positions of the encoded record (including
-    its trailing newline, when present) — the convention the paper's
-    index tables use.  Quoting is handled, so embedded delimiters do not
-    split records.
+    Offsets are inclusive *byte* positions of the encoded record
+    (including its trailing newline, when present) — the convention the
+    paper's index tables use.  Character positions and byte positions
+    diverge on non-ASCII content, so the scan tracks the UTF-8 width of
+    every consumed character.  Quoting is handled, so embedded delimiters
+    do not split records.
     """
     text = data.decode()
+    ascii_only = len(text) == len(data)
     field: list[str] = []
     record: list[str] = []
     in_quotes = False
     i = 0
+    pos = 0  # byte offset of text[i]
     n = len(text)
     start = 0
     saw_any = False
+
+    def width(ch: str) -> int:
+        return 1 if ascii_only else len(ch.encode())
+
     while i < n:
         ch = text[i]
         if in_quotes:
@@ -154,41 +167,49 @@ def iter_records_with_offsets(data: bytes) -> Iterator[tuple[int, int, list[str]
                 if i + 1 < n and text[i + 1] == QUOTE:
                     field.append(QUOTE)
                     i += 2
+                    pos += 2
                     continue
                 in_quotes = False
                 i += 1
+                pos += 1
                 continue
             field.append(ch)
             i += 1
+            pos += width(ch)
             continue
         if ch == QUOTE:
             in_quotes = True
             saw_any = True
             i += 1
+            pos += 1
             continue
         if ch == FIELD_DELIM:
             record.append("".join(field))
             field = []
             saw_any = True
             i += 1
+            pos += 1
             continue
         if ch == "\n":
             record.append("".join(field))
-            yield start, i, record
+            yield start, pos, record
             field, record = [], []
             saw_any = False
             i += 1
-            start = i
+            pos += 1
+            start = pos
             continue
         if ch == "\r":
             i += 1
+            pos += 1
             continue
         field.append(ch)
         saw_any = True
         i += 1
+        pos += width(ch)
     if saw_any or record:
         record.append("".join(field))
-        yield start, n - 1, record
+        yield start, len(data) - 1, record
 
 
 def chunk_rows(rows: Iterable[tuple], batch_size: int) -> Iterator[list[tuple]]:

@@ -16,6 +16,11 @@ from repro.common.errors import CatalogError
 #: Supported logical column types.
 COLUMN_TYPES = ("int", "float", "str", "date")
 
+#: Rough encoded CSV field widths (bytes) by logical type.  Used by the
+#: cost-based optimizer as a fallback when a table was registered
+#: without collected statistics; measured statistics always win.
+TYPICAL_FIELD_BYTES = {"int": 6.0, "float": 9.0, "str": 12.0, "date": 10.0}
+
 
 def _parse_int(text: str) -> int | None:
     return int(text) if text else None
@@ -54,6 +59,10 @@ class ColumnDef:
     def parse(self, text: str) -> object:
         """Parse a CSV field into this column's Python type ('' -> NULL)."""
         return _PARSERS[self.type](text)
+
+    def typical_field_bytes(self) -> float:
+        """Ballpark encoded width of one field of this type."""
+        return TYPICAL_FIELD_BYTES[self.type]
 
 
 class TableSchema:

@@ -25,6 +25,7 @@ from repro.cloud.perf import SERVER_CPU_PER_ROW
 from repro.common.errors import PlanError
 from repro.engine.catalog import Catalog, TableInfo
 from repro.engine.operators.groupby import group_by_aggregate
+from repro.s3select.validator import EXPRESSION_LIMIT_BYTES
 from repro.sqlparser import ast
 from repro.strategies.scans import (
     get_table,
@@ -205,12 +206,29 @@ def hybrid_group_by(
     query: GroupByQuery,
     sample_fraction: float = DEFAULT_SAMPLE_FRACTION,
     s3_groups: int = DEFAULT_S3_GROUPS,
+    expression_limit_bytes: int = EXPRESSION_LIMIT_BYTES,
 ) -> QueryExecution:
-    """Hybrid group-by (Section VI-B): big groups at S3, tail locally."""
+    """Hybrid group-by (Section VI-B): big groups at S3, tail locally.
+
+    The pushed-group count is clamped so Q2's ``NOT IN`` tail predicate
+    stays within the service's expression limit — a ``NOT IN`` over all
+    pushed groups must travel in *one* request (its conjuncts cannot be
+    unioned across requests), so groups that do not fit are moved back
+    to the local tail instead of failing the query.
+    ``expression_limit_bytes`` is a test seam; real S3 is 256 KB.
+    """
     table = catalog.get(query.table)
     if len(query.group_columns) != 1:
         raise PlanError("hybrid group-by supports a single group column")
     group_col = query.group_columns[0]
+
+    agg_columns: list[str] = []
+    for agg in query.aggregates:
+        agg_columns.extend(
+            n for n in table.schema.names if n.lower() in
+            {c.lower() for c in agg.referenced_columns()}
+        )
+    needed = list(dict.fromkeys([group_col, *agg_columns]))
 
     # Phase 1: sample the leading fraction of each partition to find the
     # populous groups.
@@ -223,6 +241,17 @@ def hybrid_group_by(
     )
     counts = Counter(row[0] for row in sample_rows)
     large_groups = [(value,) for value, _ in counts.most_common(s3_groups)]
+
+    def q2_sql_for(groups: list[tuple]) -> str:
+        tail_predicate = _not_in_sql(group_col, [g[0] for g in groups])
+        where_parts = [p for p in (_predicate_sql(query), tail_predicate) if p]
+        return projection_sql(needed, " AND ".join(where_parts) or None)
+
+    # Drop the smallest pushed groups until the tail query fits the
+    # expression limit; every dropped group is aggregated locally instead.
+    while large_groups and len(q2_sql_for(large_groups).encode()) > expression_limit_bytes:
+        large_groups.pop()
+
     cpu1 = len(sample_rows) * SERVER_CPU_PER_ROW["aggregate"]
     phase1 = phase_since(
         ctx, mark, "sample-groups", streams=table.partitions,
@@ -237,16 +266,7 @@ def hybrid_group_by(
     q1_records = ctx.metrics.records_since(mark2)
 
     mark_q2 = ctx.metrics.mark()
-    agg_columns: list[str] = []
-    for agg in query.aggregates:
-        agg_columns.extend(
-            n for n in table.schema.names if n.lower() in
-            {c.lower() for c in agg.referenced_columns()}
-        )
-    needed = list(dict.fromkeys([group_col, *agg_columns]))
-    tail_predicate = _not_in_sql(group_col, [g[0] for g in large_groups])
-    where_parts = [p for p in (_predicate_sql(query), tail_predicate) if p]
-    q2_sql = projection_sql(needed, " AND ".join(where_parts) or None)
+    q2_sql = q2_sql_for(large_groups)
     tail_rows, _ = select_table(ctx, table, q2_sql)
     q2_records = ctx.metrics.records_since(mark_q2)
 

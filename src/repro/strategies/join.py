@@ -11,9 +11,12 @@ All are two-phase hash joins differing only in what reaches the server:
   storage.
 
 Bloom join degrades per Section V-B1: if the rendered filter exceeds the
-256 KB expression limit the FPR is raised; if no FPR < 1 fits, it falls
-back to a filtered join whose two scans are *serial* (the decision is
-made only after the build side is loaded).
+256 KB expression limit the FPR is raised; if no FPR < 1 fits, the
+membership predicate is chunked into exact ``IN``-list scans (up to
+:data:`MAX_MEMBERSHIP_CHUNKS` SELECT requests, every one metered), and
+only past that does it fall back to an unfiltered probe scan.  All the
+degraded scans are *serial* after the build side (the decision is made
+only after the build side is loaded).
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from repro.engine.catalog import Catalog, TableInfo
 from repro.engine.operators.filter import filter_rows
 from repro.engine.operators.hashjoin import hash_join
 from repro.engine.operators.project import project_columns
+from repro.s3select.validator import EXPRESSION_LIMIT_BYTES
 from repro.sqlparser import ast
 from repro.strategies.base import finish_output
 from repro.strategies.scans import (
@@ -40,6 +44,47 @@ from repro.strategies.scans import (
 #: Default Bloom false-positive rate; the paper finds 0.01 the sweet spot
 #: (Figure 4).
 DEFAULT_FPR = 0.01
+
+#: Most SELECT requests (per partition) the chunked IN-list fallback may
+#: issue before an unfiltered scan becomes the cheaper degradation: each
+#: chunk re-scans the whole probe table, so past this point the scan bill
+#: dwarfs what the membership filter saves in returned bytes.
+MAX_MEMBERSHIP_CHUNKS = 16
+
+
+def membership_chunks(
+    attr: str,
+    keys,
+    overhead_bytes: int,
+    limit_bytes: int = EXPRESSION_LIMIT_BYTES,
+) -> list[str] | None:
+    """Render ``attr IN (...)`` predicates, each within the service limit.
+
+    The unique keys are split greedily so every rendered predicate plus
+    ``overhead_bytes`` (the rest of the query) stays at or under
+    ``limit_bytes``.  Chunks partition the key set, so unioning the
+    chunked scans' results reproduces a single membership scan exactly.
+    Returns ``None`` when not even a one-key predicate fits.
+    """
+    unique = sorted(set(keys))
+    budget = limit_bytes - overhead_bytes
+    fixed = len(f"{attr} IN (".encode()) + 1
+    chunks: list[str] = []
+    current: list[str] = []
+    current_bytes = 0
+    for key in unique:
+        literal = ast.Literal(key).to_sql()
+        cost = len(literal.encode()) + 2  # ", " separator
+        if fixed + len(literal.encode()) > budget:
+            return None
+        if current and fixed + current_bytes + cost > budget:
+            chunks.append(f"{attr} IN ({', '.join(current)})")
+            current, current_bytes = [], 0
+        current.append(literal)
+        current_bytes += cost
+    if current:
+        chunks.append(f"{attr} IN ({', '.join(current)})")
+    return chunks
 
 
 @dataclass
@@ -142,8 +187,15 @@ def bloom_join(
     query: JoinQuery,
     fpr: float = DEFAULT_FPR,
     seed: int | None = None,
+    expression_limit_bytes: int = EXPRESSION_LIMIT_BYTES,
 ) -> QueryExecution:
-    """Bloom join (Section V-A2): ship the build side's key set to S3."""
+    """Bloom join (Section V-A2): ship the build side's key set to S3.
+
+    ``expression_limit_bytes`` exists so tests can exercise the
+    degradation ladder (Bloom -> chunked IN-list -> unfiltered scan)
+    without building megabyte key sets; production callers leave it at
+    the service's 256 KB.
+    """
     build = catalog.get(query.build_table)
     probe = catalog.get(query.probe_table)
     key_type = build.schema.column(query.build_key).type
@@ -172,7 +224,7 @@ def bloom_join(
     base_sql = projection_sql(probe_columns, " AND ".join(probe_where_parts) or None)
     outcome = build_bloom_filter_within_limit(
         keys, fpr, query.probe_key, sql_overhead_bytes=len(base_sql.encode()) + 16,
-        seed=seed,
+        seed=seed, limit_bytes=expression_limit_bytes,
     )
     bloom_cpu = len(keys) * SERVER_CPU_PER_ROW["bloom_insert"]
     phase1 = phase_since(
@@ -183,16 +235,37 @@ def bloom_join(
 
     # Phase 2: probe side, filtered at S3 by the Bloom predicate.  Runs
     # after phase 1 by construction — including in the degraded case,
-    # which is precisely the paper's serial-scans caveat.
+    # which is precisely the paper's serial-scans caveat.  When no Bloom
+    # filter fits the expression limit, the exact membership predicate is
+    # chunked across multiple SELECT requests (each chunk under the
+    # limit, each request metered); only when even that would take too
+    # many re-scans does the probe run unfiltered.
     mark2 = ctx.metrics.mark()
     degraded = outcome.bloom is None
+    num_chunks = 0
     if degraded:
-        probe_sql = base_sql
+        chunks = membership_chunks(
+            query.probe_key,
+            keys,
+            overhead_bytes=len(base_sql.encode()) + 16,
+            limit_bytes=expression_limit_bytes,
+        )
+        if chunks and len(chunks) <= MAX_MEMBERSHIP_CHUNKS:
+            num_chunks = len(chunks)
+            probe_rows, probe_names = [], []
+            for chunk in chunks:
+                where = " AND ".join(probe_where_parts + [chunk])
+                rows_part, probe_names = select_table(
+                    ctx, probe, projection_sql(probe_columns, where)
+                )
+                probe_rows.extend(rows_part)
+        else:
+            probe_rows, probe_names = select_table(ctx, probe, base_sql)
     else:
         bloom_pred = outcome.bloom.to_sql_predicate(query.probe_key)
         where = " AND ".join(probe_where_parts + [bloom_pred])
         probe_sql = projection_sql(probe_columns, where)
-    probe_rows, probe_names = select_table(ctx, probe, probe_sql)
+        probe_rows, probe_names = select_table(ctx, probe, probe_sql)
 
     joined = hash_join(
         build_rows, build_names, probe_rows, probe_names,
@@ -209,6 +282,7 @@ def bloom_join(
         "requested_fpr": fpr,
         "achieved_fpr": outcome.achieved_fpr,
         "degraded": degraded,
+        "membership_chunks": num_chunks,
         "bloom_bits": 0 if degraded else outcome.bloom.num_bits,
         "bloom_hashes": 0 if degraded else outcome.bloom.num_hashes,
         "build_keys": len(keys),

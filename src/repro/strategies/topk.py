@@ -47,16 +47,27 @@ class TopKQuery:
         ]
 
 
+#: Smallest alpha the sizing formula accepts; anything at or below zero
+#: clamps here (the formula then asks for the whole table anyway).
+_MIN_ALPHA = 1e-9
+
+
 def optimal_sample_size(k: int, n_rows: int, alpha: float) -> int:
     """``S* = sqrt(K*N/alpha)`` clamped to ``[max(10K, 1), N]``.
 
     The lower clamp keeps the threshold estimate stable (the paper's
     smallest swept sample is 10x K); the upper clamp is the table.
+    Degenerate inputs clamp rather than raise: ``k > n_rows`` sizes for
+    the full table, ``alpha <= 0`` is treated as :data:`_MIN_ALPHA`
+    (avoiding the division blow-up), ``alpha > 1`` as 1, and an empty
+    table yields a zero-row sample.
     """
     if k <= 0:
         raise PlanError(f"K must be positive, got {k}")
-    if not 0 < alpha <= 1:
-        raise PlanError(f"alpha must be in (0, 1], got {alpha}")
+    if n_rows <= 0:
+        return 0
+    k = min(k, n_rows)
+    alpha = min(max(alpha, _MIN_ALPHA), 1.0)
     ideal = math.sqrt(k * n_rows / alpha)
     return max(min(int(ideal), n_rows), min(10 * k, n_rows), 1)
 
@@ -151,13 +162,23 @@ def sampling_top_k(
     )
 
     # Phase 2: pushed range scan; only rows at or below (above, for DESC)
-    # the threshold come back.
+    # the threshold come back.  The comparison is inclusive in both
+    # directions so duplicates *at* the K-th order statistic survive the
+    # pushdown — a strict comparison could return fewer than K rows when
+    # the threshold value is tied.  Ascending order additionally keeps
+    # NULL keys: the local top-K operator sorts NULLs first, so they are
+    # part of the true result and must not be dropped by the pushed
+    # predicate (NULL compares as unknown and would be filtered out).
+    # Descending order sorts NULLs last; they can only matter when the
+    # sample came up short, which takes the unbounded full-scan path.
     mark2 = ctx.metrics.mark()
     if unbounded or threshold is None:
         where = None
     else:
         op = ">=" if query.descending else "<="
         where = f"{query.order_column} {op} {ast.Literal(threshold).to_sql()}"
+        if not query.descending:
+            where = f"({where} OR {query.order_column} IS NULL)"
     scan_rows, _ = select_table(ctx, table, projection_sql(list(table.schema.names), where))
     selected = top_k(scan_rows, table.schema.names, query.order_items(), query.k)
     phase2 = phase_since(

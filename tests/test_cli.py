@@ -35,6 +35,33 @@ class TestCli:
         assert "--- baseline ---" in out
         assert "--- optimized ---" in out
 
+    def test_query_command_strategy_auto(self, capsys):
+        code = main([
+            "query",
+            "SELECT SUM(o_totalprice) AS total FROM orders",
+            "--scale-factor", "0.001",
+            "--strategy", "auto",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimizer:" in out
+        assert "picked" in out
+        # The EXPLAIN block lists both candidate plans with estimates.
+        assert "baseline" in out
+        assert "optimized" in out
+        for column in ("requests", "scanned", "returned", "runtime", "cost"):
+            assert column in out
+
+    def test_mode_alias_still_accepts_auto(self, capsys):
+        code = main([
+            "query",
+            "SELECT COUNT(*) AS n FROM customer",
+            "--scale-factor", "0.001",
+            "--mode", "auto",
+        ])
+        assert code == 0
+        assert "optimizer:" in capsys.readouterr().out
+
     def test_experiment_unknown_name_fails(self, capsys):
         assert main(["experiment", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().out

@@ -173,6 +173,31 @@ class TestHybridMechanics:
         reference = approx_rows(server_side_group_by(ctx, catalog, query).rows)
         assert approx_rows(out.rows) == reference
 
+    def test_pushed_groups_clamped_to_expression_limit(self, env):
+        """A NOT IN tail predicate that cannot fit the limit must shed
+        pushed groups (into the local tail) instead of failing."""
+        ctx, catalog = env
+        query = base_query(table="skewed", group="g0")
+        unclamped = hybrid_group_by(ctx, catalog, query, s3_groups=10)
+        assert unclamped.details["large_groups"] == 10
+        clamped = hybrid_group_by(
+            ctx, catalog, query, s3_groups=10, expression_limit_bytes=70
+        )
+        assert 0 < clamped.details["large_groups"] < 10
+        assert clamped.details["tail_rows"] > unclamped.details["tail_rows"]
+        reference = approx_rows(server_side_group_by(ctx, catalog, query).rows)
+        assert approx_rows(clamped.rows) == reference
+
+    def test_zero_fitting_groups_degenerates_to_full_tail(self, env):
+        ctx, catalog = env
+        query = base_query(table="skewed", group="g0")
+        out = hybrid_group_by(
+            ctx, catalog, query, s3_groups=10, expression_limit_bytes=45
+        )
+        assert out.details["large_groups"] == 0
+        reference = approx_rows(server_side_group_by(ctx, catalog, query).rows)
+        assert approx_rows(out.rows) == reference
+
 
 class TestAggSpec:
     def test_output_name_default_and_override(self):

@@ -11,6 +11,7 @@ from repro.strategies.join import (
     baseline_join,
     bloom_join,
     filtered_join,
+    membership_chunks,
 )
 
 ALL = [baseline_join, filtered_join, bloom_join]
@@ -111,6 +112,68 @@ class TestBloomBehaviour:
         query = join_query(build_key="c_name", probe_key="o_clerk")
         with pytest.raises(PlanError, match="integer join attribute"):
             bloom_join(ctx, catalog, query)
+
+
+class TestMembershipChunking:
+    """Degraded Bloom joins chunk the exact IN-list under the limit."""
+
+    def test_chunks_partition_keys_and_fit_limit(self):
+        keys = list(range(100))
+        chunks = membership_chunks("o_custkey", keys, overhead_bytes=40,
+                                   limit_bytes=140)
+        assert chunks is not None and len(chunks) > 1
+        rendered_keys = []
+        for chunk in chunks:
+            assert chunk.startswith("o_custkey IN (") and chunk.endswith(")")
+            assert len(chunk.encode()) + 40 <= 140
+            rendered_keys += [int(v) for v in chunk[14:-1].split(", ")]
+        assert sorted(rendered_keys) == keys
+
+    def test_duplicate_keys_deduplicated(self):
+        chunks = membership_chunks("k", [7, 7, 7, 8], overhead_bytes=0,
+                                   limit_bytes=1024)
+        assert chunks == ["k IN (7, 8)"]
+
+    def test_unfittable_single_key_returns_none(self):
+        assert membership_chunks("k", [123456789], overhead_bytes=0,
+                                 limit_bytes=10) is None
+
+    def test_degraded_join_uses_chunked_scans_and_stays_correct(self, tpch_env):
+        ctx, catalog = tpch_env
+        query = join_query(build_predicate=parse_expression("c_acctbal <= 0"))
+        reference = baseline_join(ctx, catalog, query)
+        probe_partitions = catalog.get("orders").partitions
+        mark = ctx.metrics.mark()
+        # A limit too small for any Bloom filter but large enough for
+        # IN-list chunks forces the chunked fallback.
+        bloomed = bloom_join(
+            ctx, catalog, query, expression_limit_bytes=130
+        )
+        assert bloomed.details["degraded"]
+        chunks = bloomed.details["membership_chunks"]
+        assert chunks > 1
+        assert_rows_close(reference.rows, bloomed.rows)
+        # Metrics must account every chunked request: build partitions +
+        # one SELECT per chunk per probe partition.
+        build_partitions = catalog.get("customer").partitions
+        records = ctx.metrics.records_since(mark)
+        assert len(records) == build_partitions + chunks * probe_partitions
+        assert bloomed.num_requests == len(records)
+        # Each chunk re-scans the probe table: billed scan bytes say so.
+        probe_bytes = catalog.get("orders").total_bytes
+        scanned_on_probe = sum(
+            r.bytes_scanned for r in records if r.key.startswith("orders/")
+        )
+        assert scanned_on_probe == chunks * probe_bytes
+
+    def test_too_many_chunks_falls_back_to_unfiltered(self, tpch_env):
+        ctx, catalog = tpch_env
+        query = join_query(build_predicate=None)  # every customer is a key
+        reference = baseline_join(ctx, catalog, query)
+        bloomed = bloom_join(ctx, catalog, query, expression_limit_bytes=120)
+        assert bloomed.details["degraded"]
+        assert bloomed.details["membership_chunks"] == 0
+        assert_rows_close(reference.rows, bloomed.rows)
 
 
 class TestAccountingShapes:

@@ -1,0 +1,125 @@
+"""Differential tests: expression NULL semantics vs a sqlite3 oracle.
+
+SQL three-valued logic is easy to get subtly wrong (``1 IN (2, NULL)``
+is NULL, not FALSE; ``5 BETWEEN NULL AND 3`` is FALSE, not NULL).  The
+expression compiler backs both the simulated S3 Select engine and the
+local operators, so every pushdown path inherits whatever it does with
+NULLs — these tests pin it to what a real SQL engine produces.
+
+sqlite is a faithful oracle for the constructs covered here (logic,
+comparisons, BETWEEN, IN, LIKE, IS NULL); arithmetic differences such as
+integer division are deliberately out of scope.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sqlite3
+
+import pytest
+
+from repro.expr.compiler import compile_expr, compile_predicate
+from repro.sqlparser.parser import parse_expression
+
+#: Column layout shared by both sides: two ints and a string, each
+#: sweeping NULL through every position.
+_SCHEMA = {"a": 0, "b": 1, "s": 2}
+
+_INT_VALUES = (None, -1, 0, 1, 2, 3)
+_STR_VALUES = (None, "", "abc", "aXc", "ab", "zzz")
+
+_ROWS = [
+    (a, b, s)
+    for a, b in itertools.product(_INT_VALUES, repeat=2)
+    for s in _STR_VALUES
+]
+
+_EXPRESSIONS = [
+    # comparisons
+    "a = b",
+    "a <> b",
+    "a < b",
+    "a <= 1",
+    "a > b",
+    "a >= 2",
+    # three-valued AND / OR / NOT
+    "a = 1 AND b = 2",
+    "a = 1 OR b = 2",
+    "NOT (a = 1)",
+    "NOT (a = 1 AND b = 2)",
+    "(a < b OR b < 1) AND NOT (a = 0)",
+    "a = 1 OR NOT (b = b)",
+    # BETWEEN with NULL operand / bounds
+    "a BETWEEN 0 AND 2",
+    "a NOT BETWEEN 0 AND 2",
+    "a BETWEEN b AND 2",
+    "a BETWEEN 0 AND b",
+    "a BETWEEN b AND b",
+    "1 BETWEEN a AND b",
+    # IN with NULL operand / items
+    "a IN (1, 2)",
+    "a NOT IN (1, 2)",
+    "a IN (1, NULL)",
+    "a NOT IN (1, NULL)",
+    "a IN (NULL)",
+    "a IN (1, 1)",
+    "a NOT IN (1, 1)",
+    "a IN (b, 2)",
+    "a NOT IN (b, 0)",
+    # LIKE on NULL values and patterns
+    "s LIKE 'ab%'",
+    "s NOT LIKE 'ab%'",
+    "s LIKE '%c'",
+    "s LIKE 'a_c'",
+    "s LIKE ''",
+    # IS NULL never returns NULL
+    "a IS NULL",
+    "a IS NOT NULL",
+    "s IS NULL AND a = 1",
+]
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    conn = sqlite3.connect(":memory:")
+    # sqlite's LIKE is case-insensitive by default; SQL (and our
+    # compiler) are case-sensitive.
+    conn.execute("PRAGMA case_sensitive_like = ON")
+    conn.execute("CREATE TABLE t (rowid_ INTEGER, a INTEGER, b INTEGER, s TEXT)")
+    conn.executemany(
+        "INSERT INTO t VALUES (?, ?, ?, ?)",
+        [(i, *row) for i, row in enumerate(_ROWS)],
+    )
+    yield conn
+    conn.close()
+
+
+def _normalize(value: object) -> object:
+    """Map both sides onto {0, 1, None} for comparison."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return int(value)
+    return int(bool(value))
+
+
+@pytest.mark.parametrize("sql", _EXPRESSIONS)
+def test_expression_matches_sqlite(sql, oracle):
+    fn = compile_expr(parse_expression(sql), _SCHEMA)
+    expected = [
+        row[0] for row in oracle.execute(f"SELECT ({sql}) FROM t ORDER BY rowid_")
+    ]
+    got = [fn(row) for row in _ROWS]
+    assert [_normalize(v) for v in got] == [_normalize(v) for v in expected], sql
+
+
+@pytest.mark.parametrize("sql", _EXPRESSIONS)
+def test_where_clause_matches_sqlite(sql, oracle):
+    """WHERE semantics: NULL predicates filter the row out, as FALSE does."""
+    keep = compile_predicate(parse_expression(sql), _SCHEMA)
+    expected = {
+        row[0]
+        for row in oracle.execute(f"SELECT rowid_ FROM t WHERE {sql}")
+    }
+    got = {i for i, row in enumerate(_ROWS) if keep(row)}
+    assert got == expected, sql

@@ -1,0 +1,84 @@
+"""Optimizer-vs-measured crossover validation (CI regression gate).
+
+Runs the `auto` experiment harness — the fig01 selectivity sweep, fig05
+group-count sweep, and fig09 k-sweep — and asserts the chooser's pick
+matches the actually-cheapest measured strategy at every swept point.
+A pick may differ only at a crossover boundary, and then only by one
+grid step: the picked strategy must be the measured winner at an
+adjacent point of the same sweep.  CI runs this file as its own step so
+cost-model regressions fail fast with a readable table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import auto_strategy
+
+
+@pytest.fixture(scope="module")
+def result():
+    return auto_strategy.run(
+        filter_rows=10_000,
+        groupby_rows=10_000,
+        topk_scale_factor=0.002,
+    )
+
+
+def _series(result, scenario, objective):
+    return [
+        r for r in result.rows
+        if r["scenario"] == scenario and r["objective"] == objective
+    ]
+
+
+def _assert_picks_track_winners(series):
+    """Exact agreement, or off by at most one grid step at a crossover."""
+    assert series, "scenario produced no swept points"
+    winners = [r["measured_best"] for r in series]
+    failures = []
+    for i, row in enumerate(series):
+        if row["agree"]:
+            continue
+        neighbours = {winners[j] for j in (i - 1, i + 1) if 0 <= j < len(winners)}
+        at_crossover = any(w != winners[i] for w in neighbours)
+        if not (at_crossover and row["picked"] in neighbours):
+            failures.append(row)
+    assert not failures, f"picks diverged from measured winners: {failures}"
+
+
+SCENARIOS = ["fig01-filter", "fig05-groupby", "fig09-topk"]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("objective", ["cost", "runtime"])
+def test_picks_match_measured_winner(result, scenario, objective):
+    _assert_picks_track_winners(_series(result, scenario, objective))
+
+
+def test_fig01_covers_the_indexing_crossover(result):
+    """The sweep must actually exercise a strategy flip (paper Figure 1:
+    indexing wins only at the very selective end)."""
+    winners = [r["measured_best"] for r in _series(result, "fig01-filter", "cost")]
+    assert "s3-side indexing" in winners
+    assert "s3-side filter" in winners
+
+
+def test_fig05_covers_the_groupcount_crossover(result):
+    """Figure 5's runtime axis flips from S3-side to filtered group-by as
+    the CASE-column count grows."""
+    winners = [r["measured_best"] for r in _series(result, "fig05-groupby", "runtime")]
+    assert "s3-side group-by" in winners
+    assert "filtered group-by" in winners
+
+
+def test_majority_exact_agreement(result):
+    """The one-grid-step tolerance must stay the exception, not the rule."""
+    agree = sum(1 for r in result.rows if r["agree"])
+    assert agree >= 0.8 * len(result.rows), result.notes
+
+
+def test_rows_report_predictions(result):
+    for row in result.rows:
+        assert row["predicted_runtime_s"] > 0
+        assert row["predicted_cost"] > 0

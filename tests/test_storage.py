@@ -171,6 +171,49 @@ def test_property_csv_roundtrip(rows):
     assert decode_table(data, schema, has_header=False) == normalized
 
 
+#: Raw field text exercising every quoting trigger: the field delimiter,
+#: the record delimiter, CR, and the quote character itself.
+_FIELD = st.text(
+    alphabet=st.one_of(
+        st.sampled_from([",", "\n", "\r", '"', "x", " "]),
+        st.characters(blacklist_categories=("Cs",)),
+    ),
+    max_size=12,
+)
+
+
+@given(st.lists(_FIELD, min_size=1, max_size=6))
+def test_property_escape_roundtrip_single_record(fields):
+    """encode_row -> iter_records is the identity on raw string fields.
+
+    Fields embedding the field delimiter, the record delimiter, CR, or
+    quotes must be quoted by the encoder and re-assembled intact by the
+    quote-aware splitter — a field containing ``,`` or ``\\n`` must never
+    split the record or spill into the next one.
+    """
+    payload = encode_row(fields)
+    records = list(iter_records(payload))
+    assert records == [list(fields)]
+
+
+@given(st.lists(st.lists(_FIELD, min_size=2, max_size=4), min_size=1, max_size=8))
+def test_property_escape_roundtrip_table(rows):
+    """Multi-record round trip: record boundaries survive embedded delimiters."""
+    # Ragged rows are fine at the codec level; only the splitter is under test.
+    data = b"".join(encode_row(r) for r in rows)
+    assert list(iter_records(data)) == [list(r) for r in rows]
+    # The offset-reporting splitter must agree and produce adjacent,
+    # non-overlapping extents covering the object.
+    offsets = list(iter_records_with_offsets(data))
+    assert [rec for _, _, rec in offsets] == [list(r) for r in rows]
+    position = 0
+    for first, last, _ in offsets:
+        assert first == position
+        assert last >= first
+        position = last + 1
+    assert position == len(data)
+
+
 class TestObjectStore:
     def test_put_get(self):
         store = ObjectStore()

@@ -106,8 +106,22 @@ class TestSampleSizeModel:
     def test_invalid_inputs(self):
         with pytest.raises(PlanError):
             optimal_sample_size(0, 100, 0.5)
-        with pytest.raises(PlanError):
-            optimal_sample_size(10, 100, 0.0)
+
+    def test_degenerate_inputs_clamp(self):
+        # k > n_rows sizes for the whole table rather than raising or
+        # overshooting; alpha outside (0, 1] clamps into range; an empty
+        # table yields an empty sample.
+        assert optimal_sample_size(500, 100, 0.5) == 100
+        assert optimal_sample_size(10, 100, 0.0) == 100
+        assert optimal_sample_size(10, 100, -3.0) == 100
+        assert optimal_sample_size(10, 10**6, 5.0) == optimal_sample_size(
+            10, 10**6, 1.0
+        )
+        assert optimal_sample_size(10, 0, 0.5) == 0
+
+    def test_never_exceeds_table(self):
+        for k, n, alpha in [(1, 1, 1.0), (7, 3, 1e-12), (10**6, 50, 0.01)]:
+            assert 0 <= optimal_sample_size(k, n, alpha) <= n
 
     def test_alpha_estimate(self, tpch_env):
         _, catalog = tpch_env
@@ -119,6 +133,73 @@ class TestSampleSizeModel:
         assert optimal_sample_size(100, 10**6, 0.05) > optimal_sample_size(
             100, 10**6, 0.5
         )
+
+
+def _tiny_table(rows, schema_spec=("pos:int", "val:int"), partitions=3):
+    from repro.cloud.context import CloudContext
+    from repro.engine.catalog import Catalog, load_table
+    from repro.storage.schema import TableSchema
+
+    ctx, catalog = CloudContext(), Catalog()
+    load_table(
+        ctx, catalog, "tiny", rows, TableSchema.of(*schema_spec),
+        partitions=partitions,
+    )
+    return ctx, catalog
+
+
+class TestTiesAndNulls:
+    """Duplicates at the K-th order statistic and NULL order keys.
+
+    The pushed phase-2 predicate must be inclusive (``<=`` / ``>=``) so
+    threshold ties survive, and ascending order must keep NULL keys
+    (they sort first locally).
+    """
+
+    @pytest.mark.parametrize("descending", [False, True])
+    @pytest.mark.parametrize("k", [1, 3, 5, 8])
+    def test_duplicated_keys_agree_with_server_side(self, descending, k):
+        # Heavy duplication: every value appears ~5 times, so the K-th
+        # order statistic is almost always tied.
+        values = [i % 6 for i in range(30)]
+        rows = [(i, v) for i, v in enumerate(values)]
+        ctx, catalog = _tiny_table(rows)
+        query = TopKQuery(table="tiny", order_column="val", k=k, descending=descending)
+        server = server_side_top_k(ctx, catalog, query)
+        sampled = sampling_top_k(ctx, catalog, query, sample_size=10)
+        assert [r[1] for r in server.rows] == [r[1] for r in sampled.rows]
+        assert len(sampled.rows) == k
+        assert sampled.details["phase2_rows"] >= k
+
+    def test_at_least_k_pass_with_tied_threshold(self):
+        # All rows share one value: any threshold is tied; the inclusive
+        # predicate must let every row through.
+        rows = [(i, 42) for i in range(20)]
+        ctx, catalog = _tiny_table(rows)
+        query = TopKQuery(table="tiny", order_column="val", k=4)
+        out = sampling_top_k(ctx, catalog, query, sample_size=6)
+        assert out.details["phase2_rows"] == 20
+        assert [r[1] for r in out.rows] == [42] * 4
+
+    def test_ascending_keeps_null_keys(self):
+        # NULLs sort first ascending, so they belong to the true top-K
+        # and the pushed predicate must not filter them out.
+        rows = [(i, None if i % 7 == 0 else 100 + i) for i in range(28)]
+        ctx, catalog = _tiny_table(rows)
+        query = TopKQuery(table="tiny", order_column="val", k=6)
+        server = server_side_top_k(ctx, catalog, query)
+        sampled = sampling_top_k(ctx, catalog, query, sample_size=10)
+        assert [r[1] for r in server.rows] == [r[1] for r in sampled.rows]
+        assert sum(1 for r in sampled.rows if r[1] is None) == 4
+
+    def test_descending_ignores_null_keys(self):
+        rows = [(i, None if i % 5 == 0 else i) for i in range(25)]
+        ctx, catalog = _tiny_table(rows)
+        query = TopKQuery(table="tiny", order_column="val", k=5, descending=True)
+        server = server_side_top_k(ctx, catalog, query)
+        sampled = sampling_top_k(ctx, catalog, query, sample_size=10)
+        assert [r[1] for r in server.rows] == [r[1] for r in sampled.rows]
+        assert all(r[1] is not None for r in sampled.rows)
 
 
 @settings(max_examples=15, deadline=None)
