@@ -1,0 +1,22 @@
+"""Figure 12 bench: 3-way join-order sweep vs the cost-based pick."""
+
+from conftest import emit, run_once
+from repro.experiments import fig12_multijoin
+
+
+def test_fig12_multijoin(benchmark, capsys):
+    result = run_once(benchmark, lambda: fig12_multijoin.run(scale_factor=0.005))
+    emit(capsys, result)
+    orders = {r["strategy"] for r in result.rows} - {"auto"}
+    assert len(orders) == 4  # chain c-o-l: four connected left-deep orders
+    # The search must agree with the measured-best order at every point.
+    agreed, total = result.notes["agreement"].split("/")
+    assert agreed == total
+    # Auto never does worse than the worst forced order.
+    for value in {r["upper_o_orderdate"] for r in result.rows}:
+        point = [r for r in result.rows if r["upper_o_orderdate"] == value]
+        auto = next(r for r in point if r["strategy"] == "auto")
+        worst = max(
+            r["cost_total"] for r in point if r["strategy"] != "auto"
+        )
+        assert auto["cost_total"] <= worst * (1 + 1e-9)

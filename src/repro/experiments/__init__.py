@@ -18,6 +18,7 @@ from repro.experiments import (  # noqa: F401
     fig09_topk_k,
     fig10_tpch,
     fig11_parquet,
+    fig12_multijoin,
 )
 from repro.experiments.harness import ExperimentResult  # noqa: F401
 
@@ -33,5 +34,6 @@ ALL_EXPERIMENTS = {
     "fig9": fig09_topk_k.run,
     "fig10": fig10_tpch.run,
     "fig11": fig11_parquet.run,
+    "fig12": fig12_multijoin.run,
     "auto": auto_strategy.run,
 }

@@ -22,7 +22,7 @@ from typing import Callable
 from repro.cloud.context import CloudContext, QueryExecution
 from repro.common.errors import PlanError
 from repro.engine.catalog import Catalog
-from repro.optimizer.cost import CostModel, StrategyEstimate
+from repro.optimizer.cost import CostModel, StrategyEstimate, objective_key
 from repro.optimizer.selectivity import probe_selectivity
 from repro.strategies import filter as filter_strategies
 from repro.strategies import groupby as groupby_strategies
@@ -97,10 +97,8 @@ class Choice:
         }
 
 
-def _objective_key(objective: str):
-    if objective == "runtime":
-        return lambda e: (e.runtime_seconds, e.total_cost)
-    return lambda e: (e.total_cost, e.runtime_seconds)
+#: Kept as the chooser's historical name for the shared ranking key.
+_objective_key = objective_key
 
 
 def _choose(kind: str, candidates: list[StrategyEstimate], objective: str,
@@ -187,9 +185,22 @@ def choose_planner_mode(
 
     ``query`` is a parsed :class:`repro.sqlparser.ast.Query`; this is the
     hook behind ``PushdownDB.execute(sql, mode="auto")``.
+
+    For multi-table queries the join-order search's per-candidate table
+    (each considered order with predicted rows/runtime/cost) is lifted
+    into the choice's notes so EXPLAIN can render it.
     """
     model = CostModel(ctx, catalog)
-    return _choose("sql", model.estimate_planner_modes(query), objective)
+    candidates = model.estimate_planner_modes(query, objective)
+    notes = {}
+    for candidate in candidates:
+        if "join_orders" in candidate.notes:
+            notes = {
+                key: candidate.notes[key]
+                for key in ("join_order", "join_order_list",
+                            "join_order_method", "join_orders")
+            }
+    return _choose("sql", candidates, objective, notes)
 
 
 _CHOOSERS = {
@@ -264,6 +275,23 @@ def render_choice_summary(summary: dict, query_kind: str = "") -> str:
             f" {human_seconds(est['runtime_s']):>10}"
             f" {human_dollars(est['cost']):>12}"
         )
+    if summary.get("join_orders"):
+        method = summary.get("join_order_method", "dp")
+        lines.append(
+            f"  join-order search ({method}):"
+            f" picked {summary.get('join_order', '')!r}"
+        )
+        lines.append(
+            f"  {'':2} {'order':<40} {'est rows':>12} {'runtime':>10}"
+            f" {'cost':>12}"
+        )
+        for row in summary["join_orders"]:
+            marker = "->" if row.get("picked") else "  "
+            lines.append(
+                f"  {marker} {row['order']:<40} {row['est_rows']:>12.1f}"
+                f" {human_seconds(row['runtime_s']):>10}"
+                f" {human_dollars(row['cost']):>12}"
+            )
     if summary.get("probe"):
         probe = summary["probe"]
         lines.append(

@@ -63,6 +63,17 @@ class StrategyEstimate:
         return self.cost.total
 
 
+def objective_key(objective: str):
+    """Sort key ranking estimates under an optimization objective.
+
+    Shared by the strategy chooser and the join-order search so both
+    rank (and tie-break) candidates identically.
+    """
+    if objective == "runtime":
+        return lambda e: (e.runtime_seconds, e.total_cost)
+    return lambda e: (e.total_cost, e.runtime_seconds)
+
+
 def _conjuncts(expr: ast.Expr | None) -> int:
     """Top-level WHERE conjuncts — the validator's term unit."""
     if expr is None:
@@ -146,6 +157,16 @@ class CostModel:
             cost=cost,
             notes=notes or {},
         )
+
+    def price_phases(
+        self, strategy: str, phases: list[Phase], notes: dict | None = None
+    ) -> StrategyEstimate:
+        """Price externally assembled phases (the join-order search's hook).
+
+        Runs the same runtime + dollar pricing every built-in estimator
+        uses, so composed plans inherit the context's calibration.
+        """
+        return self._finalize(strategy, phases, notes)
 
     def _table(self, name: str) -> tuple[TableInfo, TableStats]:
         info = self.catalog.get(name)
@@ -486,7 +507,9 @@ class CostModel:
                 )
         return cpu
 
-    def estimate_planner_modes(self, query: ast.Query) -> list[StrategyEstimate]:
+    def estimate_planner_modes(
+        self, query: ast.Query, objective: str = "cost"
+    ) -> list[StrategyEstimate]:
         """Predict the planner's ``baseline`` vs ``optimized`` execution.
 
         Mirrors :mod:`repro.planner.planner`: baseline loads whole tables
@@ -498,6 +521,8 @@ class CostModel:
         """
         from repro.planner import planner as planner_mod
 
+        if len(query.from_tables) > 2:
+            return self._estimate_planner_multijoin(query, objective)
         if query.join_table is not None:
             return self._estimate_planner_join(query)
         table, stats = self._table(query.table)
@@ -586,6 +611,40 @@ class CostModel:
                 optimized, "optimized", tail, optimized.strategy
             ),
         ]
+
+    def _estimate_planner_multijoin(
+        self, query: ast.Query, objective: str = "cost"
+    ) -> list[StrategyEstimate]:
+        """Baseline vs optimized for an N-way (>2 table) join query.
+
+        Runs the join-order search once (under the caller's objective);
+        both planner modes execute the picked left-deep order, so the
+        candidates differ only in how each table reaches the query node.
+        The search's per-order estimate table rides along in the
+        optimized candidate's notes for the EXPLAIN report.
+        """
+        from repro.optimizer.joinorder import plan_join_order
+
+        decision = plan_join_order(self.ctx, self.catalog, query, objective)
+        out_rows = float(decision.estimate.notes.get("est_rows", 0.0))
+        tail = self._tail_cpu(query, out_rows) * self.ctx.perf.server_cpu_factor
+        order = " -> ".join(decision.order)
+        join_orders = {
+            "join_order": order,
+            #: Structured form of the pick — the planner's data contract
+            #: (the display string above is for EXPLAIN only).
+            "join_order_list": list(decision.order),
+            "join_order_method": decision.method,
+            "join_orders": decision.candidate_table(),
+        }
+        baseline = self._with_added_runtime(
+            decision.baseline, "baseline", tail, "baseline multi-join"
+        )
+        optimized = self._with_added_runtime(
+            decision.estimate, "optimized", tail, f"multi-join {order}"
+        )
+        optimized.notes.update(join_orders)
+        return [baseline, optimized]
 
     def _with_added_runtime(
         self, estimate: StrategyEstimate, name: str, extra_seconds: float,

@@ -1,0 +1,604 @@
+"""Join-graph construction and cost-based join-order search.
+
+The paper evaluates pushdown joins pairwise; real TPC-H shapes join
+three or more tables (lineitem ⋈ orders ⋈ customer).  This module lifts
+the planner past that limit:
+
+* :func:`build_join_graph` decomposes an N-table query's ``WHERE``
+  conjunction into per-table predicates, equi-join edges, and residual
+  cross-table conjuncts;
+* :class:`JoinOrderSearch` enumerates left-deep join orders — exact
+  dynamic programming over connected subsets up to
+  :data:`DP_TABLE_LIMIT` tables, a greedy minimum-intermediate-rows
+  fallback above — and prices every candidate through the existing
+  :class:`~repro.optimizer.cost.CostModel` phase machinery, so the
+  context's calibrated :class:`~repro.cloud.perf.PerfModel` and
+  :class:`~repro.cloud.pricing.Pricing` carry over unchanged;
+* :func:`plan_join_order` is the planner/EXPLAIN entry point returning
+  the picked order plus the per-candidate estimate table.
+
+Cardinalities use the System-R containment assumption:
+``|A ⋈ B| = |A| · |B| / max(V(A,k), V(B,k))`` with distinct counts from
+the statistics layer, capped by the filtered input sizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.bloom.filter import optimal_num_bits, optimal_num_hashes
+from repro.cloud.context import CloudContext
+from repro.cloud.perf import SERVER_CPU_PER_ROW
+from repro.common.errors import PlanError
+from repro.engine.catalog import Catalog, TableInfo
+from repro.optimizer.cost import (
+    CostModel,
+    StrategyEstimate,
+    _conjuncts,
+    _phase,
+    objective_key,
+)
+from repro.optimizer.selectivity import estimate_selectivity
+from repro.s3select.validator import EXPRESSION_LIMIT_BYTES
+from repro.sqlparser import ast
+from repro.strategies.join import DEFAULT_FPR
+
+#: Exact DP over connected subsets is run up to this many tables;
+#: larger FROM lists fall back to the greedy search.
+DP_TABLE_LIMIT = 6
+
+
+# ----------------------------------------------------------------------
+# join graph
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """One equi-join condition ``left.left_key = right.right_key``."""
+
+    left: str
+    right: str
+    left_key: str
+    right_key: str
+
+    def touches(self, table: str) -> bool:
+        return table in (self.left, self.right)
+
+    def key_for(self, table: str) -> str:
+        if table == self.left:
+            return self.left_key
+        if table == self.right:
+            return self.right_key
+        raise PlanError(f"edge {self} does not touch table {table!r}")
+
+    def other(self, table: str) -> str:
+        if table == self.left:
+            return self.right
+        if table == self.right:
+            return self.left
+        raise PlanError(f"edge {self} does not touch table {table!r}")
+
+    def to_expr(self) -> ast.Expr:
+        return ast.Binary(
+            "=", ast.Column(self.left_key), ast.Column(self.right_key)
+        )
+
+
+@dataclass
+class JoinGraph:
+    """Decomposed N-way join: tables, per-table predicates, edges."""
+
+    #: lower-cased table name -> catalog entry, in FROM order.
+    tables: dict[str, TableInfo]
+    #: lower-cased table name -> conjunction of its single-table predicates.
+    predicates: dict[str, ast.Expr | None]
+    edges: list[JoinEdge]
+    #: Cross-table conjuncts that are not equi-join edges (plus duplicate
+    #: equi conjuncts over an already-connected pair); applied after the
+    #: full join chain.
+    residual: ast.Expr | None
+
+    def table_names(self) -> list[str]:
+        return list(self.tables)
+
+    def edges_between(self, table: str, others: set[str]) -> list[JoinEdge]:
+        """Edges connecting ``table`` to any table in ``others``."""
+        return [
+            e for e in self.edges
+            if e.touches(table) and e.other(table) in others
+        ]
+
+    def is_connected(self) -> bool:
+        names = list(self.tables)
+        if not names:
+            return False
+        seen = {names[0]}
+        frontier = [names[0]]
+        while frontier:
+            current = frontier.pop()
+            for edge in self.edges:
+                if edge.touches(current):
+                    nxt = edge.other(current)
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+        return len(seen) == len(names)
+
+
+def _owner_of(
+    column: ast.Column, tables: dict[str, TableInfo]
+) -> str | None:
+    """Which table a column reference belongs to (lower name), if any."""
+    if column.table:
+        key = column.table.lower()
+        if key not in tables:
+            return None
+        if not tables[key].schema.has_column(column.name):
+            raise PlanError(
+                f"table {key!r} has no column {column.name!r}"
+            )
+        return key
+    owners = [
+        name for name, info in tables.items()
+        if info.schema.has_column(column.name)
+    ]
+    if len(owners) > 1:
+        raise PlanError(
+            f"ambiguous column {column.name!r}: qualify it with a table name"
+        )
+    return owners[0] if owners else None
+
+
+def build_join_graph(catalog: Catalog, query: ast.Query) -> JoinGraph:
+    """Extract the join graph from an N-table query's WHERE conjunction."""
+    names = [t.lower() for t in query.from_tables]
+    if len(set(names)) != len(names):
+        raise PlanError(f"duplicate table in FROM list: {query.from_tables}")
+    tables = {name: catalog.get(name) for name in names}
+
+    side_preds: dict[str, list[ast.Expr]] = {name: [] for name in names}
+    edges: list[JoinEdge] = []
+    connected_pairs: set[frozenset] = set()
+    residual: list[ast.Expr] = []
+
+    for conjunct in ast.split_conjuncts(query.where):
+        if (
+            isinstance(conjunct, ast.Binary)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ast.Column)
+            and isinstance(conjunct.right, ast.Column)
+        ):
+            lo = _owner_of(conjunct.left, tables)
+            ro = _owner_of(conjunct.right, tables)
+            if lo is not None and ro is not None and lo != ro:
+                pair = frozenset((lo, ro))
+                if pair not in connected_pairs:
+                    connected_pairs.add(pair)
+                    edges.append(JoinEdge(
+                        left=lo, right=ro,
+                        left_key=conjunct.left.name,
+                        right_key=conjunct.right.name,
+                    ))
+                else:
+                    # A second equality over an already-connected pair
+                    # cannot drive the hash join; keep it as a residual
+                    # filter over the joined rows.
+                    residual.append(conjunct)
+                continue
+        owners = set()
+        for node in ast.walk(conjunct):
+            if isinstance(node, ast.Column):
+                owner = _owner_of(node, tables)
+                if owner is not None:
+                    owners.add(owner)
+        if len(owners) == 1:
+            side_preds[next(iter(owners))].append(conjunct)
+        else:
+            residual.append(conjunct)
+
+    graph = JoinGraph(
+        tables=tables,
+        predicates={name: ast.and_join(side_preds[name]) for name in names},
+        edges=edges,
+        residual=ast.and_join(residual),
+    )
+    if len(names) > 1 and not graph.is_connected():
+        raise PlanError(
+            "multi-table queries need equi-join conditions (a.k = b.k)"
+            " connecting every table; cross joins are not supported"
+        )
+    return graph
+
+
+def needed_columns(graph: JoinGraph, query: ast.Query) -> dict[str, list[str]]:
+    """Per-table column lists the join pipeline must scan.
+
+    Join keys of every edge touching the table plus any column the
+    select list, GROUP BY, ORDER BY or residual predicate references;
+    ``SELECT *`` keeps every column.  Schema order is preserved so scan
+    projections stay deterministic.
+    """
+    referenced: set[str] = set()
+    star = False
+    exprs: list[ast.Expr] = [i.expr for i in query.select_items]
+    exprs += list(query.group_by)
+    exprs += [o.expr for o in query.order_by]
+    if graph.residual is not None:
+        exprs.append(graph.residual)
+    for expr in exprs:
+        if isinstance(expr, ast.Star):
+            star = True
+            continue
+        referenced |= {c.lower() for c in ast.referenced_columns(expr)}
+    for edge in graph.edges:
+        referenced.add(edge.left_key.lower())
+        referenced.add(edge.right_key.lower())
+
+    out: dict[str, list[str]] = {}
+    for name, info in graph.tables.items():
+        if star:
+            out[name] = list(info.schema.names)
+        else:
+            out[name] = [
+                c for c in info.schema.names if c.lower() in referenced
+            ]
+    return out
+
+
+# ----------------------------------------------------------------------
+# cost-based search
+# ----------------------------------------------------------------------
+
+@dataclass
+class JoinOrderDecision:
+    """Outcome of one join-order search."""
+
+    graph: JoinGraph
+    #: Picked left-deep order (lower-cased table names).
+    order: list[str]
+    #: Priced estimate of the optimized pushdown chain for the pick.
+    estimate: StrategyEstimate
+    #: Priced estimate of the baseline (GET everything) chain.
+    baseline: StrategyEstimate
+    #: Every candidate order considered at the top level, priced.
+    candidates: list[StrategyEstimate] = field(default_factory=list)
+    method: str = "dp"
+
+    def candidate_table(self) -> list[dict]:
+        """Compact join-order rows for EXPLAIN / experiment output."""
+        return [
+            {
+                "order": " -> ".join(c.notes["order"]),
+                "est_rows": round(float(c.notes.get("est_rows", 0.0)), 1),
+                "runtime_s": round(c.runtime_seconds, 6),
+                "cost": round(c.total_cost, 9),
+                "picked": list(c.notes["order"]) == list(self.order),
+            }
+            for c in self.candidates
+        ]
+
+
+@dataclass(frozen=True)
+class _TableShape:
+    """Pre-computed per-table quantities the search prices with."""
+
+    info: TableInfo
+    selectivity: float
+    filtered_rows: float
+    columns: list[str]
+    row_bytes: float
+    conjuncts: int
+
+
+class JoinOrderSearch:
+    """Left-deep join-order enumeration priced through the cost model."""
+
+    def __init__(
+        self,
+        ctx: CloudContext,
+        catalog: Catalog,
+        graph: JoinGraph,
+        query: ast.Query,
+        fpr: float = DEFAULT_FPR,
+    ):
+        self.ctx = ctx
+        self.graph = graph
+        self.query = query
+        self.fpr = fpr
+        self.model = CostModel(ctx, catalog)
+        columns = needed_columns(graph, query)
+        self.shapes: dict[str, _TableShape] = {}
+        for name, info in graph.tables.items():
+            stats = info.stats_or_default()
+            pred = graph.predicates[name]
+            sel = estimate_selectivity(pred, stats)
+            self.shapes[name] = _TableShape(
+                info=info,
+                selectivity=sel,
+                filtered_rows=sel * info.num_rows,
+                columns=columns[name],
+                row_bytes=stats.projected_row_bytes(columns[name]),
+                conjuncts=_conjuncts(pred),
+            )
+
+    # -- cardinality -------------------------------------------------
+    def _key_distinct(self, table: str, key: str, rows: float) -> float:
+        stats = self.graph.tables[table].stats_or_default()
+        col = stats.column(key)
+        distinct = max(col.distinct, 1) if col is not None else max(rows, 1.0)
+        return max(1.0, min(float(distinct), max(rows, 1.0)))
+
+    def _join_rows(
+        self, inter_rows: float, inter_tables: set[str], table: str,
+    ) -> float:
+        """Containment estimate of joining ``table`` onto the intermediate."""
+        shape = self.shapes[table]
+        rows = inter_rows * shape.filtered_rows
+        for i, edge in enumerate(self.graph.edges_between(table, inter_tables)):
+            other = edge.other(table)
+            d_new = self._key_distinct(table, edge.key_for(table),
+                                       shape.filtered_rows)
+            d_old = self._key_distinct(
+                other, edge.key_for(other),
+                min(inter_rows, self.shapes[other].filtered_rows),
+            )
+            rows /= max(d_new, d_old)
+            if i > 0:
+                # System-R independence: every extra edge multiplies its
+                # own 1/max(V) in.  Extra edges act as compound-key
+                # refinements, so additionally cap the estimate at the
+                # smaller input — such a join cannot fan out past either
+                # side even when the distinct counts are uninformative.
+                rows = min(rows, inter_rows, shape.filtered_rows)
+        return max(rows, 0.0)
+
+    # -- pricing -----------------------------------------------------
+    def price_order(
+        self, order: list[str], final: bool = True
+    ) -> StrategyEstimate:
+        """Predicted profile of the optimized pushdown chain for ``order``.
+
+        Mirrors the planner's execution: every table is scanned with its
+        predicate and projection pushed into S3 Select; each join step
+        hashes the smaller side; the outermost probe scan gets a Bloom
+        predicate when the build key is an integer.  ``final=False``
+        prices the order as a plan *prefix* (DP intermediate levels):
+        its last step is not outermost yet, so no Bloom bonus applies.
+        """
+        phases = []
+        first = self.shapes[order[0]]
+        n0 = first.info.num_rows
+        phases.append(_phase(
+            f"scan-{order[0]}", first.info.partitions,
+            scan_bytes=float(first.info.total_bytes),
+            returned_bytes=first.filtered_rows * first.row_bytes,
+            term_evals=n0 * first.conjuncts,
+            records=first.filtered_rows,
+            fields=first.filtered_rows * max(len(first.columns), 1),
+        ))
+        inter_rows = first.filtered_rows
+        joined: set[str] = {order[0]}
+
+        for step, name in enumerate(order[1:], start=1):
+            shape = self.shapes[name]
+            n = shape.info.num_rows
+            outermost = final and step == len(order) - 1
+            table_is_probe = shape.filtered_rows >= inter_rows
+            build_rows = min(inter_rows, shape.filtered_rows)
+            probe_rows = max(inter_rows, shape.filtered_rows)
+            cpu = (
+                build_rows * SERVER_CPU_PER_ROW["hash_build"]
+                + probe_rows * SERVER_CPU_PER_ROW["hash_probe"]
+            )
+
+            returned_rows = shape.filtered_rows
+            term_evals = float(n * shape.conjuncts)
+            bloom = None
+            if outermost and table_is_probe:
+                bloom = self._bloom_shape(name, inter_rows, joined)
+            if bloom is not None:
+                pass_rows, hashes = bloom
+                returned_rows = min(returned_rows, pass_rows)
+                term_evals += n * hashes
+                cpu += build_rows * SERVER_CPU_PER_ROW["bloom_insert"]
+            phases.append(_phase(
+                f"scan-{name}", shape.info.partitions,
+                scan_bytes=float(shape.info.total_bytes),
+                returned_bytes=returned_rows * shape.row_bytes,
+                term_evals=term_evals,
+                cpu_seconds=cpu,
+                records=returned_rows,
+                fields=returned_rows * max(len(shape.columns), 1),
+            ))
+            inter_rows = self._join_rows(inter_rows, joined, name)
+            joined.add(name)
+
+        return self.model.price_phases(
+            "join-order " + " -> ".join(order), phases,
+            {"order": list(order), "est_rows": inter_rows},
+        )
+
+    def _bloom_shape(
+        self, probe: str, build_rows: float, build_tables: set[str]
+    ) -> tuple[float, int] | None:
+        """(expected probe rows passing, hash count) or None if ineligible."""
+        edges = self.graph.edges_between(probe, build_tables)
+        if not edges:
+            return None
+        edge = edges[0]
+        build_table = edge.other(probe)
+        build_key = edge.key_for(build_table)
+        column = self.graph.tables[build_table].schema.column(build_key)
+        if column.type != "int":
+            return None
+        shape = self.shapes[probe]
+        distinct_keys = self._key_distinct(build_table, build_key, build_rows)
+        hashes = optimal_num_hashes(self.fpr)
+        bits = optimal_num_bits(int(max(distinct_keys, 1)), self.fpr)
+        if hashes * (bits + 60) > EXPRESSION_LIMIT_BYTES:
+            return None
+        probe_distinct = self._key_distinct(
+            probe, edge.key_for(probe), shape.filtered_rows
+        )
+        match_fraction = min(1.0, distinct_keys / probe_distinct)
+        matched = shape.filtered_rows * match_fraction
+        pass_rows = matched + (shape.filtered_rows - matched) * self.fpr
+        return pass_rows, hashes
+
+    def price_baseline(self, order: list[str]) -> StrategyEstimate:
+        """Predicted profile of the baseline chain: GET every table whole."""
+        get_bytes = 0.0
+        records = 0.0
+        fields = 0.0
+        streams = 0
+        cpu = 0.0
+        inter_rows = self.shapes[order[0]].filtered_rows
+        joined = {order[0]}
+        for step, name in enumerate(order):
+            shape = self.shapes[name]
+            n = shape.info.num_rows
+            get_bytes += float(shape.info.total_bytes)
+            records += n
+            fields += n * len(shape.info.schema)
+            streams += shape.info.partitions
+            if self.graph.predicates[name] is not None:
+                cpu += n * SERVER_CPU_PER_ROW["filter"]
+            if step > 0:
+                build = min(inter_rows, shape.filtered_rows)
+                probe = max(inter_rows, shape.filtered_rows)
+                cpu += (
+                    build * SERVER_CPU_PER_ROW["hash_build"]
+                    + probe * SERVER_CPU_PER_ROW["hash_probe"]
+                )
+                inter_rows = self._join_rows(inter_rows, joined, name)
+                joined.add(name)
+        return self.model.price_phases(
+            "baseline multi-join",
+            [_phase(
+                "load+join", streams,
+                get_bytes=get_bytes, cpu_seconds=cpu,
+                records=records, fields=fields,
+            )],
+            {"order": list(order), "est_rows": inter_rows},
+        )
+
+    # -- enumeration -------------------------------------------------
+    def search(self, objective: str = "cost") -> JoinOrderDecision:
+        names = self.graph.table_names()
+        if len(names) > DP_TABLE_LIMIT:
+            order = self._greedy_order()
+            estimate = self.price_order(order)
+            return JoinOrderDecision(
+                graph=self.graph,
+                order=order,
+                estimate=estimate,
+                baseline=self.price_baseline(order),
+                candidates=[estimate],
+                method="greedy",
+            )
+        candidates = self._dp_candidates(objective)
+        best = min(candidates, key=objective_key(objective))
+        order = list(best.notes["order"])
+        return JoinOrderDecision(
+            graph=self.graph,
+            order=order,
+            estimate=best,
+            baseline=self.price_baseline(order),
+            candidates=sorted(candidates, key=objective_key(objective)),
+            method="dp",
+        )
+
+    def _dp_candidates(self, objective: str) -> list[StrategyEstimate]:
+        """DP over connected subsets; top-level expansions are returned.
+
+        ``best[S]`` holds the cheapest left-deep order joining exactly
+        the tables in ``S``; subsets that cannot be formed without a
+        cross join are skipped.  The full set's expansions (one per
+        viable final table) become the EXPLAIN candidate list.
+        """
+        names = self.graph.table_names()
+        key = objective_key(objective)
+        best: dict[frozenset, StrategyEstimate] = {}
+        for name in names:
+            single = frozenset((name,))
+            best[single] = self.price_order([name], final=len(names) == 1)
+        for size in range(2, len(names) + 1):
+            final_level = size == len(names)
+            level_candidates: list[StrategyEstimate] = []
+            for subset in itertools.combinations(names, size):
+                subset_key = frozenset(subset)
+                expansions: list[StrategyEstimate] = []
+                for last in subset:
+                    rest = subset_key - {last}
+                    prior = best.get(rest)
+                    if prior is None:
+                        continue
+                    if not self.graph.edges_between(last, set(rest)):
+                        continue
+                    order = list(prior.notes["order"]) + [last]
+                    expansions.append(self.price_order(order, final=final_level))
+                if not expansions:
+                    continue
+                best[subset_key] = min(expansions, key=key)
+                if final_level:
+                    level_candidates = expansions
+            if final_level:
+                if not level_candidates:
+                    raise PlanError(
+                        "no connected left-deep join order exists for"
+                        f" tables {names}"
+                    )
+                return level_candidates
+        # Single-table degenerate call.
+        return [best[frozenset(names)]]
+
+    def _greedy_order(self) -> list[str]:
+        """Smallest filtered table first, then minimum intermediate rows."""
+        names = self.graph.table_names()
+        start = min(names, key=lambda n: self.shapes[n].filtered_rows)
+        order = [start]
+        joined = {start}
+        inter_rows = self.shapes[start].filtered_rows
+        while len(order) < len(names):
+            frontier = [
+                n for n in names
+                if n not in joined and self.graph.edges_between(n, joined)
+            ]
+            if not frontier:
+                raise PlanError(
+                    "no connected left-deep join order exists for"
+                    f" tables {names}"
+                )
+            nxt = min(frontier, key=lambda n: self._join_rows(inter_rows, joined, n))
+            inter_rows = self._join_rows(inter_rows, joined, nxt)
+            order.append(nxt)
+            joined.add(nxt)
+        return order
+
+
+def enumerate_left_deep_orders(graph: JoinGraph) -> list[list[str]]:
+    """Every connected left-deep order (experiment sweeps; small N only)."""
+    names = graph.table_names()
+    orders: list[list[str]] = []
+    for perm in itertools.permutations(names):
+        ok = all(
+            graph.edges_between(perm[i], set(perm[:i]))
+            for i in range(1, len(perm))
+        )
+        if ok:
+            orders.append(list(perm))
+    return orders
+
+
+def plan_join_order(
+    ctx: CloudContext,
+    catalog: Catalog,
+    query: ast.Query,
+    objective: str = "cost",
+    graph: JoinGraph | None = None,
+) -> JoinOrderDecision:
+    """Build the join graph (unless given) and run the order search."""
+    if graph is None:
+        graph = build_join_graph(catalog, query)
+    return JoinOrderSearch(ctx, catalog, graph, query).search(objective)

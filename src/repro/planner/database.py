@@ -85,8 +85,10 @@ class PushdownDB:
         """Run a SQL query.
 
         Args:
-            sql: a single-table or two-table SELECT (see
-                :mod:`repro.planner.planner` for the supported subset).
+            sql: a SELECT over one or more tables (see
+                :mod:`repro.planner.planner` for the supported subset);
+                multi-table queries are equi-join chains whose join
+                order the cost-based search picks automatically.
             mode: ``"optimized"`` uses the paper's pushdown strategies;
                 ``"baseline"`` loads whole tables with plain GETs;
                 ``"auto"`` lets the cost-based optimizer pick whichever
@@ -103,7 +105,10 @@ class PushdownDB:
         """The optimizer's EXPLAIN report for ``sql`` (no execution).
 
         Lists every candidate plan's predicted requests, bytes, runtime
-        and dollar cost, and marks the pick.
+        and dollar cost, and marks the pick.  For multi-table queries
+        the report also carries the join-order search's candidate table
+        (each considered order with its predicted rows, runtime and
+        cost).
         """
         from repro.optimizer.chooser import choose_planner_mode
         from repro.sqlparser.parser import parse

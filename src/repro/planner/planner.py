@@ -1,15 +1,19 @@
 """A minimal SQL planner for PushdownDB.
 
 The paper describes PushdownDB's optimizer as "minimal" (Section III);
-ours mirrors that: it plans single-table queries and two-table equi-joins
-(the shapes the paper's workloads use), choosing between the baseline
-(GET everything) and optimized (pushdown) physical strategies.
+ours goes one step further: besides choosing between the baseline (GET
+everything) and optimized (pushdown) physical strategies, multi-table
+queries run through a cost-based join-order search
+(:mod:`repro.optimizer.joinorder`).
 
 Supported SQL per query:
 
 * single table — WHERE / GROUP BY / aggregates / ORDER BY / LIMIT;
 * two tables (``FROM a, b WHERE a.k = b.k AND ...``) — equi-join plus
-  the same local tail.
+  the same local tail (kept on the historical pairwise path so its
+  metering is unchanged);
+* three or more tables — an equi-join chain planned left-deep by the
+  join-order search and executed as chained streaming hash joins.
 
 Anything else raises :class:`~repro.common.errors.PlanError`.
 """
@@ -21,17 +25,27 @@ from dataclasses import dataclass
 from repro.cloud.context import CloudContext, QueryExecution
 from repro.common.errors import PlanError
 from repro.engine.catalog import Catalog, TableInfo
-from repro.engine.operators.base import BatchCounter, CpuTally, materialize
+from repro.engine.operators.base import (
+    BatchCounter,
+    CpuTally,
+    batches_of,
+    materialize,
+)
 from repro.engine.operators.filter import filter_batches, filter_rows
 from repro.engine.operators.groupby import group_by_batches
-from repro.engine.operators.hashjoin import hash_join_batches
+from repro.engine.operators.hashjoin import hash_join, hash_join_batches
 from repro.engine.operators.limit import limit_batches
-from repro.engine.operators.project import project_batches, projected_names
+from repro.engine.operators.project import (
+    project,
+    project_batches,
+    projected_names,
+)
 from repro.engine.operators.sort import sort_batches
 from repro.engine.operators.topk import top_k_batches
 from repro.queries.common import bloom_where
 from repro.sqlparser import ast
 from repro.sqlparser.parser import parse
+from repro.storage.csvcodec import DEFAULT_BATCH_SIZE
 from repro.strategies.scans import (
     iter_scan_batches,
     merge_sum_partials,
@@ -66,7 +80,12 @@ def plan_and_execute(
         choice = choose_planner_mode(ctx, catalog, query)
         mode = choice.picked
         summary = choice.summary()
-    if query.join_table is not None:
+    if len(query.from_tables) > 2:
+        # Reuse the order the auto-mode search already picked rather
+        # than running the DP a second time.
+        order = summary.get("join_order_list") if summary is not None else None
+        execution = _execute_multijoin(ctx, catalog, query, mode, force_order=order)
+    elif query.join_table is not None:
         execution = _execute_join(ctx, catalog, query, mode)
     else:
         execution = _execute_single(ctx, catalog, query, mode)
@@ -182,7 +201,13 @@ def _local_tail_batches(
     (projection, LIMIT) stay streaming; pipeline breakers (group-by,
     aggregation, sort, top-K) drain the stream internally and re-enter
     the pipeline as a single batch.
+
+    SQL allows ``ORDER BY`` keys outside the select list; projection is
+    deferred until after the sort/top-K in that case so the keys are
+    still in scope (queries whose keys are selected keep the historical
+    project-first pipeline and its metering).
     """
+    deferred_projection = False
     if query.group_by:
         grouped = tally.add(
             group_by_batches(stream, names, query.group_by, _agg_items(query))
@@ -197,16 +222,61 @@ def _local_tail_batches(
         )
         stream, names = iter([out.rows]), out.column_names
     elif not all(isinstance(i.expr, ast.Star) for i in query.select_items):
-        stream = project_batches(stream, names, query.select_items, tally)
-        names = projected_names(names, query.select_items)
+        out_names = {n.lower() for n in projected_names(names, query.select_items)}
+        deferred_projection = any(
+            ref.lower() not in out_names
+            for item in query.order_by
+            for ref in ast.referenced_columns(item.expr)
+        )
+        if not deferred_projection:
+            stream = project_batches(stream, names, query.select_items, tally)
+            names = projected_names(names, query.select_items)
 
-    if query.order_by:
+    order_by = query.order_by
+    if deferred_projection:
+        # SQL resolves ORDER BY names against the select list first;
+        # with projection deferred the sort sees raw scan columns, so
+        # alias references must be rewritten to their expressions.
+        order_by = tuple(
+            ast.OrderItem(_unalias(o.expr, query.select_items), o.descending)
+            for o in order_by
+        )
+    if order_by:
         if query.limit is not None:
-            out = tally.add(top_k_batches(stream, names, query.order_by, query.limit))
-            return out.rows, names
-        out = tally.add(sort_batches(stream, names, query.order_by))
-        stream = iter([out.rows])
-    return materialize(limit_batches(stream, query.limit)), names
+            out = tally.add(top_k_batches(stream, names, order_by, query.limit))
+            rows = out.rows
+        else:
+            out = tally.add(sort_batches(stream, names, order_by))
+            rows = out.rows
+    else:
+        rows = materialize(limit_batches(stream, query.limit))
+    if deferred_projection:
+        projected = tally.add(project(rows, names, query.select_items))
+        rows, names = projected.rows, projected.column_names
+    return rows, names
+
+
+def _unalias(expr: ast.Expr, select_items) -> ast.Expr:
+    """Substitute output-alias references with their select expressions.
+
+    Recurses through the whole expression (``ORDER BY k + l_tax`` with
+    ``... AS k`` rewrites the ``k`` inside the sum), matching SQL's
+    rule that ORDER BY names resolve against the select list first.
+    """
+    aliases = {
+        item.alias.lower(): item.expr
+        for item in select_items
+        if item.alias
+    }
+
+    def substitute(column: ast.Column) -> ast.Expr:
+        if column.table is None:
+            replacement = aliases.get(column.name.lower())
+            if replacement is not None:
+                return replacement
+        return column
+
+    return ast.map_columns(expr, substitute)
 
 
 def _agg_items(query: ast.Query) -> list[ast.SelectItem]:
@@ -233,21 +303,10 @@ class _JoinPlan:
     residual: ast.Expr | None
 
 
-def _split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
-    if expr is None:
-        return []
-    if isinstance(expr, ast.Binary) and expr.op == "AND":
-        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
-    return [expr]
-
-
-def _and_join(conjuncts: list[ast.Expr]) -> ast.Expr | None:
-    if not conjuncts:
-        return None
-    expr = conjuncts[0]
-    for extra in conjuncts[1:]:
-        expr = ast.Binary("AND", expr, extra)
-    return expr
+#: Shared WHERE-decomposition primitives (also used by the join-order
+#: search); kept as module aliases for the pairwise planner's call sites.
+_split_conjuncts = ast.split_conjuncts
+_and_join = ast.and_join
 
 
 def _owner(column: ast.Column, a: TableInfo, b: TableInfo) -> TableInfo | None:
@@ -439,3 +498,217 @@ def _execute_join(
         )
         phases[-1].server_cpu_seconds += tally.seconds
     return ctx.finalize(mark, rows, names, phases, strategy=f"{mode} join")
+
+
+# ----------------------------------------------------------------------
+# N-way (>2 table) join plans
+# ----------------------------------------------------------------------
+
+def execute_with_join_order(
+    ctx: CloudContext,
+    catalog: Catalog,
+    sql: str,
+    order: list[str],
+    mode: str = "optimized",
+) -> QueryExecution:
+    """Run a multi-table query with a caller-forced left-deep join order.
+
+    The fig12 experiment uses this to sweep every connected order and
+    compare the optimizer's pick against the measured best.
+    """
+    query = parse(sql)
+    if len(query.from_tables) < 3:
+        raise PlanError("execute_with_join_order needs a 3+-table query")
+    return _execute_multijoin(
+        ctx, catalog, query, mode, force_order=[t.lower() for t in order]
+    )
+
+
+def _execute_multijoin(
+    ctx: CloudContext,
+    catalog: Catalog,
+    query: ast.Query,
+    mode: str,
+    force_order: list[str] | None = None,
+) -> QueryExecution:
+    """N-way equi-join as a chain of hash joins over the picked order.
+
+    The join-order search (``optimizer/joinorder.py``) decides the
+    left-deep sequence; every table but the outermost probe materializes
+    (each is a hash-build pipeline breaker), while the final probe side
+    streams batch-by-batch through the last join, the residual filter
+    and the local tail.  In optimized mode each table's predicate and
+    projection are pushed into its S3 Select scan, and the outermost
+    probe scan carries a Bloom predicate when the build key is an
+    integer column.
+    """
+    from repro.optimizer.joinorder import (
+        build_join_graph,
+        needed_columns,
+        plan_join_order,
+    )
+    from repro.optimizer.selectivity import estimate_selectivity
+
+    graph = build_join_graph(catalog, query)
+    if force_order is not None:
+        order = list(force_order)
+        if sorted(order) != sorted(graph.table_names()):
+            raise PlanError(
+                f"join order {order} does not cover tables"
+                f" {graph.table_names()}"
+            )
+        for i in range(1, len(order)):
+            if not graph.edges_between(order[i], set(order[:i])):
+                raise PlanError(
+                    f"join order {order} is not connected at {order[i]!r}"
+                )
+    else:
+        order = plan_join_order(ctx, catalog, query, graph=graph).order
+
+    columns = needed_columns(graph, query)
+    tally = CpuTally()
+    mark = ctx.begin_query()
+    phases = []
+    #: Equality edges beyond the hash edge at each step, applied as
+    #: residual filters over the joined stream.
+    deferred: list[ast.Expr] = []
+
+    def scan_names(name: str) -> list[str]:
+        return (
+            list(graph.tables[name].schema.names)
+            if mode == "baseline"
+            else columns[name]
+        )
+
+    def load_filtered(name: str) -> list[tuple]:
+        """Materialize one table's filtered, projected rows (metered)."""
+        table = graph.tables[name]
+        pred = graph.predicates[name]
+        scan_mark = ctx.metrics.mark()
+        if mode == "baseline":
+            rows = materialize(iter_scan_batches(ctx, table))
+            rows = tally.add(filter_rows(rows, table.schema.names, pred)).rows
+            return rows
+        sql = projection_sql(
+            columns[name], pred.to_sql() if pred is not None else None
+        )
+        rows, _ = select_table(ctx, table, sql)
+        phases.append(phase_since(
+            ctx, scan_mark, f"scan-{name}", streams=table.partitions,
+            ingest=(len(rows), len(columns[name])),
+        ))
+        return rows
+
+    # Materialize every table but the outermost probe, joining as we go.
+    cur_rows = load_filtered(order[0])
+    cur_names = scan_names(order[0])
+    joined: set[str] = {order[0]}
+    for name in order[1:-1]:
+        rows = load_filtered(name)
+        names = scan_names(name)
+        edges = graph.edges_between(name, joined)
+        hash_edge, extra = edges[0], edges[1:]
+        deferred.extend(e.to_expr() for e in extra)
+        inter_key = hash_edge.key_for(hash_edge.other(name))
+        table_key = hash_edge.key_for(name)
+        if len(cur_rows) <= len(rows):
+            out = tally.add(hash_join(
+                cur_rows, cur_names, rows, names, inter_key, table_key
+            ))
+        else:
+            out = tally.add(hash_join(
+                rows, names, cur_rows, cur_names, table_key, inter_key
+            ))
+        cur_rows, cur_names = out.rows, out.column_names
+        joined.add(name)
+
+    # Outermost step: pick the build side per edge, stream the probe.
+    last = order[-1]
+    last_table = graph.tables[last]
+    last_pred = graph.predicates[last]
+    last_names = scan_names(last)
+    edges = graph.edges_between(last, joined)
+    hash_edge, extra = edges[0], edges[1:]
+    deferred.extend(e.to_expr() for e in extra)
+    inter_key = hash_edge.key_for(hash_edge.other(last))
+    last_key = hash_edge.key_for(last)
+    est_last_rows = (
+        estimate_selectivity(last_pred, last_table.stats_or_default())
+        * last_table.num_rows
+    )
+    probe_mark = ctx.metrics.mark()
+
+    if est_last_rows < len(cur_rows):
+        # The final table is the smaller side: build from it and stream
+        # the intermediate through the join instead.
+        build_rows = load_filtered(last)
+        probe_source = None
+        names, joined_stream = hash_join_batches(
+            build_rows, last_names,
+            iter(batches_of(cur_rows, getattr(ctx, "batch_size", None)
+                            or DEFAULT_BATCH_SIZE)),
+            cur_names, last_key, inter_key, tally,
+        )
+    elif mode == "baseline":
+        probe_stream = filter_batches(
+            iter_scan_batches(ctx, last_table),
+            last_table.schema.names, last_pred, tally,
+        )
+        probe_source = BatchCounter(probe_stream)
+        names, joined_stream = hash_join_batches(
+            cur_rows, cur_names, probe_source, last_names,
+            inter_key, last_key, tally,
+        )
+    else:
+        probe_clauses = []
+        if last_pred is not None:
+            probe_clauses.append(last_pred.to_sql())
+        build_endpoint = hash_edge.other(last)
+        key_type = graph.tables[build_endpoint].schema.column(
+            hash_edge.key_for(build_endpoint)
+        ).type
+        if key_type == "int":
+            key_idx = [c.lower() for c in cur_names].index(inter_key.lower())
+            keys = [r[key_idx] for r in cur_rows if r[key_idx] is not None]
+            if keys:
+                base_sql = projection_sql(
+                    last_names, " AND ".join(probe_clauses) or None
+                )
+                clause = bloom_where(keys, last_key, base_sql)
+                if clause is not None:
+                    probe_clauses.append(clause)
+        probe_sql = projection_sql(
+            last_names, " AND ".join(probe_clauses) or None
+        )
+        probe_source = BatchCounter(iter_scan_batches(ctx, last_table, probe_sql))
+        names, joined_stream = hash_join_batches(
+            cur_rows, cur_names, probe_source, last_names,
+            inter_key, last_key, tally,
+        )
+
+    residual = _and_join(deferred + _split_conjuncts(graph.residual))
+    if residual is not None:
+        joined_stream = filter_batches(joined_stream, names, residual, tally)
+    rows, names = _local_tail_batches(query, joined_stream, names, tally)
+
+    if mode == "baseline":
+        n_records = sum(t.num_rows for t in graph.tables.values())
+        n_fields = sum(
+            t.num_rows * len(t.schema) for t in graph.tables.values()
+        )
+        phases = [phase_since(
+            ctx, mark, "load+join",
+            streams=sum(t.partitions for t in graph.tables.values()),
+            server_cpu_seconds=tally.seconds,
+            ingest=(n_records, n_fields / max(n_records, 1)),
+        )]
+    else:
+        if probe_source is not None:
+            phases.append(phase_since(
+                ctx, probe_mark, f"probe-scan-{last}",
+                streams=last_table.partitions,
+                ingest=(probe_source.rows, len(last_names)),
+            ))
+        phases[-1].server_cpu_seconds += tally.seconds
+    strategy = f"{mode} multi-join ({' >< '.join(order)})"
+    return ctx.finalize(mark, rows, names, phases, strategy=strategy)

@@ -230,7 +230,14 @@ class OrderItem:
 
 @dataclass(frozen=True)
 class Query:
-    """A parsed SELECT statement."""
+    """A parsed SELECT statement.
+
+    The ``FROM`` list is carried as ``table`` (first entry),
+    ``join_table`` (second entry, if any) and ``extra_tables`` (third
+    entry onward); :attr:`from_tables` reassembles the full list.  The
+    split keeps the historical two-table field layout stable for the
+    pairwise join planner while letting N-way queries parse.
+    """
 
     select_items: tuple[SelectItem, ...]
     table: str
@@ -240,12 +247,19 @@ class Query:
     limit: int | None = None
     join_table: str | None = None
     join_condition: Expr | None = None
+    extra_tables: tuple[str, ...] = field(default=())
+
+    @property
+    def from_tables(self) -> tuple[str, ...]:
+        """Every table in the ``FROM`` list, in source order."""
+        tables = (self.table,)
+        if self.join_table:
+            tables += (self.join_table,)
+        return tables + self.extra_tables
 
     def to_sql(self) -> str:
         parts = ["SELECT " + ", ".join(item.to_sql() for item in self.select_items)]
-        from_clause = f"FROM {self.table}"
-        if self.join_table:
-            from_clause += f", {self.join_table}"
+        from_clause = "FROM " + ", ".join(self.from_tables)
         parts.append(from_clause)
         if self.where is not None:
             parts.append(f"WHERE {self.where.to_sql()}")
@@ -288,6 +302,29 @@ def walk(expr: Expr):
         yield from walk(child)
 
 
+def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a predicate's top-level AND chain into its conjuncts.
+
+    ``None`` (no predicate) yields the empty list.  The planner and the
+    join-order search share this as the unit of WHERE decomposition.
+    """
+    if expr is None:
+        return []
+    if isinstance(expr, Binary) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def and_join(conjuncts: list[Expr]) -> Expr | None:
+    """Rebuild a conjunction from :func:`split_conjuncts` output."""
+    if not conjuncts:
+        return None
+    expr = conjuncts[0]
+    for extra in conjuncts[1:]:
+        expr = Binary("AND", expr, extra)
+    return expr
+
+
 def referenced_columns(expr: Expr) -> set[str]:
     """Set of (unqualified) column names referenced by ``expr``."""
     return {node.name for node in walk(expr) if isinstance(node, Column)}
@@ -298,21 +335,15 @@ def contains_aggregate(expr: Expr) -> bool:
     return any(isinstance(node, Aggregate) for node in walk(expr))
 
 
-def rename_columns(expr: Expr, mapping: dict[str, str]) -> Expr:
-    """Return ``expr`` with column names rewritten per ``mapping``.
-
-    Used by the indexing strategy to retarget a data-table predicate at
-    the index table's ``value`` column.  Lookup is case-insensitive;
-    qualifiers are dropped on renamed columns.
-    """
-    lowered = {k.lower(): v for k, v in mapping.items()}
+def map_columns(expr: Expr, fn) -> Expr:
+    """Rebuild ``expr`` with every :class:`Column` node passed through
+    ``fn`` (which returns a replacement expression, possibly the node
+    itself).  The planner uses this to substitute output aliases with
+    their select expressions; :func:`rename_columns` builds on it."""
 
     def rewrite(node: Expr) -> Expr:
         if isinstance(node, Column):
-            new_name = lowered.get(node.name.lower())
-            if new_name is not None:
-                return Column(name=new_name)
-            return node
+            return fn(node)
         if isinstance(node, Unary):
             return Unary(node.op, rewrite(node.operand))
         if isinstance(node, Binary):
@@ -345,3 +376,21 @@ def rename_columns(expr: Expr, mapping: dict[str, str]) -> Expr:
         return node
 
     return rewrite(expr)
+
+
+def rename_columns(expr: Expr, mapping: dict[str, str]) -> Expr:
+    """Return ``expr`` with column names rewritten per ``mapping``.
+
+    Used by the indexing strategy to retarget a data-table predicate at
+    the index table's ``value`` column.  Lookup is case-insensitive;
+    qualifiers are dropped on renamed columns.
+    """
+    lowered = {k.lower(): v for k, v in mapping.items()}
+
+    def rename(column: Column) -> Expr:
+        new_name = lowered.get(column.name.lower())
+        if new_name is not None:
+            return Column(name=new_name)
+        return column
+
+    return map_columns(expr, rename)

@@ -105,10 +105,12 @@ class _Parser:
         self._expect_keyword("SELECT")
         select_items = self._parse_select_list()
         self._expect_keyword("FROM")
-        table = self._parse_table_name()
-        join_table = None
-        if self._match_punct(","):
-            join_table = self._parse_table_name()
+        tables = [self._parse_table_name()]
+        while self._match_punct(","):
+            tables.append(self._parse_table_name())
+        table = tables[0]
+        join_table = tables[1] if len(tables) > 1 else None
+        extra_tables = tuple(tables[2:])
         where = None
         if self._match_keyword("WHERE"):
             where = self.parse_expr()
@@ -140,6 +142,7 @@ class _Parser:
             order_by=order_by,
             limit=limit,
             join_table=join_table,
+            extra_tables=extra_tables,
         )
 
     def _parse_table_name(self) -> str:

@@ -18,6 +18,7 @@ from repro.experiments import (
     fig09_topk_k,
     fig10_tpch,
     fig11_parquet,
+    fig12_multijoin,
 )
 
 
@@ -182,6 +183,31 @@ class TestFig11Parquet:
         wide = [r for r in fig11.rows if r["columns"] == 20 and r["selectivity"] == 0.0]
         by_fmt = {r["strategy"]: r["bytes_scanned"] for r in wide}
         assert by_fmt["parquet"] < by_fmt["csv"] / 5
+
+
+class TestFig12Multijoin:
+    @pytest.fixture(scope="class")
+    def fig12(self):
+        return fig12_multijoin.run(
+            scale_factor=0.002, dates=("1993-06-01", None)
+        )
+
+    def test_every_connected_order_runs(self, fig12):
+        orders = {r["strategy"] for r in fig12.rows} - {"auto"}
+        assert len(orders) == 4  # c-o-l chain: orders never joins last
+
+    def test_pick_agrees_with_measured_best(self, fig12):
+        agreed, total = fig12.notes["agreement"].split("/")
+        assert agreed == total
+
+    def test_auto_not_worse_than_worst_order(self, fig12):
+        for value in {r["upper_o_orderdate"] for r in fig12.rows}:
+            point = [r for r in fig12.rows if r["upper_o_orderdate"] == value]
+            auto = next(r for r in point if r["strategy"] == "auto")
+            worst = max(
+                r["cost_total"] for r in point if r["strategy"] != "auto"
+            )
+            assert auto["cost_total"] <= worst * (1 + 1e-9)
 
 
 class TestHarnessUtilities:

@@ -1,0 +1,127 @@
+"""Edge cases of the streaming hash join (`hash_join_batches`).
+
+The N-way planner chains these joins, so the corners matter more than
+ever: empty build sides (a selective filter killed one input), duplicate
+keys on both sides (many-to-many fan-out), NULL join keys (SQL equality
+never matches NULL), and probe-side early termination under LIMIT (the
+streaming pipeline must stop pulling probe batches once enough joined
+rows exist).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.engine.operators.base import CpuTally, materialize
+from repro.engine.operators.hashjoin import hash_join, hash_join_batches
+from repro.engine.operators.limit import limit_batches
+
+BUILD_NAMES = ["k", "a"]
+PROBE_NAMES = ["j", "b"]
+
+
+def _run(build_rows, probe_batches):
+    names, stream = hash_join_batches(
+        build_rows, BUILD_NAMES, iter(probe_batches), PROBE_NAMES, "k", "j"
+    )
+    return names, materialize(stream)
+
+
+class TestEmptyBuild:
+    def test_empty_build_side_yields_no_rows(self):
+        names, rows = _run([], [[(1, "x"), (2, "y")], [(3, "z")]])
+        assert names == ["k", "a", "j", "b"]
+        assert rows == []
+
+    def test_empty_probe_side_yields_no_rows(self):
+        _, rows = _run([(1, "a")], [])
+        assert rows == []
+
+    def test_all_null_build_keys_behave_like_empty_build(self):
+        _, rows = _run([(None, "a"), (None, "b")], [[(None, "x"), (1, "y")]])
+        assert rows == []
+
+
+class TestDuplicateKeys:
+    def test_duplicates_on_both_sides_cross_product(self):
+        build = [(1, "a1"), (1, "a2"), (2, "b")]
+        probe = [[(1, "x"), (1, "y")], [(2, "z")]]
+        _, rows = _run(build, probe)
+        # Key 1: 2 build x 2 probe = 4 joined rows; key 2: 1 x 1.
+        assert sorted(rows) == sorted([
+            (1, "a1", 1, "x"), (1, "a2", 1, "x"),
+            (1, "a1", 1, "y"), (1, "a2", 1, "y"),
+            (2, "b", 2, "z"),
+        ])
+
+    def test_matches_materialized_variant(self):
+        build = [(1, "a1"), (1, "a2"), (None, "n"), (3, "c")]
+        probe_rows = [(1, "x"), (1, "y"), (3, "z"), (None, "w"), (9, "q")]
+        expected = hash_join(
+            build, BUILD_NAMES, probe_rows, PROBE_NAMES, "k", "j"
+        ).rows
+        _, rows = _run(build, [probe_rows[:2], probe_rows[2:]])
+        assert rows == expected
+
+
+class TestNullKeys:
+    def test_null_keys_never_match(self):
+        build = [(None, "a"), (1, "b")]
+        probe = [[(None, "x"), (1, "y"), (None, "z")]]
+        _, rows = _run(build, probe)
+        assert rows == [(1, "b", 1, "y")]
+
+    def test_null_probe_keys_dropped_even_with_null_build_keys(self):
+        # NULL = NULL is UNKNOWN, not TRUE: no pairing of the two NULLs.
+        _, rows = _run([(None, "a")], [[(None, "x")]])
+        assert rows == []
+
+
+class TestEarlyTermination:
+    def test_limit_stops_pulling_probe_batches(self):
+        build = [(1, "a")]
+        pulled = []
+
+        def probe():
+            for i in range(100):
+                pulled.append(i)
+                yield [(1, f"x{i}"), (2, f"y{i}")]
+
+        names, stream = hash_join_batches(
+            build, BUILD_NAMES, probe(), PROBE_NAMES, "k", "j"
+        )
+        limited = materialize(limit_batches(stream, 3))
+        assert len(limited) == 3
+        # One joined row per probe batch -> 3 matches need only the
+        # first 3 batches (plus at most one look-ahead pull).
+        assert len(pulled) <= 4
+
+    def test_limit_charges_cpu_only_for_pulled_batches(self):
+        build = [(1, "a")]
+        tally = CpuTally()
+
+        def probe():
+            for i in range(50):
+                yield [(1, i)]
+
+        _, stream = hash_join_batches(
+            build, BUILD_NAMES, probe(), PROBE_NAMES, "k", "j", tally
+        )
+        after_build = tally.seconds
+        materialize(limit_batches(stream, 2))
+        charged = tally.seconds - after_build
+        full_tally = CpuTally()
+        _, full_stream = hash_join_batches(
+            build, BUILD_NAMES, probe(), PROBE_NAMES, "k", "j", full_tally
+        )
+        materialize(full_stream)
+        assert charged < (full_tally.seconds - after_build) / 2
+
+
+class TestNameCollisions:
+    def test_duplicate_output_columns_rejected(self):
+        with pytest.raises(PlanError, match="duplicate column"):
+            hash_join_batches(
+                [(1, "a")], ["k", "v"], iter([[(1, "x")]]), ["K", "v"], "k", "K"
+            )

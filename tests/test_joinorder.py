@@ -1,0 +1,194 @@
+"""Unit tests for the join-graph builder and join-order search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.context import CloudContext
+from repro.common.errors import PlanError
+from repro.engine.catalog import Catalog, load_table
+from repro.optimizer.joinorder import (
+    DP_TABLE_LIMIT,
+    JoinOrderSearch,
+    build_join_graph,
+    enumerate_left_deep_orders,
+    needed_columns,
+    plan_join_order,
+)
+from repro.sqlparser.parser import parse
+from repro.storage.schema import TableSchema
+
+
+def _load(ctx, catalog, name, columns, rows, partitions=2):
+    schema = TableSchema.of(*columns)
+    load_table(ctx, catalog, name, rows, schema, partitions=partitions)
+
+
+@pytest.fixture()
+def env():
+    ctx = CloudContext()
+    catalog = Catalog()
+    _load(ctx, catalog, "a", ["a_id:int", "a_v:int"],
+          [(i, i * 2) for i in range(8)])
+    _load(ctx, catalog, "b", ["b_id:int", "b_a:int", "b_v:int"],
+          [(i, i % 8, i) for i in range(40)])
+    _load(ctx, catalog, "c", ["c_b:int", "c_v:str"],
+          [(i % 40, f"s{i}") for i in range(120)])
+    return ctx, catalog
+
+
+class TestJoinGraph:
+    def test_chain_graph(self, env):
+        _, catalog = env
+        query = parse(
+            "SELECT COUNT(*) AS n FROM a, b, c"
+            " WHERE a_id = b_a AND b_id = c_b AND a_v > 2 AND c_v <> 'x'"
+        )
+        graph = build_join_graph(catalog, query)
+        assert graph.table_names() == ["a", "b", "c"]
+        assert len(graph.edges) == 2
+        assert graph.predicates["a"] is not None
+        assert graph.predicates["b"] is None
+        assert graph.predicates["c"] is not None
+        assert graph.residual is None
+
+    def test_duplicate_equality_becomes_residual(self, env):
+        _, catalog = env
+        query = parse(
+            "SELECT COUNT(*) AS n FROM a, b"
+            " WHERE a_id = b_a AND a_v = b_v"
+        )
+        graph = build_join_graph(catalog, query)
+        assert len(graph.edges) == 1
+        assert graph.residual is not None
+
+    def test_qualified_columns_resolve(self, env):
+        _, catalog = env
+        query = parse(
+            "SELECT COUNT(*) AS n FROM a, b, c"
+            " WHERE a.a_id = b.b_a AND b.b_id = c.c_b"
+        )
+        graph = build_join_graph(catalog, query)
+        assert len(graph.edges) == 2
+
+    def test_qualified_column_typo_fails_fast(self, env):
+        """A qualifier naming a FROM table whose schema lacks the column
+        must fail at graph build, not deep inside execution."""
+        _, catalog = env
+        query = parse(
+            "SELECT COUNT(*) AS n FROM a, b, c"
+            " WHERE a.b_a = b.b_a AND b_id = c_b"
+        )
+        with pytest.raises(PlanError, match="has no column"):
+            build_join_graph(catalog, query)
+
+    def test_disconnected_rejected(self, env):
+        _, catalog = env
+        query = parse("SELECT COUNT(*) AS n FROM a, b, c WHERE a_id = b_a")
+        with pytest.raises(PlanError, match="connect"):
+            build_join_graph(catalog, query)
+
+    def test_needed_columns_include_join_keys(self, env):
+        _, catalog = env
+        query = parse(
+            "SELECT a_v FROM a, b, c WHERE a_id = b_a AND b_id = c_b"
+        )
+        graph = build_join_graph(catalog, query)
+        needed = needed_columns(graph, query)
+        assert needed["a"] == ["a_id", "a_v"]
+        assert needed["b"] == ["b_id", "b_a"]
+        assert needed["c"] == ["c_b"]
+
+
+class TestSearch:
+    def test_dp_orders_are_connected(self, env):
+        ctx, catalog = env
+        query = parse(
+            "SELECT COUNT(*) AS n FROM a, b, c"
+            " WHERE a_id = b_a AND b_id = c_b"
+        )
+        decision = plan_join_order(ctx, catalog, query)
+        assert decision.method == "dp"
+        graph = decision.graph
+        order = decision.order
+        assert sorted(order) == ["a", "b", "c"]
+        for i in range(1, len(order)):
+            assert graph.edges_between(order[i], set(order[:i]))
+        # Candidate table covers the top-level expansions and marks one.
+        table = decision.candidate_table()
+        assert any(row["picked"] for row in table)
+
+    def test_dp_pick_is_minimal_over_all_orders(self, env):
+        ctx, catalog = env
+        query = parse(
+            "SELECT COUNT(*) AS n FROM a, b, c"
+            " WHERE a_id = b_a AND b_id = c_b AND a_v < 6"
+        )
+        graph = build_join_graph(catalog, query)
+        decision = plan_join_order(ctx, catalog, query, graph=graph)
+        search = JoinOrderSearch(ctx, catalog, graph, query)
+        exhaustive = min(
+            search.price_order(order).total_cost
+            for order in enumerate_left_deep_orders(graph)
+        )
+        assert decision.estimate.total_cost <= exhaustive * (1 + 1e-12)
+
+    def test_enumerate_left_deep_orders_chain(self, env):
+        ctx, catalog = env
+        query = parse(
+            "SELECT COUNT(*) AS n FROM a, b, c"
+            " WHERE a_id = b_a AND b_id = c_b"
+        )
+        graph = build_join_graph(catalog, query)
+        orders = enumerate_left_deep_orders(graph)
+        # b (the middle of the chain) can never be joined last.
+        assert all(o[-1] != "b" for o in orders)
+        assert len(orders) == 4
+
+    def test_estimates_price_through_context(self, env):
+        ctx, catalog = env
+        query = parse(
+            "SELECT COUNT(*) AS n FROM a, b, c"
+            " WHERE a_id = b_a AND b_id = c_b"
+        )
+        decision = plan_join_order(ctx, catalog, query)
+        assert decision.estimate.runtime_seconds > 0
+        assert decision.estimate.total_cost > 0
+        assert decision.baseline.bytes_transferred > 0
+        assert decision.estimate.bytes_scanned > 0
+
+    def test_greedy_fallback_above_dp_limit(self):
+        ctx = CloudContext()
+        catalog = Catalog()
+        n = DP_TABLE_LIMIT + 1
+        names = [f"t{i}" for i in range(n)]
+        for i, name in enumerate(names):
+            _load(ctx, catalog, name, [f"t{i}_k:int", f"t{i}_v:int"],
+                  [(j, j + i) for j in range(10 + i)], partitions=1)
+        conds = " AND ".join(
+            f"t{i}_k = t{i + 1}_k" for i in range(n - 1)
+        )
+        query = parse(f"SELECT COUNT(*) AS n FROM {', '.join(names)}"
+                      f" WHERE {conds}")
+        decision = plan_join_order(ctx, catalog, query)
+        assert decision.method == "greedy"
+        assert sorted(decision.order) == sorted(names)
+        graph = decision.graph
+        for i in range(1, n):
+            assert graph.edges_between(
+                decision.order[i], set(decision.order[:i])
+            )
+
+    def test_price_order_bloom_reduces_returned_bytes(self, env):
+        ctx, catalog = env
+        query = parse(
+            "SELECT COUNT(*) AS n FROM a, c, b"
+            " WHERE a_id = b_a AND b_id = c_b AND a_v < 4"
+        )
+        graph = build_join_graph(catalog, query)
+        search = JoinOrderSearch(ctx, catalog, graph, query)
+        with_bloom = search.price_order(["a", "b", "c"])
+        assert with_bloom.notes["order"] == ["a", "b", "c"]
+        assert with_bloom.bytes_returned < search.price_baseline(
+            ["a", "b", "c"]
+        ).bytes_transferred

@@ -62,6 +62,41 @@ class TestSingleTable:
         )
         assert optimized.column_names == ["l_returnflag", "q", "n"]
 
+    def test_order_by_unselected_column(self, db):
+        """SQL allows ORDER BY keys outside the select list; projection
+        must defer until after the sort so the key stays in scope."""
+        baseline, optimized = both_modes(
+            db,
+            "SELECT l_orderkey FROM lineitem ORDER BY l_extendedprice LIMIT 5",
+        )
+        assert optimized.column_names == ["l_orderkey"]
+        assert len(optimized.rows) == 5
+        with_price = db.execute(
+            "SELECT l_orderkey, l_extendedprice FROM lineitem"
+            " ORDER BY l_extendedprice LIMIT 5"
+        )
+        assert optimized.rows == [(r[0],) for r in with_price.rows]
+
+    def test_order_by_mixes_alias_and_unselected_column(self, db):
+        """ORDER BY may mix an output alias with a hidden raw column."""
+        baseline, optimized = both_modes(
+            db,
+            "SELECT l_orderkey AS k FROM lineitem"
+            " ORDER BY l_extendedprice DESC, k LIMIT 4",
+        )
+        assert optimized.column_names == ["k"]
+        assert len(optimized.rows) == 4
+
+    def test_order_by_alias_inside_expression(self, db):
+        """Aliases resolve even inside composite ORDER BY expressions."""
+        _, optimized = both_modes(
+            db,
+            "SELECT l_orderkey AS k FROM lineitem"
+            " ORDER BY k + l_tax LIMIT 3",
+        )
+        assert optimized.column_names == ["k"]
+        assert len(optimized.rows) == 3
+
     def test_order_by_limit_uses_topk(self, db):
         baseline, optimized = both_modes(
             db,
@@ -133,6 +168,105 @@ class TestJoins:
     def test_missing_join_condition_rejected(self, db):
         with pytest.raises(PlanError, match="equi-join"):
             db.execute("SELECT * FROM customer, orders WHERE c_acctbal < 0")
+
+
+class TestMultiwayJoins:
+    SQL3 = (
+        "SELECT c_mktsegment, SUM(l_extendedprice) AS revenue"
+        " FROM customer, orders, lineitem"
+        " WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey"
+        " AND o_orderdate < '1995-01-01'"
+        " GROUP BY c_mktsegment ORDER BY c_mktsegment"
+    )
+
+    def test_three_way_join_modes_agree(self, db):
+        baseline, optimized = both_modes(db, self.SQL3)
+        assert "multi-join" in optimized.strategy
+        assert len(optimized.rows) == 5  # five market segments
+
+    def test_three_way_auto_matches(self, db):
+        auto = db.execute(self.SQL3, mode="auto")
+        fixed = db.execute(self.SQL3, mode="optimized")
+        assert_rows_close(auto.rows, fixed.rows)
+        summary = auto.details["optimizer"]
+        assert summary["picked"] in ("baseline", "optimized")
+        assert summary["join_orders"], "join-order candidates missing"
+        assert any(c["picked"] for c in summary["join_orders"])
+
+    def test_forced_orders_all_agree(self, db):
+        from repro.optimizer.joinorder import (
+            build_join_graph,
+            enumerate_left_deep_orders,
+        )
+        from repro.planner.planner import execute_with_join_order
+        from repro.sqlparser.parser import parse
+
+        graph = build_join_graph(db.catalog, parse(self.SQL3))
+        orders = enumerate_left_deep_orders(graph)
+        assert len(orders) == 4  # chain c-o-l: o can never come last
+        reference = None
+        for order in orders:
+            execution = execute_with_join_order(
+                db.ctx, db.catalog, self.SQL3, order
+            )
+            if reference is None:
+                reference = execution.rows
+            else:
+                assert_rows_close(execution.rows, reference)
+
+    def test_three_way_order_by_unselected_column(self, db):
+        baseline, optimized = both_modes(
+            db,
+            "SELECT o_orderkey FROM customer, orders, lineitem"
+            " WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey"
+            " ORDER BY l_extendedprice LIMIT 5",
+        )
+        assert optimized.column_names == ["o_orderkey"]
+        assert len(optimized.rows) == 5
+
+    def test_three_way_with_limit(self, db):
+        baseline, optimized = both_modes(
+            db,
+            "SELECT o_orderkey, l_extendedprice FROM customer, orders, lineitem"
+            " WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey"
+            " ORDER BY l_extendedprice DESC, o_orderkey LIMIT 9",
+        )
+        assert len(optimized.rows) == 9
+
+    def test_three_way_residual_predicate(self, db):
+        both_modes(
+            db,
+            "SELECT COUNT(*) AS n FROM customer, orders, lineitem"
+            " WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey"
+            " AND c_acctbal < o_totalprice / 100",
+        )
+
+    def test_explain_lists_join_orders(self, db):
+        report = db.explain(self.SQL3)
+        assert "join-order search" in report
+        assert "->" in report
+
+    def test_cross_join_rejected(self, db):
+        with pytest.raises(PlanError, match="connect"):
+            db.execute(
+                "SELECT COUNT(*) AS n FROM customer, orders, lineitem"
+                " WHERE c_custkey = o_custkey"
+            )
+
+    def test_duplicate_from_table_rejected(self, db):
+        with pytest.raises(PlanError, match="duplicate table"):
+            db.execute(
+                "SELECT COUNT(*) AS n FROM customer, orders, customer"
+                " WHERE c_custkey = o_custkey"
+            )
+
+    def test_two_table_path_unchanged(self, db):
+        """2-table queries must keep the pairwise planner's metering."""
+        execution = db.execute(
+            "SELECT COUNT(*) AS n FROM customer, orders"
+            " WHERE c_custkey = o_custkey"
+        )
+        assert execution.strategy == "optimized join"
 
 
 class TestFacade:
