@@ -108,8 +108,9 @@ def main() -> None:
         " GROUP BY c_mktsegment ORDER BY c_mktsegment"
     )
     print(f"\n{sql}\n")
-    # EXPLAIN shows baseline-vs-optimized plus every join order the
-    # search considered, with predicted rows / runtime / cost.
+    # EXPLAIN shows baseline-vs-optimized, every join tree the search
+    # considered with predicted rows / runtime / cost, and the picked
+    # mode's physical operator tree with per-node est_rows / est_cost.
     print(db.explain(sql))
     execution = db.execute(sql, mode="auto")
     print(f"\nexecuted as: {execution.strategy}")
@@ -117,6 +118,13 @@ def main() -> None:
           f" cost {human_dollars(execution.cost.total)}")
     for row in execution.rows:
         print(f"  {row[0]:<12} {row[1]:>14.2f}")
+
+    # The executed plan records per-node observed cardinalities, so the
+    # estimate-vs-actual report (with Q-error columns) comes for free.
+    from repro.planner.physical import render_execution_report
+
+    print()
+    print(render_execution_report(execution))
 
 
 if __name__ == "__main__":

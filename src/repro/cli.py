@@ -103,7 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     p_exp = sub.add_parser("experiment", help="run paper-figure experiments")
-    p_exp.add_argument("names", nargs="+", help="fig1..fig12, auto, or 'all'")
+    p_exp.add_argument("names", nargs="+", help="fig1..fig13, auto, or 'all'")
     add_pipeline_knobs(p_exp)
     p_exp.set_defaults(fn=_cmd_experiment)
 

@@ -94,8 +94,26 @@ class QueryExecution:
                 f" returned={human_bytes(phase.select_returned_bytes)}"
                 f" get={human_bytes(phase.get_bytes)}"
             )
-        if self.details:
-            lines.append(f"  details: {self.details}")
+        extras = {
+            k: v for k, v in self.details.items()
+            if k not in ("plan", "actuals")
+        }
+        if extras:
+            lines.append(f"  details: {extras}")
+        if self.details.get("plan"):
+            # The physical-plan tree and the estimate-vs-actual table
+            # render as their own blocks, not as raw dict dumps.
+            lines.append("  plan:")
+            lines.extend(
+                "    " + line for line in self.details["plan"].splitlines()
+            )
+        if self.details.get("actuals"):
+            from repro.planner.physical import render_execution_report
+
+            lines.extend(
+                "  " + line
+                for line in render_execution_report(self).splitlines()[1:]
+            )
         lines.append(
             f"  result: {len(self.rows)} row(s), columns {self.column_names}"
         )

@@ -19,6 +19,7 @@ from repro.experiments import (  # noqa: F401
     fig10_tpch,
     fig11_parquet,
     fig12_multijoin,
+    fig13_snowflake,
 )
 from repro.experiments.harness import ExperimentResult  # noqa: F401
 
@@ -35,5 +36,6 @@ ALL_EXPERIMENTS = {
     "fig10": fig10_tpch.run,
     "fig11": fig11_parquet.run,
     "fig12": fig12_multijoin.run,
+    "fig13": fig13_snowflake.run,
     "auto": auto_strategy.run,
 }

@@ -19,6 +19,7 @@ from repro.experiments.harness import (
     ExperimentResult,
     PAPER_TPCH_BYTES,
     calibrate_tables,
+    close_enough,
     execution_row,
 )
 from repro.queries.common import items
@@ -98,7 +99,7 @@ def run(
             value = execution.rows[0][0] if execution.rows else None
             if reference is None:
                 reference = value
-            elif not _close(reference, value):
+            elif not close_enough(reference, value):
                 raise AssertionError(
                     f"join result mismatch at acctbal={acctbal}: {reference} vs {value}"
                 )
@@ -108,7 +109,3 @@ def run(
     return result
 
 
-def _close(a, b) -> bool:
-    if a is None or b is None:
-        return a == b
-    return abs(a - b) <= 1e-6 * max(abs(a), abs(b), 1.0)

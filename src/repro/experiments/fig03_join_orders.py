@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from repro.cloud.context import CloudContext
 from repro.engine.catalog import Catalog
-from repro.experiments.fig02_join_customer import STRATEGIES, _close, make_join_query
+from repro.experiments.fig02_join_customer import STRATEGIES, make_join_query
+from repro.experiments.harness import close_enough
 from repro.experiments.harness import (
     ExperimentResult,
     PAPER_TPCH_BYTES,
@@ -55,7 +56,7 @@ def run(
             value = execution.rows[0][0] if execution.rows else None
             if reference is None:
                 reference = value
-            elif not _close(reference, value):
+            elif not close_enough(reference, value):
                 raise AssertionError(
                     f"join result mismatch at date={date}: {reference} vs {value}"
                 )

@@ -18,6 +18,7 @@ from repro.experiments.harness import (
     ExperimentResult,
     PAPER_TPCH_BYTES,
     calibrate_tables,
+    close_enough,
     execution_row,
     winners_by_sweep,
 )
@@ -49,12 +50,6 @@ def make_sql(date: str | None, acctbal: float) -> str:
         " WHERE " + " AND ".join(clauses)
         + " GROUP BY c_mktsegment ORDER BY c_mktsegment"
     )
-
-
-def _close(a, b, rel=1e-6) -> bool:
-    if a is None or b is None:
-        return a == b
-    return abs(a - b) <= rel * max(abs(a), abs(b), 1.0)
 
 
 def _totals(rows) -> dict:
@@ -94,7 +89,7 @@ def run(
             if reference is None:
                 reference = totals
             elif set(totals) != set(reference) or not all(
-                _close(totals[k], reference[k]) for k in totals
+                close_enough(totals[k], reference[k]) for k in totals
             ):
                 raise AssertionError(
                     f"join result mismatch at date={date}:"
@@ -112,7 +107,7 @@ def run(
         auto_totals = _totals(auto.rows)
         if reference is not None and (
             set(auto_totals) != set(reference)
-            or not all(_close(auto_totals[k], reference[k]) for k in reference)
+            or not all(close_enough(auto_totals[k], reference[k]) for k in reference)
         ):
             raise AssertionError(
                 f"auto result mismatch at date={date}:"

@@ -83,6 +83,18 @@ def _fmt(value) -> str:
     return str(value)
 
 
+def close_enough(a, b, rel: float = 1e-6) -> bool:
+    """Relative float equality for cross-plan result checks.
+
+    Different join orders sum floats in different sequences, so
+    experiment harnesses compare aggregates up to a relative tolerance;
+    ``None`` only equals ``None``.
+    """
+    if a is None or b is None:
+        return a == b
+    return abs(a - b) <= rel * max(abs(a), abs(b), 1.0)
+
+
 def execution_row(
     sweep_name: str, sweep_value, strategy: str, execution: QueryExecution
 ) -> dict:

@@ -24,6 +24,7 @@ from repro.common.errors import PlanError
 from repro.engine.catalog import Catalog
 from repro.optimizer.cost import CostModel, StrategyEstimate, objective_key
 from repro.optimizer.selectivity import probe_selectivity
+from repro.strategies import extensions as extension_strategies
 from repro.strategies import filter as filter_strategies
 from repro.strategies import groupby as groupby_strategies
 from repro.strategies import join as join_strategies
@@ -40,6 +41,7 @@ STRATEGY_RUNNERS: dict[str, Callable] = {
     "server-side filter": filter_strategies.server_side_filter,
     "s3-side filter": filter_strategies.s3_side_filter,
     "s3-side indexing": filter_strategies.indexed_filter,
+    "multirange indexed filter": extension_strategies.multirange_indexed_filter,
     "server-side group-by": groupby_strategies.server_side_group_by,
     "filtered group-by": groupby_strategies.filtered_group_by,
     "s3-side group-by": groupby_strategies.s3_side_group_by,
@@ -124,11 +126,14 @@ def choose_filter_strategy(
     objective: str = "cost",
     probe: bool = False,
     probe_fraction: float = 0.02,
+    include_extensions: bool = False,
 ) -> Choice:
     """Pick among server-side / S3-side / indexed filtering.
 
     ``probe=True`` measures selectivity with a metered ScanRange probe
     instead of trusting the statistics estimate.
+    ``include_extensions=True`` adds the multi-range-GET indexed filter
+    (Suggestion 1) to the candidate set.
     """
     model = CostModel(ctx, catalog)
     notes = {}
@@ -142,7 +147,9 @@ def choose_filter_strategy(
             "selectivity": selectivity,
             "requests": len(ctx.metrics.records_since(mark)),
         }
-    candidates = model.estimate_filter(query, selectivity=selectivity)
+    candidates = model.estimate_filter(
+        query, selectivity=selectivity, include_extensions=include_extensions
+    )
     return _choose("filter", candidates, objective, notes)
 
 
@@ -154,7 +161,9 @@ def choose_group_by_strategy(
     include_hybrid: bool = True,
 ) -> Choice:
     model = CostModel(ctx, catalog)
-    candidates = model.estimate_group_by(query, include_hybrid=include_hybrid)
+    candidates = model.estimate_group_by(
+        query, include_hybrid=include_hybrid, objective=objective
+    )
     return _choose("group-by", candidates, objective)
 
 
@@ -197,7 +206,7 @@ def choose_planner_mode(
         if "join_orders" in candidate.notes:
             notes = {
                 key: candidate.notes[key]
-                for key in ("join_order", "join_order_list",
+                for key in ("join_order", "join_order_list", "join_tree",
                             "join_order_method", "join_orders")
             }
     return _choose("sql", candidates, objective, notes)
@@ -238,7 +247,11 @@ def run_auto(
     """
     choice = choose(ctx, catalog, query, objective=objective, **kwargs)
     runner = STRATEGY_RUNNERS[choice.picked]
-    execution = runner(ctx, catalog, query)
+    runner_kwargs = {}
+    if choice.picked == "hybrid group-by" and "s3_groups" in choice.best.notes:
+        # The estimator swept the split point; run the winning split.
+        runner_kwargs["s3_groups"] = choice.best.notes["s3_groups"]
+    execution = runner(ctx, catalog, query, **runner_kwargs)
     execution.details["optimizer"] = choice.summary()
     return execution
 

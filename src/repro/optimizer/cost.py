@@ -45,6 +45,12 @@ from repro.strategies.topk import (
 )
 
 
+#: Candidate hybrid group-by split points (head groups pushed to S3);
+#: the estimator prices each and keeps the cheapest (ROADMAP "optimizer
+#: coverage": the split used to be priced at the default only).
+HYBRID_SPLIT_CANDIDATES = (4, 6, 8, 12, 16)
+
+
 @dataclass(frozen=True)
 class StrategyEstimate:
     """Predicted execution profile of one candidate strategy."""
@@ -192,9 +198,17 @@ class CostModel:
     # filters (paper Section IV, Figure 1)
     # ------------------------------------------------------------------
     def estimate_filter(
-        self, query: FilterQuery, selectivity: float | None = None
+        self,
+        query: FilterQuery,
+        selectivity: float | None = None,
+        include_extensions: bool = False,
     ) -> list[StrategyEstimate]:
-        """Candidates: server-side filter, S3-side filter, S3-side indexing."""
+        """Candidates: server-side filter, S3-side filter, S3-side indexing.
+
+        ``include_extensions=True`` adds the multi-range-GET indexed
+        filter (paper Suggestion 1) — an extension real S3 does not
+        offer, so it is opt-in rather than a default candidate.
+        """
         table, stats = self._table(query.table)
         if selectivity is None:
             selectivity = estimate_selectivity(query.predicate, stats)
@@ -263,6 +277,30 @@ class CostModel:
             estimates.append(
                 self._finalize("s3-side indexing", [phase1, phase2], notes)
             )
+            if include_extensions:
+                from repro.strategies.extensions import MAX_RANGES_PER_REQUEST
+
+                # Suggestion 1: the same index lookup, but phase 2
+                # batches matched extents into multi-range GETs, so the
+                # per-record request flood collapses to ~one request per
+                # partition per MAX_RANGES batch.
+                row_weight = self.ctx.client.range_request_weight
+                requests = max(
+                    float(table.partitions),
+                    matched * row_weight / MAX_RANGES_PER_REQUEST,
+                )
+                # Same local work as the indexing candidate's phase 2
+                # (`cpu` above); only the fetch requests change.
+                fetch = _phase(
+                    "multirange-fetch", table.partitions,
+                    get_bytes=matched * stats.avg_row_bytes,
+                    requests=requests,
+                    cpu_seconds=cpu,
+                    records=matched, fields=matched * len(table.schema),
+                )
+                estimates.append(self._finalize(
+                    "multirange indexed filter", [phase1, fetch], notes
+                ))
         return estimates
 
     # ------------------------------------------------------------------
@@ -312,6 +350,7 @@ class CostModel:
         s3_groups: int = DEFAULT_S3_GROUPS,
         sample_fraction: float = DEFAULT_SAMPLE_FRACTION,
         include_hybrid: bool = True,
+        objective: str = "cost",
     ) -> list[StrategyEstimate]:
         """Candidates: server-side, filtered, S3-side, hybrid group-by."""
         _, stats = self._table(query.table)
@@ -380,6 +419,45 @@ class CostModel:
             return estimates
 
         # hybrid: sample for the head groups, push those, pull the tail.
+        # The split point (how many head groups go to S3) is priced as a
+        # swept parameter: every candidate split is estimated and the
+        # best under the caller's objective becomes the hybrid
+        # candidate, carrying its split in ``notes["s3_groups"]`` so
+        # `run_auto` can execute it.
+        splits = list(dict.fromkeys(
+            [*HYBRID_SPLIT_CANDIDATES, s3_groups]
+        ))
+        swept = [
+            self._estimate_hybrid(
+                query, stats, table, sel, needed, groups, accumulators,
+                notes, split, sample_fraction,
+            )
+            for split in splits
+        ]
+        best = min(swept, key=objective_key(objective))
+        best.notes["split_candidates"] = {
+            e.notes["s3_groups"]: round(e.total_cost, 9) for e in swept
+        }
+        estimates.append(best)
+        return estimates
+
+    def _estimate_hybrid(
+        self,
+        query: GroupByQuery,
+        stats: TableStats,
+        table: TableInfo,
+        sel: float,
+        needed: list[str],
+        groups: int,
+        accumulators: int,
+        notes: dict,
+        s3_groups: int,
+        sample_fraction: float,
+    ) -> StrategyEstimate:
+        """Price hybrid group-by for one head-group split point."""
+        n = table.num_rows
+        kept = sel * n
+        agg_cpu_rate = SERVER_CPU_PER_ROW["aggregate"]
         group_stats = stats.column(query.group_columns[0])
         head_groups = min(s3_groups, groups)
         head_fraction = (
@@ -415,12 +493,11 @@ class CostModel:
             cpu_seconds=tail_rows * accumulators * agg_cpu_rate,
             records=tail_rows, fields=tail_rows * len(needed),
         )
-        estimates.append(self._finalize(
+        return self._finalize(
             "hybrid group-by", [sample_phase, split_phase],
             {**notes, "head_groups": head_groups,
-             "head_fraction": head_fraction},
-        ))
-        return estimates
+             "head_fraction": head_fraction, "s3_groups": s3_groups},
+        )
 
     # ------------------------------------------------------------------
     # top-K (paper Section VII, Figures 8-9)
@@ -521,7 +598,12 @@ class CostModel:
         """
         from repro.planner import planner as planner_mod
 
-        if len(query.from_tables) > 2:
+        if len(query.from_tables) > 2 or (
+            query.join_table is not None
+            and not planner_mod._has_equi_join(self.catalog, query)
+        ):
+            # N-way chains and 2-table cross products share the
+            # join-tree planner.
             return self._estimate_planner_multijoin(query, objective)
         if query.join_table is not None:
             return self._estimate_planner_join(query)
@@ -615,25 +697,29 @@ class CostModel:
     def _estimate_planner_multijoin(
         self, query: ast.Query, objective: str = "cost"
     ) -> list[StrategyEstimate]:
-        """Baseline vs optimized for an N-way (>2 table) join query.
+        """Baseline vs optimized for an N-way (or cross-product) query.
 
-        Runs the join-order search once (under the caller's objective);
-        both planner modes execute the picked left-deep order, so the
-        candidates differ only in how each table reaches the query node.
-        The search's per-order estimate table rides along in the
+        Runs the join-tree search once (under the caller's objective);
+        both planner modes execute the picked tree, so the candidates
+        differ only in how each table reaches the query node.  The
+        search's per-candidate estimate table rides along in the
         optimized candidate's notes for the EXPLAIN report.
         """
         from repro.optimizer.joinorder import plan_join_order
+        from repro.planner.physical import join_tree_label
 
         decision = plan_join_order(self.ctx, self.catalog, query, objective)
         out_rows = float(decision.estimate.notes.get("est_rows", 0.0))
         tail = self._tail_cpu(query, out_rows) * self.ctx.perf.server_cpu_factor
-        order = " -> ".join(decision.order)
+        label = join_tree_label(decision.tree)
         join_orders = {
-            "join_order": order,
-            #: Structured form of the pick — the planner's data contract
-            #: (the display string above is for EXPLAIN only).
+            "join_order": " -> ".join(decision.order),
             "join_order_list": list(decision.order),
+            #: Structured form of the pick — the planner's data contract
+            #: (the display strings above are for EXPLAIN only; the
+            #: serialized tree can express bushy and cross shapes the
+            #: left-deep order list cannot).
+            "join_tree": decision.shape,
             "join_order_method": decision.method,
             "join_orders": decision.candidate_table(),
         }
@@ -641,7 +727,7 @@ class CostModel:
             decision.baseline, "baseline", tail, "baseline multi-join"
         )
         optimized = self._with_added_runtime(
-            decision.estimate, "optimized", tail, f"multi-join {order}"
+            decision.estimate, "optimized", tail, f"multi-join {label}"
         )
         optimized.notes.update(join_orders)
         return [baseline, optimized]

@@ -7,15 +7,23 @@ the planner past that limit:
 * :func:`build_join_graph` decomposes an N-table query's ``WHERE``
   conjunction into per-table predicates, equi-join edges, and residual
   cross-table conjuncts;
-* :class:`JoinOrderSearch` enumerates left-deep join orders — exact
-  dynamic programming over connected subsets up to
-  :data:`DP_TABLE_LIMIT` tables, a greedy minimum-intermediate-rows
-  fallback above — and prices every candidate through the existing
-  :class:`~repro.optimizer.cost.CostModel` phase machinery, so the
-  context's calibrated :class:`~repro.cloud.perf.PerfModel` and
-  :class:`~repro.cloud.pricing.Pricing` carry over unchanged;
+* :class:`JoinOrderSearch` enumerates join trees — exact dynamic
+  programming over connected subset *pairs* (bushy trees, not just
+  left-deep chains) up to :data:`DP_TABLE_LIMIT` tables, a greedy
+  minimum-intermediate-rows fallback above — building each candidate as
+  a :mod:`repro.planner.physical` operator tree and pricing it through
+  the existing :class:`~repro.optimizer.cost.CostModel` phase machinery,
+  so the context's calibrated :class:`~repro.cloud.perf.PerfModel` and
+  :class:`~repro.cloud.pricing.Pricing` carry over unchanged.  Bloom
+  predicates are attached to *every* probe-side scan whose build key is
+  an integer — inner (non-outermost) probes included, which snowflake
+  shapes need;
+* disconnected FROM lists (cross joins) are planned per connected
+  component and combined with
+  :class:`~repro.planner.physical.CrossProductNode` when the estimated
+  product stays under :data:`CROSS_PRODUCT_LIMIT` rows;
 * :func:`plan_join_order` is the planner/EXPLAIN entry point returning
-  the picked order plus the per-candidate estimate table.
+  the picked tree plus the per-candidate estimate table.
 
 Cardinalities use the System-R containment assumption:
 ``|A ⋈ B| = |A| · |B| / max(V(A,k), V(B,k))`` with distinct counts from
@@ -40,13 +48,25 @@ from repro.optimizer.cost import (
     objective_key,
 )
 from repro.optimizer.selectivity import estimate_selectivity
+from repro.planner import physical
+from repro.planner.physical import (
+    CrossProductNode,
+    HashJoinNode,
+    PlanNode,
+    ScanNode,
+)
 from repro.s3select.validator import EXPRESSION_LIMIT_BYTES
 from repro.sqlparser import ast
 from repro.strategies.join import DEFAULT_FPR
 
-#: Exact DP over connected subsets is run up to this many tables;
-#: larger FROM lists fall back to the greedy search.
+#: Exact DP over connected subsets is run up to this many tables (per
+#: connected component); larger components fall back to the greedy search.
 DP_TABLE_LIMIT = 6
+
+#: Disconnected FROM lists execute as cross products only while the
+#: estimated row product stays under this bound; larger products are
+#: rejected as unplannable cross joins.
+CROSS_PRODUCT_LIMIT = 1_000_000.0
 
 
 # ----------------------------------------------------------------------
@@ -96,7 +116,7 @@ class JoinGraph:
     edges: list[JoinEdge]
     #: Cross-table conjuncts that are not equi-join edges (plus duplicate
     #: equi conjuncts over an already-connected pair); applied after the
-    #: full join chain.
+    #: full join tree.
     residual: ast.Expr | None
 
     def table_names(self) -> list[str]:
@@ -109,21 +129,38 @@ class JoinGraph:
             if e.touches(table) and e.other(table) in others
         ]
 
-    def is_connected(self) -> bool:
+    def edges_across(self, left: frozenset, right: frozenset) -> list[JoinEdge]:
+        """Edges with one endpoint in ``left`` and the other in ``right``."""
+        return [
+            e for e in self.edges
+            if (e.left in left and e.right in right)
+            or (e.left in right and e.right in left)
+        ]
+
+    def connected_components(self) -> list[list[str]]:
+        """Connected components, each in FROM order (FROM order overall)."""
         names = list(self.tables)
-        if not names:
-            return False
-        seen = {names[0]}
-        frontier = [names[0]]
-        while frontier:
-            current = frontier.pop()
-            for edge in self.edges:
-                if edge.touches(current):
-                    nxt = edge.other(current)
-                    if nxt not in seen:
-                        seen.add(nxt)
-                        frontier.append(nxt)
-        return len(seen) == len(names)
+        seen: set[str] = set()
+        components: list[list[str]] = []
+        for start in names:
+            if start in seen:
+                continue
+            component = {start}
+            frontier = [start]
+            while frontier:
+                current = frontier.pop()
+                for edge in self.edges:
+                    if edge.touches(current):
+                        nxt = edge.other(current)
+                        if nxt not in component:
+                            component.add(nxt)
+                            frontier.append(nxt)
+            seen |= component
+            components.append([n for n in names if n in component])
+        return components
+
+    def is_connected(self) -> bool:
+        return len(self.connected_components()) == 1 if self.tables else False
 
 
 def _owner_of(
@@ -151,7 +188,13 @@ def _owner_of(
 
 
 def build_join_graph(catalog: Catalog, query: ast.Query) -> JoinGraph:
-    """Extract the join graph from an N-table query's WHERE conjunction."""
+    """Extract the join graph from an N-table query's WHERE conjunction.
+
+    Disconnected graphs (cross joins) are legal here; whether they are
+    *plannable* is the search's call (small estimated products become
+    :class:`~repro.planner.physical.CrossProductNode` plans, anything
+    bigger raises).
+    """
     names = [t.lower() for t in query.from_tables]
     if len(set(names)) != len(names):
         raise PlanError(f"duplicate table in FROM list: {query.from_tables}")
@@ -197,18 +240,12 @@ def build_join_graph(catalog: Catalog, query: ast.Query) -> JoinGraph:
         else:
             residual.append(conjunct)
 
-    graph = JoinGraph(
+    return JoinGraph(
         tables=tables,
         predicates={name: ast.and_join(side_preds[name]) for name in names},
         edges=edges,
         residual=ast.and_join(residual),
     )
-    if len(names) > 1 and not graph.is_connected():
-        raise PlanError(
-            "multi-table queries need equi-join conditions (a.k = b.k)"
-            " connecting every table; cross joins are not supported"
-        )
-    return graph
 
 
 def needed_columns(graph: JoinGraph, query: ast.Query) -> dict[str, list[str]]:
@@ -217,7 +254,9 @@ def needed_columns(graph: JoinGraph, query: ast.Query) -> dict[str, list[str]]:
     Join keys of every edge touching the table plus any column the
     select list, GROUP BY, ORDER BY or residual predicate references;
     ``SELECT *`` keeps every column.  Schema order is preserved so scan
-    projections stay deterministic.
+    projections stay deterministic.  A table nothing references (a bare
+    cross-join factor under ``COUNT``-style outputs) keeps its first
+    column so the scan projection stays valid.
     """
     referenced: set[str] = set()
     star = False
@@ -242,7 +281,7 @@ def needed_columns(graph: JoinGraph, query: ast.Query) -> dict[str, list[str]]:
         else:
             out[name] = [
                 c for c in info.schema.names if c.lower() in referenced
-            ]
+            ] or [info.schema.names[0]]
     return out
 
 
@@ -255,28 +294,44 @@ class JoinOrderDecision:
     """Outcome of one join-order search."""
 
     graph: JoinGraph
-    #: Picked left-deep order (lower-cased table names).
+    #: Left-deep-equivalent display order of the picked tree (for bushy
+    #: picks this is the leaf sequence; the tree is the real contract).
     order: list[str]
-    #: Priced estimate of the optimized pushdown chain for the pick.
+    #: The picked join tree as optimized-mode physical plan nodes.
+    tree: PlanNode
+    #: Priced estimate of the optimized pushdown tree for the pick.
     estimate: StrategyEstimate
-    #: Priced estimate of the baseline (GET everything) chain.
+    #: Priced estimate of the baseline (GET everything) plan.
     baseline: StrategyEstimate
-    #: Every candidate order considered at the top level, priced.
+    #: Every candidate tree considered at the top level, priced.
     candidates: list[StrategyEstimate] = field(default_factory=list)
     method: str = "dp"
 
+    @property
+    def shape(self):
+        """Serialized tree shape (the planner's forced-plan contract)."""
+        return physical.serialize_shape(self.tree)
+
     def candidate_table(self) -> list[dict]:
         """Compact join-order rows for EXPLAIN / experiment output."""
+        picked = physical.join_tree_label(self.tree)
         return [
             {
-                "order": " -> ".join(c.notes["order"]),
+                "order": c.notes.get("label", ""),
                 "est_rows": round(float(c.notes.get("est_rows", 0.0)), 1),
                 "runtime_s": round(c.runtime_seconds, 6),
                 "cost": round(c.total_cost, 9),
-                "picked": list(c.notes["order"]) == list(self.order),
+                "picked": c.notes.get("label") == picked,
             }
             for c in self.candidates
         ]
+
+
+def _leaves(node: PlanNode) -> list[ScanNode]:
+    """All scan leaves of a join subtree, left to right."""
+    if isinstance(node, ScanNode):
+        return [node]
+    return [leaf for child in node.children() for leaf in _leaves(child)]
 
 
 @dataclass(frozen=True)
@@ -292,7 +347,13 @@ class _TableShape:
 
 
 class JoinOrderSearch:
-    """Left-deep join-order enumeration priced through the cost model."""
+    """Join-tree enumeration priced through the shared physical-plan IR.
+
+    Candidates are built as :mod:`repro.planner.physical` node trees and
+    priced via :func:`physical.predicted_phases` — the *same* per-node
+    phase assembly EXPLAIN annotates with — so search ranking, EXPLAIN
+    estimates and execution metering all read from one IR.
+    """
 
     def __init__(
         self,
@@ -329,150 +390,246 @@ class JoinOrderSearch:
         distinct = max(col.distinct, 1) if col is not None else max(rows, 1.0)
         return max(1.0, min(float(distinct), max(rows, 1.0)))
 
-    def _join_rows(
-        self, inter_rows: float, inter_tables: set[str], table: str,
+    def _pair_rows(
+        self, left: PlanNode, right: PlanNode, edges: list[JoinEdge]
     ) -> float:
-        """Containment estimate of joining ``table`` onto the intermediate."""
-        shape = self.shapes[table]
-        rows = inter_rows * shape.filtered_rows
-        for i, edge in enumerate(self.graph.edges_between(table, inter_tables)):
-            other = edge.other(table)
-            d_new = self._key_distinct(table, edge.key_for(table),
-                                       shape.filtered_rows)
-            d_old = self._key_distinct(
-                other, edge.key_for(other),
-                min(inter_rows, self.shapes[other].filtered_rows),
+        """Containment estimate of joining two subtrees along ``edges``."""
+        rows = left.est_rows * right.est_rows
+        for i, edge in enumerate(edges):
+            l_end = edge.left if edge.left in left.tables else edge.right
+            r_end = edge.other(l_end)
+            d_left = self._key_distinct(
+                l_end, edge.key_for(l_end),
+                min(left.est_rows, self.shapes[l_end].filtered_rows),
             )
-            rows /= max(d_new, d_old)
+            d_right = self._key_distinct(
+                r_end, edge.key_for(r_end),
+                min(right.est_rows, self.shapes[r_end].filtered_rows),
+            )
+            rows /= max(d_left, d_right)
             if i > 0:
                 # System-R independence: every extra edge multiplies its
                 # own 1/max(V) in.  Extra edges act as compound-key
                 # refinements, so additionally cap the estimate at the
                 # smaller input — such a join cannot fan out past either
                 # side even when the distinct counts are uninformative.
-                rows = min(rows, inter_rows, shape.filtered_rows)
+                rows = min(rows, left.est_rows, right.est_rows)
         return max(rows, 0.0)
 
-    # -- pricing -----------------------------------------------------
-    def price_order(
-        self, order: list[str], final: bool = True
-    ) -> StrategyEstimate:
-        """Predicted profile of the optimized pushdown chain for ``order``.
-
-        Mirrors the planner's execution: every table is scanned with its
-        predicate and projection pushed into S3 Select; each join step
-        hashes the smaller side; the outermost probe scan gets a Bloom
-        predicate when the build key is an integer.  ``final=False``
-        prices the order as a plan *prefix* (DP intermediate levels):
-        its last step is not outermost yet, so no Bloom bonus applies.
-        """
-        phases = []
-        first = self.shapes[order[0]]
-        n0 = first.info.num_rows
-        phases.append(_phase(
-            f"scan-{order[0]}", first.info.partitions,
-            scan_bytes=float(first.info.total_bytes),
-            returned_bytes=first.filtered_rows * first.row_bytes,
-            term_evals=n0 * first.conjuncts,
-            records=first.filtered_rows,
-            fields=first.filtered_rows * max(len(first.columns), 1),
-        ))
-        inter_rows = first.filtered_rows
-        joined: set[str] = {order[0]}
-
-        for step, name in enumerate(order[1:], start=1):
-            shape = self.shapes[name]
-            n = shape.info.num_rows
-            outermost = final and step == len(order) - 1
-            table_is_probe = shape.filtered_rows >= inter_rows
-            build_rows = min(inter_rows, shape.filtered_rows)
-            probe_rows = max(inter_rows, shape.filtered_rows)
-            cpu = (
-                build_rows * SERVER_CPU_PER_ROW["hash_build"]
-                + probe_rows * SERVER_CPU_PER_ROW["hash_probe"]
-            )
-
-            returned_rows = shape.filtered_rows
-            term_evals = float(n * shape.conjuncts)
-            bloom = None
-            if outermost and table_is_probe:
-                bloom = self._bloom_shape(name, inter_rows, joined)
-            if bloom is not None:
-                pass_rows, hashes = bloom
-                returned_rows = min(returned_rows, pass_rows)
-                term_evals += n * hashes
-                cpu += build_rows * SERVER_CPU_PER_ROW["bloom_insert"]
-            phases.append(_phase(
-                f"scan-{name}", shape.info.partitions,
-                scan_bytes=float(shape.info.total_bytes),
-                returned_bytes=returned_rows * shape.row_bytes,
-                term_evals=term_evals,
-                cpu_seconds=cpu,
-                records=returned_rows,
-                fields=returned_rows * max(len(shape.columns), 1),
-            ))
-            inter_rows = self._join_rows(inter_rows, joined, name)
-            joined.add(name)
-
-        return self.model.price_phases(
-            "join-order " + " -> ".join(order), phases,
-            {"order": list(order), "est_rows": inter_rows},
+    # -- tree construction -------------------------------------------
+    def leaf(self, name: str) -> ScanNode:
+        """A fresh optimized-mode scan node for one table."""
+        shape = self.shapes[name]
+        node = ScanNode(
+            shape.info, shape.columns, self.graph.predicates[name],
+            pushdown=True, phase_label=f"scan-{name}",
         )
+        node.est_rows = shape.filtered_rows
+        node.est_filtered_rows = shape.filtered_rows
+        node.est_terms = float(shape.info.num_rows * shape.conjuncts)
+        return node
+
+    def _orient(self, t1: PlanNode, t2: PlanNode):
+        """Hash-build side = smaller estimated input (ties: fewer tables,
+        then lexicographic), matching the executor's build-side rule."""
+        key1 = (t1.est_rows, len(t1.tables), tuple(sorted(t1.tables)))
+        key2 = (t2.est_rows, len(t2.tables), tuple(sorted(t2.tables)))
+        return (t1, t2) if key1 <= key2 else (t2, t1)
+
+    def combine(
+        self, t1: PlanNode, t2: PlanNode, orient: bool = True
+    ) -> HashJoinNode:
+        """Join two subtrees on their first crossing edge.
+
+        Children are cloned so memoized DP subtrees are never mutated by
+        Bloom annotations of one particular candidate.  ``orient=False``
+        keeps ``t1`` as the build side (rebuilding a serialized shape).
+        """
+        edges = self.graph.edges_across(t1.tables, t2.tables)
+        if not edges:
+            raise PlanError(
+                f"no equi-join edge connects {sorted(t1.tables)} and"
+                f" {sorted(t2.tables)}"
+            )
+        est_rows = self._pair_rows(t1, t2, edges)
+        build, probe = self._orient(t1, t2) if orient else (t1, t2)
+        build, probe = physical.clone_tree(build), physical.clone_tree(probe)
+        edge = edges[0]
+        build_end = edge.left if edge.left in build.tables else edge.right
+        probe_end = edge.other(build_end)
+        node = HashJoinNode(
+            build, probe,
+            build_key=edge.key_for(build_end),
+            probe_key=edge.key_for(probe_end),
+        )
+        node.extra_edges = list(edges[1:])
+        node.est_rows = est_rows
+        node.est_build_rows = min(build.est_rows, probe.est_rows)
+        node.est_probe_rows = max(build.est_rows, probe.est_rows)
+        cpu = (
+            node.est_build_rows * SERVER_CPU_PER_ROW["hash_build"]
+            + node.est_probe_rows * SERVER_CPU_PER_ROW["hash_probe"]
+        )
+        node.est_cpu_plain = cpu
+        bloom = self._bloom_shape(node, build_end, probe_end)
+        if bloom is not None:
+            pass_rows, hashes = bloom
+            node.bloom = True
+            probe.bloom_attr = node.probe_key
+            probe.est_rows = min(probe.est_rows, pass_rows)
+            probe.est_terms += probe.table.num_rows * hashes
+            cpu += build.est_rows * SERVER_CPU_PER_ROW["bloom_insert"]
+        node.est_cpu = cpu
+        return node
+
+    def cross(
+        self, t1: PlanNode, t2: PlanNode, orient: bool = True
+    ) -> CrossProductNode:
+        """Cartesian product of two subtrees, guarded by the size limit."""
+        est_rows = t1.est_rows * t2.est_rows
+        if est_rows > CROSS_PRODUCT_LIMIT:
+            raise PlanError(
+                "multi-table queries need equi-join conditions (a.k = b.k)"
+                " connecting every table; this cross join's estimated"
+                f" product ({est_rows:.0f} rows) exceeds the"
+                f" {CROSS_PRODUCT_LIMIT:.0f}-row cross-product fallback"
+            )
+        columns = [
+            c.lower()
+            for tree in (t1, t2)
+            for leaf in _leaves(tree)
+            for c in leaf.columns
+        ]
+        if len(set(columns)) != len(columns):
+            # Fail at plan time, before any scan request is billed; the
+            # executor keeps a defensive check for hand-built plans.
+            raise PlanError(
+                "cross product would produce duplicate column names:"
+                f" {sorted(columns)}"
+            )
+        build, probe = self._orient(t1, t2) if orient else (t1, t2)
+        build, probe = physical.clone_tree(build), physical.clone_tree(probe)
+        node = CrossProductNode(build, probe)
+        node.est_rows = est_rows
+        node.est_build_rows = min(build.est_rows, probe.est_rows)
+        node.est_probe_rows = max(build.est_rows, probe.est_rows)
+        node.est_cpu = (
+            build.est_rows * SERVER_CPU_PER_ROW["hash_build"]
+            + est_rows * SERVER_CPU_PER_ROW["hash_probe"]
+        )
+        node.est_cpu_plain = node.est_cpu
+        return node
 
     def _bloom_shape(
-        self, probe: str, build_rows: float, build_tables: set[str]
+        self, node: HashJoinNode, build_end: str, probe_end: str
     ) -> tuple[float, int] | None:
-        """(expected probe rows passing, hash count) or None if ineligible."""
-        edges = self.graph.edges_between(probe, build_tables)
-        if not edges:
+        """(expected probe rows passing, hash count) or None if ineligible.
+
+        Eligible whenever the probe child is a pushdown scan and the
+        build-side key column is an integer — inner probes included.
+        """
+        probe = node.probe
+        if not isinstance(probe, ScanNode):
             return None
-        edge = edges[0]
-        build_table = edge.other(probe)
-        build_key = edge.key_for(build_table)
-        column = self.graph.tables[build_table].schema.column(build_key)
+        build_key = node.build_key
+        column = self.graph.tables[build_end].schema.column(build_key)
         if column.type != "int":
             return None
-        shape = self.shapes[probe]
-        distinct_keys = self._key_distinct(build_table, build_key, build_rows)
+        shape = self.shapes[probe_end]
+        distinct_keys = self._key_distinct(
+            build_end, build_key, node.build.est_rows
+        )
         hashes = optimal_num_hashes(self.fpr)
         bits = optimal_num_bits(int(max(distinct_keys, 1)), self.fpr)
         if hashes * (bits + 60) > EXPRESSION_LIMIT_BYTES:
             return None
         probe_distinct = self._key_distinct(
-            probe, edge.key_for(probe), shape.filtered_rows
+            probe_end, node.probe_key, shape.filtered_rows
         )
         match_fraction = min(1.0, distinct_keys / probe_distinct)
         matched = shape.filtered_rows * match_fraction
         pass_rows = matched + (shape.filtered_rows - matched) * self.fpr
         return pass_rows, hashes
 
-    def price_baseline(self, order: list[str]) -> StrategyEstimate:
-        """Predicted profile of the baseline chain: GET every table whole."""
-        get_bytes = 0.0
-        records = 0.0
-        fields = 0.0
+    def left_deep_tree(self, order: list[str]) -> PlanNode:
+        """The join tree a forced left-deep ``order`` executes as."""
+        tree: PlanNode = self.leaf(order[0])
+        for name in order[1:]:
+            tree = self.combine(tree, self.leaf(name))
+        return tree
+
+    def build_tree(self, shape) -> PlanNode:
+        """Rebuild a serialized tree shape with fresh estimates.
+
+        ``shape`` is :func:`physical.serialize_shape` output: a table
+        name, or ``[kind, build_shape, probe_shape]`` with the build
+        orientation preserved.
+        """
+        if isinstance(shape, str):
+            return self.leaf(shape.lower())
+        kind, build_shape, probe_shape = shape
+        build = self.build_tree(build_shape)
+        probe = self.build_tree(probe_shape)
+        if kind == "cross":
+            return self.cross(build, probe, orient=False)
+        return self.combine(build, probe, orient=False)
+
+    # -- pricing -----------------------------------------------------
+    def price_tree(self, tree: PlanNode) -> StrategyEstimate:
+        """Predicted profile of the optimized pushdown plan for ``tree``.
+
+        The tree's own :func:`physical.predicted_phases` run through the
+        shared :meth:`CostModel.price_phases` — scan phases mirror the
+        executor's per-scan metering (Bloom-reduced returned rows on
+        probe scans), join CPU lands on the phase preceding each join.
+        """
+        label = physical.join_tree_label(tree)
+        return self.model.price_phases(
+            f"join-order {label}",
+            physical.predicted_phases(tree),
+            {
+                "order": physical.join_leaf_order(tree),
+                "label": label,
+                "tree": physical.serialize_shape(tree),
+                "est_rows": tree.est_rows,
+            },
+        )
+
+    def price_order(self, order: list[str], final: bool = True
+                    ) -> StrategyEstimate:
+        """Price a forced left-deep order (``final`` kept for backward
+        compatibility; Bloom placement is per-node now, so prefix and
+        final pricing coincide)."""
+        del final
+        return self.price_tree(self.left_deep_tree(list(order)))
+
+    def price_baseline(self, tree) -> StrategyEstimate:
+        """Predicted profile of the baseline plan: GET every table whole.
+
+        Accepts a tree or a left-deep order list (test/back-compat).
+        """
+        if isinstance(tree, list):
+            tree = self.left_deep_tree(tree)
+        get_bytes = records = fields = 0.0
         streams = 0
         cpu = 0.0
-        inter_rows = self.shapes[order[0]].filtered_rows
-        joined = {order[0]}
-        for step, name in enumerate(order):
-            shape = self.shapes[name]
-            n = shape.info.num_rows
-            get_bytes += float(shape.info.total_bytes)
-            records += n
-            fields += n * len(shape.info.schema)
-            streams += shape.info.partitions
-            if self.graph.predicates[name] is not None:
-                cpu += n * SERVER_CPU_PER_ROW["filter"]
-            if step > 0:
-                build = min(inter_rows, shape.filtered_rows)
-                probe = max(inter_rows, shape.filtered_rows)
-                cpu += (
-                    build * SERVER_CPU_PER_ROW["hash_build"]
-                    + probe * SERVER_CPU_PER_ROW["hash_probe"]
-                )
-                inter_rows = self._join_rows(inter_rows, joined, name)
-                joined.add(name)
+
+        def walk(node: PlanNode) -> None:
+            nonlocal get_bytes, records, fields, streams, cpu
+            if isinstance(node, ScanNode):
+                info = node.table
+                get_bytes += float(info.total_bytes)
+                records += info.num_rows
+                fields += info.num_rows * len(info.schema)
+                streams += info.partitions
+                if node.predicate is not None:
+                    cpu += info.num_rows * SERVER_CPU_PER_ROW["filter"]
+                return
+            for child in node.children():
+                walk(child)
+            cpu += node.est_cpu_plain
+
+        walk(tree)
         return self.model.price_phases(
             "baseline multi-join",
             [_phase(
@@ -480,86 +637,127 @@ class JoinOrderSearch:
                 get_bytes=get_bytes, cpu_seconds=cpu,
                 records=records, fields=fields,
             )],
-            {"order": list(order), "est_rows": inter_rows},
+            {
+                "order": physical.join_leaf_order(tree),
+                "label": physical.join_tree_label(tree),
+                "est_rows": tree.est_rows,
+            },
         )
 
     # -- enumeration -------------------------------------------------
     def search(self, objective: str = "cost") -> JoinOrderDecision:
-        names = self.graph.table_names()
-        if len(names) > DP_TABLE_LIMIT:
-            order = self._greedy_order()
-            estimate = self.price_order(order)
-            return JoinOrderDecision(
-                graph=self.graph,
-                order=order,
-                estimate=estimate,
-                baseline=self.price_baseline(order),
-                candidates=[estimate],
-                method="greedy",
-            )
-        candidates = self._dp_candidates(objective)
-        best = min(candidates, key=objective_key(objective))
-        order = list(best.notes["order"])
+        """Pick the cheapest join tree under ``objective``.
+
+        Each connected component is planned by bushy DP (greedy above
+        :data:`DP_TABLE_LIMIT`); multiple components combine smallest
+        first through guarded cross products.
+        """
+        key = objective_key(objective)
+        components = self.graph.connected_components()
+        trees: list[PlanNode] = []
+        candidates: list[StrategyEstimate] = []
+        methods: set[str] = set()
+        for component in components:
+            if len(component) == 1:
+                trees.append(self.leaf(component[0]))
+                continue
+            if len(component) > DP_TABLE_LIMIT:
+                trees.append(self.left_deep_tree(self._greedy_order(component)))
+                methods.add("greedy")
+                continue
+            expansions = self._dp_component(component, objective)
+            best = min(expansions, key=lambda pair: key(pair[1]))
+            trees.append(best[0])
+            if len(components) == 1:
+                candidates = sorted(
+                    (est for _, est in expansions), key=key
+                )
+            methods.add("dp")
+
+        trees.sort(
+            key=lambda t: (t.est_rows, tuple(sorted(t.tables)))
+        )
+        tree = trees[0]
+        for other in trees[1:]:
+            # orient=True: the accumulated product grows past each new
+            # component, so the smaller side becomes the build again.
+            tree = self.cross(tree, other)
+        estimate = self.price_tree(tree)
+        if not candidates:
+            candidates = [estimate]
+        method = "+".join(sorted(methods))
+        if len(components) > 1:
+            # Pure cross combines (all components single tables) never
+            # ran a DP, so the method reports just "cross".
+            method = f"{method}+cross" if method else "cross"
+        elif not method:
+            method = "dp"
         return JoinOrderDecision(
             graph=self.graph,
-            order=order,
-            estimate=best,
-            baseline=self.price_baseline(order),
-            candidates=sorted(candidates, key=objective_key(objective)),
-            method="dp",
+            order=physical.join_leaf_order(tree),
+            tree=tree,
+            estimate=estimate,
+            baseline=self.price_baseline(physical.clone_tree(tree)),
+            candidates=candidates,
+            method=method,
         )
 
-    def _dp_candidates(self, objective: str) -> list[StrategyEstimate]:
-        """DP over connected subsets; top-level expansions are returned.
+    def _dp_component(
+        self, names: list[str], objective: str
+    ) -> list[tuple[PlanNode, StrategyEstimate]]:
+        """Bushy DP over one connected component's subsets.
 
-        ``best[S]`` holds the cheapest left-deep order joining exactly
-        the tables in ``S``; subsets that cannot be formed without a
-        cross join are skipped.  The full set's expansions (one per
-        viable final table) become the EXPLAIN candidate list.
+        ``best[S]`` holds the cheapest join tree over exactly the tables
+        in ``S``, found by splitting ``S`` into every connected pair of
+        disjoint subsets — single-table extensions (left-deep) fall out
+        as the ``|S2| = 1`` splits.  The full set's splits become the
+        EXPLAIN candidate list.  Callers handle single-table components
+        themselves, so ``names`` always holds at least two tables.
         """
-        names = self.graph.table_names()
+        assert len(names) >= 2, "single-table components never reach the DP"
         key = objective_key(objective)
-        best: dict[frozenset, StrategyEstimate] = {}
+        best: dict[frozenset, PlanNode] = {}
         for name in names:
-            single = frozenset((name,))
-            best[single] = self.price_order([name], final=len(names) == 1)
+            best[frozenset((name,))] = self.leaf(name)
         for size in range(2, len(names) + 1):
             final_level = size == len(names)
-            level_candidates: list[StrategyEstimate] = []
+            level: list[tuple[PlanNode, StrategyEstimate]] = []
             for subset in itertools.combinations(names, size):
                 subset_key = frozenset(subset)
-                expansions: list[StrategyEstimate] = []
-                for last in subset:
-                    rest = subset_key - {last}
-                    prior = best.get(rest)
-                    if prior is None:
-                        continue
-                    if not self.graph.edges_between(last, set(rest)):
-                        continue
-                    order = list(prior.notes["order"]) + [last]
-                    expansions.append(self.price_order(order, final=final_level))
-                if not expansions:
+                anchor, rest = subset[0], subset[1:]
+                options: list[tuple[PlanNode, StrategyEstimate]] = []
+                for k in range(0, size - 1):
+                    for extra in itertools.combinations(rest, k):
+                        s1 = frozenset((anchor, *extra))
+                        s2 = subset_key - s1
+                        t1, t2 = best.get(s1), best.get(s2)
+                        if t1 is None or t2 is None:
+                            continue
+                        if not self.graph.edges_across(s1, s2):
+                            continue
+                        tree = self.combine(t1, t2)
+                        options.append((tree, self.price_tree(tree)))
+                if not options:
                     continue
-                best[subset_key] = min(expansions, key=key)
+                best[subset_key] = min(
+                    options, key=lambda pair: key(pair[1])
+                )[0]
                 if final_level:
-                    level_candidates = expansions
-            if final_level:
-                if not level_candidates:
-                    raise PlanError(
-                        "no connected left-deep join order exists for"
-                        f" tables {names}"
-                    )
-                return level_candidates
-        # Single-table degenerate call.
-        return [best[frozenset(names)]]
+                    level = options
+        if not level:
+            raise PlanError(
+                f"no connected join tree exists for tables {names}"
+            )
+        return level
 
-    def _greedy_order(self) -> list[str]:
+    def _greedy_order(self, names: list[str] | None = None) -> list[str]:
         """Smallest filtered table first, then minimum intermediate rows."""
-        names = self.graph.table_names()
+        if names is None:
+            names = self.graph.table_names()
         start = min(names, key=lambda n: self.shapes[n].filtered_rows)
+        tree: PlanNode = self.leaf(start)
         order = [start]
         joined = {start}
-        inter_rows = self.shapes[start].filtered_rows
         while len(order) < len(names):
             frontier = [
                 n for n in names
@@ -570,8 +768,13 @@ class JoinOrderSearch:
                     "no connected left-deep join order exists for"
                     f" tables {names}"
                 )
-            nxt = min(frontier, key=lambda n: self._join_rows(inter_rows, joined, n))
-            inter_rows = self._join_rows(inter_rows, joined, nxt)
+            def grown_rows(name: str) -> float:
+                return self._pair_rows(
+                    tree, self.leaf(name),
+                    self.graph.edges_across(tree.tables, frozenset((name,))),
+                )
+            nxt = min(frontier, key=grown_rows)
+            tree = self.combine(tree, self.leaf(nxt))
             order.append(nxt)
             joined.add(nxt)
         return order
@@ -598,7 +801,7 @@ def plan_join_order(
     objective: str = "cost",
     graph: JoinGraph | None = None,
 ) -> JoinOrderDecision:
-    """Build the join graph (unless given) and run the order search."""
+    """Build the join graph (unless given) and run the tree search."""
     if graph is None:
         graph = build_join_graph(catalog, query)
     return JoinOrderSearch(ctx, catalog, graph, query).search(objective)

@@ -107,14 +107,26 @@ class PushdownDB:
         Lists every candidate plan's predicted requests, bytes, runtime
         and dollar cost, and marks the pick.  For multi-table queries
         the report also carries the join-order search's candidate table
-        (each considered order with its predicted rows, runtime and
-        cost).
+        (each considered tree with its predicted rows, runtime and
+        cost).  The picked mode's physical operator tree is rendered
+        below the candidate table, annotated with per-node ``est_rows``
+        and cumulative ``est_cost``; plan building never touches
+        storage.
         """
         from repro.optimizer.chooser import choose_planner_mode
+        from repro.planner.planner import build_plan
         from repro.sqlparser.parser import parse
 
-        choice = choose_planner_mode(self.ctx, self.catalog, parse(sql))
-        return choice.explain()
+        query = parse(sql)
+        choice = choose_planner_mode(self.ctx, self.catalog, query)
+        plan = build_plan(
+            self.ctx, self.catalog, query, choice.picked,
+            shape=choice.notes.get("join_tree"),
+        )
+        return (
+            f"{choice.explain()}\n"
+            f"physical plan ({choice.picked}):\n{plan.describe()}"
+        )
 
     def calibrate_to_paper_scale(self, paper_bytes: float = 10e9) -> float:
         """Re-rate the context as if loaded data were paper-sized."""

@@ -1,0 +1,1052 @@
+"""The explicit physical-plan IR: one operator tree for everything.
+
+Prior to this module the planner executed through ad-hoc per-strategy
+code paths (inline single-table pipelines, a hand-chained multi-join
+loop), so plan *shape* was hard-coded: left-deep joins only, Bloom
+filters on the outermost probe only, and no way for EXPLAIN to show the
+actual operator structure.  This module makes the plan a first-class
+tree of :class:`PlanNode` objects that
+
+* a **single recursive executor** (:func:`execute_plan`) walks, yielding
+  RecordBatches bottom-up through the same streaming operator functions
+  the old paths used (so metering is unchanged where the shape is);
+* the **cost model** prices node-by-node (:func:`predicted_phases`
+  assembles the same :class:`~repro.cloud.metrics.Phase` objects the
+  executor meters; the join-order search ranks candidate trees with it);
+* **EXPLAIN** renders (:func:`render_plan`), including per-node
+  ``est_rows`` / ``est_cost`` annotations and — after execution —
+  observed cardinalities with estimate-vs-actual Q-error columns
+  (:func:`render_execution_report`).
+
+Execution contract (kept identical to the pre-IR planner so two-table
+pairwise queries stay byte-for-byte the same):
+
+* every **materialized** scan (hash-build sides) issues its requests and
+  appends its phase immediately; the one **streaming** scan on the
+  pipeline spine defers its phase until the root drains, so its ingest
+  accounting reflects what was actually pulled (LIMIT early-exit);
+* in ``baseline`` mode for joins, all scans collapse into one
+  ``load+join`` phase whose ingest is the whole-table formula;
+* all local-operator CPU accumulates into one :class:`CpuTally` charged
+  to the final phase, exactly as before.
+
+New plan shapes unlocked by the IR: **bushy** join trees (both sides of
+a join may themselves be joins), Bloom predicates on **inner**
+(non-outermost) probe scans, and **cross products** for small
+disconnected FROM lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.cloud.context import CloudContext, QueryExecution
+from repro.cloud.metrics import Phase
+from repro.cloud.perf import SERVER_CPU_PER_ROW
+from repro.common.errors import PlanError
+from repro.engine.catalog import TableInfo
+from repro.engine.operators.base import (
+    Batch,
+    BatchCounter,
+    CpuTally,
+    materialize,
+)
+from repro.engine.operators.filter import filter_batches, filter_rows
+from repro.engine.operators.groupby import group_by_batches
+from repro.engine.operators.hashjoin import hash_join, hash_join_batches
+from repro.engine.operators.limit import limit_batches
+from repro.engine.operators.project import project_batches, projected_names
+from repro.engine.operators.sort import sort_batches
+from repro.engine.operators.topk import top_k_batches
+from repro.queries.common import bloom_where
+from repro.sqlparser import ast
+from repro.strategies.scans import (
+    iter_scan_batches,
+    merge_sum_partials,
+    phase_since,
+    projection_sql,
+    select_aggregate,
+    select_table,
+)
+
+
+# ----------------------------------------------------------------------
+# execution state
+# ----------------------------------------------------------------------
+
+@dataclass
+class _PendingScan:
+    """The spine's streaming scan, finalized after the root drains."""
+
+    mark: int
+    label: str
+    streams: int
+    counter: BatchCounter
+    ncols: int
+
+
+@dataclass
+class ExecState:
+    """Mutable state threaded through one plan execution."""
+
+    ctx: CloudContext
+    #: True for baseline join plans: scans skip per-scan phases; the
+    #: executor builds one whole-query ``load+join`` phase instead.
+    combined: bool = False
+    tally: CpuTally = field(default_factory=CpuTally)
+    phases: list[Phase] = field(default_factory=list)
+    pending: _PendingScan | None = None
+
+
+def _counted(node: "PlanNode", batches: Iterable[Batch]) -> Iterator[Batch]:
+    """Record observed output cardinality on ``node`` as batches flow."""
+    node.actual_rows = 0
+    for batch in batches:
+        node.actual_rows += len(batch)
+        yield batch
+
+
+def _index_of(names: Sequence[str], wanted: str) -> int:
+    lowered = [n.lower() for n in names]
+    try:
+        return lowered.index(wanted.lower())
+    except ValueError:
+        raise PlanError(
+            f"join key {wanted!r} not in columns {list(names)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# plan nodes
+# ----------------------------------------------------------------------
+
+class PlanNode:
+    """One operator in the physical plan tree.
+
+    Annotation fields (filled by the plan builder / join-order search):
+
+    * ``est_rows`` — estimated output cardinality;
+    * ``est_cost`` — estimated cumulative dollar cost of the subtree,
+      priced through the context's PerfModel + Pricing;
+    * ``actual_rows`` — observed output cardinality, recorded during
+      execution (estimate-vs-actual feedback for EXPLAIN).
+    """
+
+    est_rows: float | None = None
+    est_cost: float | None = None
+    actual_rows: int | None = None
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def run(self, state: ExecState) -> tuple[list[str], Iterator[Batch]]:
+        """Execute this subtree, returning (column names, batch stream)."""
+        raise NotImplementedError
+
+
+class ScanNode(PlanNode):
+    """Leaf: scan one table, either pushed down or GET + local filter."""
+
+    def __init__(
+        self,
+        table: TableInfo,
+        columns: Sequence[str],
+        predicate: ast.Expr | None,
+        pushdown: bool,
+        phase_label: str | None = None,
+    ):
+        self.table = table
+        self.columns = list(columns)
+        self.predicate = predicate
+        self.pushdown = pushdown
+        self.phase_label = phase_label or f"scan-{table.name}"
+        #: Probe-key attribute a parent join blooms this scan on (the
+        #: Bloom clause itself is built at run time from build rows).
+        self.bloom_attr: str | None = None
+        #: Estimated S3-side term evaluations (WHERE conjuncts + Bloom
+        #: hashes per scanned row), for the cost model.
+        self.est_terms: float = 0.0
+        #: Pre-Bloom estimate of the rows the predicate alone keeps;
+        #: baseline twins (GET + local filter, no Bloom) annotate with
+        #: this so their Q-error reports stay meaningful.
+        self.est_filtered_rows: float | None = None
+        self.est_rows = None
+        self.est_cost = None
+        self.actual_rows = None
+        self.tables: frozenset = frozenset((table.name,))
+
+    def describe(self) -> str:
+        how = "select" if self.pushdown else "get"
+        if self.bloom_attr:
+            how += f"+bloom({self.bloom_attr})"
+        parts = [f"scan {self.table.name} [{how}] cols={len(self.columns)}"]
+        if self.predicate is not None:
+            parts.append(f"pred=({self.predicate.to_sql()})")
+        return " ".join(parts)
+
+    def _scan_sql(self, bloom_keys: Sequence | None) -> str:
+        clauses = []
+        if self.predicate is not None:
+            clauses.append(self.predicate.to_sql())
+        if bloom_keys and self.bloom_attr:
+            base_sql = projection_sql(self.columns, " AND ".join(clauses) or None)
+            clause = bloom_where(bloom_keys, self.bloom_attr, base_sql)
+            if clause is not None:
+                clauses.append(clause)
+        return projection_sql(self.columns, " AND ".join(clauses) or None)
+
+    def run(self, state: ExecState, bloom_keys: Sequence | None = None):
+        """Streaming scan: requests issue now, the phase finalizes at the
+        end of the pipeline so ingest reflects the rows actually pulled."""
+        ctx = state.ctx
+        mark = ctx.metrics.mark()
+        if not self.pushdown:
+            names = list(self.table.schema.names)
+            stream = filter_batches(
+                iter_scan_batches(ctx, self.table), names, self.predicate,
+                state.tally,
+            )
+            counter = BatchCounter(stream)
+            if not state.combined:
+                state.pending = _PendingScan(
+                    mark, self.phase_label, self.table.partitions,
+                    counter, len(names),
+                )
+            return names, _counted(self, iter(counter))
+        counter = BatchCounter(
+            iter_scan_batches(ctx, self.table, self._scan_sql(bloom_keys))
+        )
+        state.pending = _PendingScan(
+            mark, self.phase_label, self.table.partitions,
+            counter, len(self.columns),
+        )
+        return list(self.columns), _counted(self, iter(counter))
+
+    def run_materialized(
+        self, state: ExecState, bloom_keys: Sequence | None = None
+    ) -> tuple[list[str], list[tuple]]:
+        """Materializing scan (hash-build sides): phase appended now."""
+        ctx = state.ctx
+        if not self.pushdown:
+            names = list(self.table.schema.names)
+            rows = materialize(iter_scan_batches(ctx, self.table))
+            result = state.tally.add(filter_rows(rows, names, self.predicate))
+            self.actual_rows = len(result.rows)
+            return names, result.rows
+        mark = ctx.metrics.mark()
+        rows, _ = select_table(ctx, self.table, self._scan_sql(bloom_keys))
+        state.phases.append(phase_since(
+            ctx, mark, self.phase_label, streams=self.table.partitions,
+            ingest=(len(rows), len(self.columns)),
+        ))
+        self.actual_rows = len(rows)
+        return list(self.columns), rows
+
+
+class PushedAggregateNode(PlanNode):
+    """Leaf: a fully-pushable additive aggregate (SUM/COUNT shapes)."""
+
+    def __init__(self, table: TableInfo, query: ast.Query):
+        self.table = table
+        self.query = query
+        self.est_rows = 1.0
+        self.est_cost = None
+        self.actual_rows = None
+        self.tables: frozenset = frozenset((table.name,))
+
+    def describe(self) -> str:
+        items = ", ".join(i.to_sql() for i in self.query.select_items)
+        return f"pushed-aggregate {self.table.name} [{items}]"
+
+    def run(self, state: ExecState):
+        ctx = state.ctx
+        mark = ctx.metrics.mark()
+        pushed = ast.Query(
+            select_items=self.query.select_items, table="S3Object",
+            where=self.query.where,
+        )
+        partials, _ = select_aggregate(ctx, self.table, pushed.to_sql())
+        merged = merge_sum_partials(partials)
+        out_names = [
+            item.output_name(i)
+            for i, item in enumerate(self.query.select_items, start=1)
+        ]
+        state.phases.append(phase_since(
+            ctx, mark, "pushed-aggregate", streams=self.table.partitions
+        ))
+        self.actual_rows = 1
+        return out_names, iter([[tuple(merged)]])
+
+
+class HashJoinNode(PlanNode):
+    """Equi hash join: build side materializes, probe side streams.
+
+    ``stream_probe`` marks the plan's spine join (the outermost one):
+    its probe child streams batch-by-batch through the rest of the
+    pipeline.  Inner joins materialize both children and pick the hash
+    build side from the *actual* row counts, as the chained executor
+    always did.  ``bloom`` pushes a Bloom predicate on the probe scan
+    when the probe child is a pushdown scan and the build key is an
+    integer column — including inner (non-outermost) probes, which the
+    left-deep chain executor could never do.
+    """
+
+    def __init__(
+        self,
+        build: PlanNode,
+        probe: PlanNode,
+        build_key: str,
+        probe_key: str,
+        bloom: bool = False,
+        stream_probe: bool = False,
+    ):
+        self.build = build
+        self.probe = probe
+        self.build_key = build_key
+        self.probe_key = probe_key
+        self.bloom = bloom
+        self.stream_probe = stream_probe
+        self.est_rows = None
+        self.est_cost = None
+        self.actual_rows = None
+        #: Pre-Bloom estimated build/probe input rows, for CPU pricing.
+        self.est_build_rows: float = 0.0
+        self.est_probe_rows: float = 0.0
+        #: Estimated local CPU of this join (with / without Bloom build).
+        self.est_cpu: float = 0.0
+        self.est_cpu_plain: float = 0.0
+        #: Equality edges beyond the hash edge, deferred to a residual
+        #: filter above the join tree.
+        self.extra_edges: list = []
+        self.tables: frozenset = getattr(build, "tables", frozenset()) | getattr(
+            probe, "tables", frozenset()
+        )
+
+    def children(self):
+        return (self.build, self.probe)
+
+    def describe(self) -> str:
+        tag = " streamed" if self.stream_probe else ""
+        return f"hash-join [{self.build_key} = {self.probe_key}]{tag}"
+
+    def _bloom_keys(self, build_names, build_rows):
+        if not (self.bloom and isinstance(self.probe, ScanNode)
+                and self.probe.pushdown):
+            return None
+        idx = _index_of(build_names, self.build_key)
+        keys = [r[idx] for r in build_rows if r[idx] is not None]
+        return keys or None
+
+    def run(self, state: ExecState):
+        build_names, build_rows = _materialize_node(self.build, state)
+        bloom_keys = self._bloom_keys(build_names, build_rows)
+        if self.stream_probe:
+            probe_names, probe_stream = _run_node(self.probe, state, bloom_keys)
+            names, joined = hash_join_batches(
+                build_rows, build_names, probe_stream, probe_names,
+                self.build_key, self.probe_key, state.tally,
+            )
+            return names, _counted(self, joined)
+        probe_names, probe_rows = _materialize_node(self.probe, state, bloom_keys)
+        # Inner joins hash the actually-smaller side, as the chained
+        # executor did; Bloom placement stays per the plan's orientation.
+        if len(build_rows) <= len(probe_rows):
+            out = state.tally.add(hash_join(
+                build_rows, build_names, probe_rows, probe_names,
+                self.build_key, self.probe_key,
+            ))
+        else:
+            out = state.tally.add(hash_join(
+                probe_rows, probe_names, build_rows, build_names,
+                self.probe_key, self.build_key,
+            ))
+        self.actual_rows = len(out.rows)
+        return out.column_names, iter([out.rows])
+
+
+class CrossProductNode(PlanNode):
+    """Cartesian product for small disconnected FROM lists.
+
+    The build side materializes; every probe-side batch fans out against
+    it.  CPU is charged like a degenerate hash join: one build touch per
+    build row, one probe touch per emitted row.
+    """
+
+    def __init__(self, build: PlanNode, probe: PlanNode,
+                 stream_probe: bool = False):
+        self.build = build
+        self.probe = probe
+        self.stream_probe = stream_probe
+        self.est_rows = None
+        self.est_cost = None
+        self.actual_rows = None
+        self.est_build_rows: float = 0.0
+        self.est_probe_rows: float = 0.0
+        self.est_cpu: float = 0.0
+        self.est_cpu_plain: float = 0.0
+        self.extra_edges: list = []
+        self.tables: frozenset = getattr(build, "tables", frozenset()) | getattr(
+            probe, "tables", frozenset()
+        )
+
+    def children(self):
+        return (self.build, self.probe)
+
+    def describe(self) -> str:
+        tag = " streamed" if self.stream_probe else ""
+        return f"cross-product{tag}"
+
+    def run(self, state: ExecState):
+        build_names, build_rows = _materialize_node(self.build, state)
+        state.tally.add_seconds(
+            len(build_rows) * SERVER_CPU_PER_ROW["hash_build"]
+        )
+        if self.stream_probe:
+            probe_names, probe_stream = _run_node(self.probe, state, None)
+        else:
+            probe_names, probe_rows = _materialize_node(self.probe, state)
+            probe_stream = iter([probe_rows])
+        out_names = [*build_names, *probe_names]
+        if len(set(n.lower() for n in out_names)) != len(out_names):
+            raise PlanError(
+                f"cross product would produce duplicate column names:"
+                f" {out_names}"
+            )
+
+        def product() -> Iterator[Batch]:
+            per_row = SERVER_CPU_PER_ROW["hash_probe"]
+            for batch in probe_stream:
+                out: Batch = [
+                    build_row + row for row in batch for build_row in build_rows
+                ]
+                state.tally.add_seconds(len(out) * per_row)
+                yield out
+
+        return out_names, _counted(self, product())
+
+
+class FilterNode(PlanNode):
+    """Local predicate over the stream (residual cross-table filters)."""
+
+    def __init__(self, child: PlanNode, predicate: ast.Expr):
+        self.child = child
+        self.predicate = predicate
+        self.est_rows = None
+        self.est_cost = None
+        self.actual_rows = None
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"filter [{self.predicate.to_sql()}]"
+
+    def run(self, state: ExecState):
+        names, stream = _run_node(self.child, state)
+        return names, _counted(
+            self, filter_batches(stream, names, self.predicate, state.tally)
+        )
+
+
+class ProjectNode(PlanNode):
+    """Evaluate the select list per row (streaming)."""
+
+    def __init__(self, child: PlanNode, items: Sequence[ast.SelectItem]):
+        self.child = child
+        self.items = list(items)
+        self.est_rows = None
+        self.est_cost = None
+        self.actual_rows = None
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        rendered = ", ".join(i.to_sql() for i in self.items)
+        if len(rendered) > 60:
+            rendered = rendered[:57] + "..."
+        return f"project [{rendered}]"
+
+    def run(self, state: ExecState):
+        names, stream = _run_node(self.child, state)
+        out_names = projected_names(names, self.items)
+        return out_names, _counted(
+            self, project_batches(stream, names, self.items, state.tally)
+        )
+
+
+class GroupByNode(PlanNode):
+    """Hash aggregation (pipeline breaker)."""
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_exprs: Sequence[ast.Expr],
+        agg_items: Sequence[ast.SelectItem],
+    ):
+        self.child = child
+        self.group_exprs = tuple(group_exprs)
+        self.agg_items = list(agg_items)
+        self.est_rows = None
+        self.est_cost = None
+        self.actual_rows = None
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        groups = ", ".join(e.to_sql() for e in self.group_exprs) or "-"
+        return f"group-by [{groups}] aggs={len(self.agg_items)}"
+
+    def run(self, state: ExecState):
+        names, stream = _run_node(self.child, state)
+        out = state.tally.add(
+            group_by_batches(stream, names, self.group_exprs, self.agg_items)
+        )
+        self.actual_rows = len(out.rows)
+        return out.column_names, iter([out.rows])
+
+
+class SortNode(PlanNode):
+    """Full sort (pipeline breaker)."""
+
+    def __init__(self, child: PlanNode, order_by: Sequence[ast.OrderItem]):
+        self.child = child
+        self.order_by = tuple(order_by)
+        self.est_rows = None
+        self.est_cost = None
+        self.actual_rows = None
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        keys = ", ".join(o.to_sql() for o in self.order_by)
+        return f"sort [{keys}]"
+
+    def run(self, state: ExecState):
+        names, stream = _run_node(self.child, state)
+        out = state.tally.add(sort_batches(stream, names, self.order_by))
+        self.actual_rows = len(out.rows)
+        return out.column_names, iter([out.rows])
+
+
+class TopKNode(PlanNode):
+    """ORDER BY + LIMIT as a bounded heap (pipeline breaker)."""
+
+    def __init__(
+        self, child: PlanNode, order_by: Sequence[ast.OrderItem], k: int
+    ):
+        self.child = child
+        self.order_by = tuple(order_by)
+        self.k = k
+        self.est_rows = None
+        self.est_cost = None
+        self.actual_rows = None
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        keys = ", ".join(o.to_sql() for o in self.order_by)
+        return f"top-k [{keys}] k={self.k}"
+
+    def run(self, state: ExecState):
+        names, stream = _run_node(self.child, state)
+        out = state.tally.add(
+            top_k_batches(stream, names, self.order_by, self.k)
+        )
+        self.actual_rows = len(out.rows)
+        return out.column_names, iter([out.rows])
+
+
+class LimitNode(PlanNode):
+    """Streaming LIMIT: stops pulling upstream once satisfied."""
+
+    def __init__(self, child: PlanNode, n: int):
+        self.child = child
+        self.n = n
+        self.est_rows = None
+        self.est_cost = None
+        self.actual_rows = None
+
+    def children(self):
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"limit [{self.n}]"
+
+    def run(self, state: ExecState):
+        names, stream = _run_node(self.child, state)
+        return names, _counted(self, limit_batches(stream, self.n))
+
+
+def _run_node(node: PlanNode, state: ExecState, bloom_keys=None):
+    if isinstance(node, ScanNode):
+        return node.run(state, bloom_keys)
+    return node.run(state)
+
+
+def _materialize_node(node: PlanNode, state: ExecState, bloom_keys=None):
+    """Drain a subtree into a row list (hash-build / cross-build sides)."""
+    if isinstance(node, ScanNode):
+        return node.run_materialized(state, bloom_keys)
+    names, stream = node.run(state)
+    return names, materialize(stream)
+
+
+# ----------------------------------------------------------------------
+# the local tail (GROUP BY / ORDER BY / LIMIT), as plan nodes
+# ----------------------------------------------------------------------
+
+def agg_items(query: ast.Query) -> list[ast.SelectItem]:
+    """Aggregate-bearing select items (group columns come from GROUP BY)."""
+    return [
+        item
+        for item in query.select_items
+        if not isinstance(item.expr, ast.Star)
+        and ast.contains_aggregate(item.expr)
+    ]
+
+
+def unalias(expr: ast.Expr, select_items) -> ast.Expr:
+    """Substitute output-alias references with their select expressions.
+
+    Recurses through the whole expression (``ORDER BY k + l_tax`` with
+    ``... AS k`` rewrites the ``k`` inside the sum), matching SQL's rule
+    that ORDER BY names resolve against the select list first.
+    """
+    aliases = {
+        item.alias.lower(): item.expr for item in select_items if item.alias
+    }
+
+    def substitute(column: ast.Column) -> ast.Expr:
+        if column.table is None:
+            replacement = aliases.get(column.name.lower())
+            if replacement is not None:
+                return replacement
+        return column
+
+    return ast.map_columns(expr, substitute)
+
+
+def attach_local_tail(
+    node: PlanNode, query: ast.Query, input_names: Sequence[str]
+) -> PlanNode:
+    """GROUP BY / aggregate / ORDER BY / LIMIT as plan nodes above ``node``.
+
+    Mirrors the streaming planner's tail exactly: row-at-a-time operators
+    (projection, LIMIT) stay streaming; pipeline breakers (group-by,
+    sort, top-K) drain internally.  ``ORDER BY`` keys outside the select
+    list defer the projection until after the sort so the keys stay in
+    scope; alias references in the deferred sort are rewritten to their
+    select expressions.  ``input_names`` are the plan-time column names
+    of ``node``'s output (presence only — runtime order may differ when
+    an inner join swaps its hash sides).
+    """
+    deferred_projection = False
+    if query.group_by:
+        node = GroupByNode(node, tuple(query.group_by), agg_items(query))
+    elif any(
+        not isinstance(i.expr, ast.Star) and ast.contains_aggregate(i.expr)
+        for i in query.select_items
+    ):
+        node = GroupByNode(node, (), list(query.select_items))
+    elif not all(isinstance(i.expr, ast.Star) for i in query.select_items):
+        out_names = {
+            n.lower()
+            for n in projected_names(list(input_names), query.select_items)
+        }
+        deferred_projection = any(
+            ref.lower() not in out_names
+            for item in query.order_by
+            for ref in ast.referenced_columns(item.expr)
+        )
+        if not deferred_projection:
+            node = ProjectNode(node, query.select_items)
+
+    order_by = query.order_by
+    if deferred_projection:
+        order_by = tuple(
+            ast.OrderItem(unalias(o.expr, query.select_items), o.descending)
+            for o in order_by
+        )
+    if order_by:
+        if query.limit is not None:
+            node = TopKNode(node, order_by, query.limit)
+        else:
+            node = SortNode(node, order_by)
+    elif query.limit is not None:
+        node = LimitNode(node, query.limit)
+    if deferred_projection:
+        node = ProjectNode(node, query.select_items)
+    return node
+
+
+# ----------------------------------------------------------------------
+# the plan object + the single recursive executor
+# ----------------------------------------------------------------------
+
+@dataclass
+class PhysicalPlan:
+    """A complete physical plan: operator tree + phase-assembly policy."""
+
+    root: PlanNode
+    mode: str
+    strategy: str
+    #: Tables every scan in the plan touches (combined-phase accounting).
+    scan_tables: list[TableInfo] = field(default_factory=list)
+    #: Phase name for baseline join plans, which meter all scans as one
+    #: whole-query phase with formula ingest; ``None`` = per-scan phases.
+    combined_label: str | None = None
+
+    def describe(self) -> str:
+        return render_plan(self.root)
+
+
+def execute_plan(ctx: CloudContext, plan: PhysicalPlan) -> QueryExecution:
+    """Walk the plan tree once, meter it, and finalize the execution.
+
+    This is the single executor behind every planner path.  The root is
+    drained into a row list; phases are assembled per the plan's policy;
+    all accumulated local CPU lands on the final phase; observed per-node
+    cardinalities are recorded into ``details["actuals"]``.
+    """
+    state = ExecState(ctx, combined=plan.combined_label is not None)
+    mark = ctx.begin_query()
+    names, stream = _run_node(plan.root, state)
+    rows = materialize(stream)
+    if plan.combined_label is not None:
+        n_records = sum(t.num_rows for t in plan.scan_tables)
+        n_fields = sum(
+            t.num_rows * len(t.schema) for t in plan.scan_tables
+        )
+        phases = [phase_since(
+            ctx, mark, plan.combined_label,
+            streams=sum(t.partitions for t in plan.scan_tables),
+            server_cpu_seconds=state.tally.seconds,
+            ingest=(n_records, n_fields / max(n_records, 1)),
+        )]
+    else:
+        phases = state.phases
+        if state.pending is not None:
+            pending = state.pending
+            phases.append(phase_since(
+                ctx, pending.mark, pending.label, streams=pending.streams,
+                ingest=(pending.counter.rows, pending.ncols),
+            ))
+        phases[-1].server_cpu_seconds += state.tally.seconds
+    execution = ctx.finalize(mark, rows, names, phases, strategy=plan.strategy)
+    execution.details["plan"] = render_plan(plan.root)
+    execution.details["actuals"] = collect_actuals(plan.root)
+    return execution
+
+
+# ----------------------------------------------------------------------
+# cost-model hooks: predicted phases + cumulative cost annotations
+# ----------------------------------------------------------------------
+
+def predicted_phases(node: PlanNode) -> list[Phase]:
+    """Assemble the predicted phases of a join subtree, node by node.
+
+    Mirrors what :func:`execute_plan` meters for the same tree: one
+    phase per scan (with Bloom-reduced returned rows where a parent join
+    attached a Bloom predicate), and each join's local CPU charged to the
+    last phase emitted before it completes.  The join-order search prices
+    candidate trees by running these through
+    :meth:`~repro.optimizer.cost.CostModel.price_phases`, so the
+    context's calibrated PerfModel/Pricing carry over unchanged.
+    """
+    from repro.optimizer.cost import _phase
+
+    phases: list[Phase] = []
+
+    def walk(n: PlanNode) -> None:
+        if isinstance(n, ScanNode):
+            stats = n.table.stats_or_default()
+            est = (
+                n.est_rows if n.est_rows is not None
+                else float(n.table.num_rows)
+            )
+            if n.pushdown:
+                phases.append(_phase(
+                    n.phase_label, n.table.partitions,
+                    scan_bytes=float(n.table.total_bytes),
+                    returned_bytes=est * stats.projected_row_bytes(n.columns),
+                    term_evals=n.est_terms,
+                    records=est,
+                    fields=est * max(len(n.columns), 1),
+                ))
+            else:
+                raw = n.table.num_rows
+                cpu = (
+                    raw * SERVER_CPU_PER_ROW["filter"]
+                    if n.predicate is not None else 0.0
+                )
+                phases.append(_phase(
+                    n.phase_label, n.table.partitions,
+                    get_bytes=float(n.table.total_bytes),
+                    cpu_seconds=cpu,
+                    records=raw,
+                    fields=raw * len(n.table.schema),
+                ))
+            return
+        if isinstance(n, (HashJoinNode, CrossProductNode)):
+            walk(n.build)
+            walk(n.probe)
+            if phases:
+                phases[-1].server_cpu_seconds += n.est_cpu
+            return
+        for child in n.children():
+            walk(child)
+
+    walk(node)
+    return phases
+
+
+def annotate_costs(root: PlanNode, ctx: CloudContext, catalog) -> None:
+    """Fill ``est_cost`` on scan/join/cross nodes: cumulative subtree
+    cost priced through the existing CostModel phase machinery."""
+    from repro.optimizer.cost import CostModel
+
+    model = CostModel(ctx, catalog)
+
+    def walk(node: PlanNode) -> None:
+        for child in node.children():
+            walk(child)
+        if isinstance(node, (ScanNode, HashJoinNode, CrossProductNode,)):
+            phases = predicted_phases(node)
+            if phases:
+                node.est_cost = model.price_phases(
+                    "node", phases
+                ).total_cost
+
+    walk(root)
+
+
+# ----------------------------------------------------------------------
+# tree utilities: shape (de)serialization, labels, cloning
+# ----------------------------------------------------------------------
+
+def clone_tree(node: PlanNode) -> PlanNode:
+    """Deep-copy a join subtree (scan/join/cross nodes only).
+
+    The join-order search memoizes the best subtree per table subset;
+    candidates embedding a memoized subtree clone it first so Bloom
+    annotations on one candidate never leak into another.
+    """
+    if isinstance(node, ScanNode):
+        twin = ScanNode(
+            node.table, node.columns, node.predicate, node.pushdown,
+            node.phase_label,
+        )
+        twin.bloom_attr = node.bloom_attr
+        twin.est_rows = node.est_rows
+        twin.est_terms = node.est_terms
+        twin.est_filtered_rows = node.est_filtered_rows
+        return twin
+    if isinstance(node, (HashJoinNode, CrossProductNode)):
+        build = clone_tree(node.build)
+        probe = clone_tree(node.probe)
+        if isinstance(node, HashJoinNode):
+            twin = HashJoinNode(
+                build, probe, node.build_key, node.probe_key,
+                bloom=node.bloom, stream_probe=node.stream_probe,
+            )
+        else:
+            twin = CrossProductNode(build, probe, node.stream_probe)
+        twin.est_rows = node.est_rows
+        twin.est_build_rows = node.est_build_rows
+        twin.est_probe_rows = node.est_probe_rows
+        twin.est_cpu = node.est_cpu
+        twin.est_cpu_plain = node.est_cpu_plain
+        twin.extra_edges = list(node.extra_edges)
+        return twin
+    raise PlanError(f"cannot clone plan node {type(node).__name__}")
+
+
+def serialize_shape(node: PlanNode):
+    """Join-subtree shape as nested lists: ``name`` or ``[kind, b, p]``.
+
+    Orientation (build first) is preserved; estimates are not — they are
+    recomputed when the shape is rebuilt against a catalog.
+    """
+    if isinstance(node, ScanNode):
+        return node.table.name
+    if isinstance(node, HashJoinNode):
+        return ["hash", serialize_shape(node.build), serialize_shape(node.probe)]
+    if isinstance(node, CrossProductNode):
+        return ["cross", serialize_shape(node.build), serialize_shape(node.probe)]
+    raise PlanError(f"cannot serialize plan node {type(node).__name__}")
+
+
+def join_leaf_order(node: PlanNode) -> list[str]:
+    """Left-deep-equivalent table order of a join subtree, for display.
+
+    A join with exactly one leaf child maps to 'join the deep side
+    first, then that leaf' — the order whose forced left-deep execution
+    matches this tree.  Genuinely bushy nodes concatenate build then
+    probe (display only; no left-deep equivalent exists).
+    """
+    if isinstance(node, ScanNode):
+        return [node.table.name]
+    build, probe = node.build, node.probe
+    build_leaf = isinstance(build, ScanNode)
+    probe_leaf = isinstance(probe, ScanNode)
+    if build_leaf and probe_leaf:
+        return [build.table.name, probe.table.name]
+    if probe_leaf:
+        return join_leaf_order(build) + [probe.table.name]
+    if build_leaf:
+        return join_leaf_order(probe) + [build.table.name]
+    return join_leaf_order(build) + join_leaf_order(probe)
+
+
+def is_left_deep(node: PlanNode) -> bool:
+    """True when the tree has a left-deep-equivalent execution order."""
+    if isinstance(node, ScanNode):
+        return True
+    if isinstance(node, CrossProductNode):
+        return False
+    build_leaf = isinstance(node.build, ScanNode)
+    probe_leaf = isinstance(node.probe, ScanNode)
+    if build_leaf and probe_leaf:
+        return True
+    if probe_leaf:
+        return is_left_deep(node.build)
+    if build_leaf:
+        return is_left_deep(node.probe)
+    return False
+
+
+def join_tree_label(node: PlanNode) -> str:
+    """Compact label: `a >< b >< c` for left-deep, parenthesized for bushy."""
+    if isinstance(node, ScanNode):
+        return node.table.name
+    if is_left_deep(node) and not _has_cross(node):
+        return " >< ".join(join_leaf_order(node))
+
+    def render(n: PlanNode) -> str:
+        if isinstance(n, ScanNode):
+            return n.table.name
+        op = " x " if isinstance(n, CrossProductNode) else " >< "
+        return f"({render(n.build)}{op}{render(n.probe)})"
+
+    return render(node)
+
+
+def _has_cross(node: PlanNode) -> bool:
+    if isinstance(node, CrossProductNode):
+        return True
+    return any(_has_cross(c) for c in node.children())
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN rendering + estimate-vs-actual feedback
+# ----------------------------------------------------------------------
+
+def _annotation(node: PlanNode) -> str:
+    parts = []
+    if node.est_rows is not None:
+        parts.append(f"est_rows={node.est_rows:.1f}")
+    if node.est_cost is not None:
+        parts.append(f"est_cost=${node.est_cost:.6g}")
+    return f"  ({', '.join(parts)})" if parts else ""
+
+
+def render_plan(root: PlanNode) -> str:
+    """ASCII tree of the plan with per-node estimate annotations."""
+    lines: list[str] = []
+
+    def walk(node: PlanNode, prefix: str, tag: str, is_last: bool,
+             is_root: bool) -> None:
+        if is_root:
+            lines.append(f"{node.describe()}{_annotation(node)}")
+            child_prefix = ""
+        else:
+            branch = "`- " if is_last else "+- "
+            lines.append(
+                f"{prefix}{branch}{tag}{node.describe()}{_annotation(node)}"
+            )
+            child_prefix = prefix + ("   " if is_last else "|  ")
+        kids = node.children()
+        for i, child in enumerate(kids):
+            child_tag = ""
+            if isinstance(node, (HashJoinNode, CrossProductNode)):
+                child_tag = "build: " if i == 0 else "probe: "
+            walk(child, child_prefix, child_tag, i == len(kids) - 1, False)
+
+    walk(root, "", "", True, True)
+    return "\n".join(lines)
+
+
+def collect_actuals(root: PlanNode) -> list[dict]:
+    """Pre-order per-node cardinality records for ``details["actuals"]``.
+
+    ``q_error`` is the smoothed quotient error
+    ``max((est+1)/(actual+1), (actual+1)/(est+1))`` — 1.0 is a perfect
+    estimate; the +1 keeps empty results finite.  Nodes that never ran
+    (e.g. past a LIMIT cut-off) report ``actual_rows=None``.
+    """
+    out: list[dict] = []
+
+    def walk(node: PlanNode, depth: int) -> None:
+        q_error = None
+        if node.est_rows is not None and node.actual_rows is not None:
+            est, actual = node.est_rows + 1.0, node.actual_rows + 1.0
+            q_error = round(max(est / actual, actual / est), 3)
+        out.append({
+            "node": node.describe(),
+            "depth": depth,
+            "est_rows": (
+                round(node.est_rows, 1) if node.est_rows is not None else None
+            ),
+            "actual_rows": node.actual_rows,
+            "q_error": q_error,
+        })
+        for child in node.children():
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return out
+
+
+def render_execution_report(execution: QueryExecution) -> str:
+    """Estimate-vs-actual table for an executed plan (EXPLAIN ANALYZE).
+
+    Renders the per-node observed cardinalities recorded in
+    ``details["actuals"]`` next to the optimizer's estimates, with a
+    Q-error column — the groundwork for adaptive reordering.
+    """
+    actuals = execution.details.get("actuals")
+    if not actuals:
+        return "(no plan recorded for this execution)"
+    width = max(len("  " * r["depth"] + r["node"]) for r in actuals)
+    width = min(max(width, 20), 72)
+    lines = [f"physical plan: {execution.strategy}"]
+    lines.append(
+        f"  {'operator':<{width}} {'est rows':>12} {'actual':>10}"
+        f" {'q-error':>8}"
+    )
+    for record in actuals:
+        name = ("  " * record["depth"] + record["node"])[:width]
+        est = (
+            f"{record['est_rows']:.1f}" if record["est_rows"] is not None
+            else "-"
+        )
+        actual = (
+            str(record["actual_rows"]) if record["actual_rows"] is not None
+            else "-"
+        )
+        q_error = (
+            f"{record['q_error']:.2f}" if record["q_error"] is not None
+            else "-"
+        )
+        lines.append(
+            f"  {name:<{width}} {est:>12} {actual:>10} {q_error:>8}"
+        )
+    return "\n".join(lines)

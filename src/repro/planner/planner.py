@@ -3,17 +3,24 @@
 The paper describes PushdownDB's optimizer as "minimal" (Section III);
 ours goes one step further: besides choosing between the baseline (GET
 everything) and optimized (pushdown) physical strategies, multi-table
-queries run through a cost-based join-order search
+queries run through a cost-based join-tree search
 (:mod:`repro.optimizer.joinorder`).
+
+Every path **builds an explicit physical plan** — a
+:mod:`repro.planner.physical` operator tree — and hands it to the single
+recursive executor.  The same tree is what the cost model prices and
+what ``db.explain()`` renders.
 
 Supported SQL per query:
 
 * single table — WHERE / GROUP BY / aggregates / ORDER BY / LIMIT;
 * two tables (``FROM a, b WHERE a.k = b.k AND ...``) — equi-join plus
-  the same local tail (kept on the historical pairwise path so its
-  metering is unchanged);
-* three or more tables — an equi-join chain planned left-deep by the
-  join-order search and executed as chained streaming hash joins.
+  the same local tail (kept on the historical pairwise plan shape so its
+  metering is unchanged); pairs *without* an equi-join condition fall
+  back to a guarded cross product;
+* three or more tables — an equi-join tree (left-deep or bushy) planned
+  by the join-order search, with Bloom predicates on probe-side scans
+  and cross-product fallbacks for small disconnected FROM lists.
 
 Anything else raises :class:`~repro.common.errors.PlanError`.
 """
@@ -25,35 +32,19 @@ from dataclasses import dataclass
 from repro.cloud.context import CloudContext, QueryExecution
 from repro.common.errors import PlanError
 from repro.engine.catalog import Catalog, TableInfo
-from repro.engine.operators.base import (
-    BatchCounter,
-    CpuTally,
-    batches_of,
-    materialize,
+from repro.optimizer.selectivity import estimate_selectivity
+from repro.planner import physical
+from repro.planner.physical import (
+    FilterNode,
+    HashJoinNode,
+    PhysicalPlan,
+    PushedAggregateNode,
+    ScanNode,
+    attach_local_tail,
+    execute_plan,
 )
-from repro.engine.operators.filter import filter_batches, filter_rows
-from repro.engine.operators.groupby import group_by_batches
-from repro.engine.operators.hashjoin import hash_join, hash_join_batches
-from repro.engine.operators.limit import limit_batches
-from repro.engine.operators.project import (
-    project,
-    project_batches,
-    projected_names,
-)
-from repro.engine.operators.sort import sort_batches
-from repro.engine.operators.topk import top_k_batches
-from repro.queries.common import bloom_where
 from repro.sqlparser import ast
 from repro.sqlparser.parser import parse
-from repro.storage.csvcodec import DEFAULT_BATCH_SIZE
-from repro.strategies.scans import (
-    iter_scan_batches,
-    merge_sum_partials,
-    phase_since,
-    projection_sql,
-    select_aggregate,
-    select_table,
-)
 
 #: Aggregates whose per-partition partials merge by plain addition.
 _ADDITIVE = {"SUM", "COUNT"}
@@ -80,65 +71,95 @@ def plan_and_execute(
         choice = choose_planner_mode(ctx, catalog, query)
         mode = choice.picked
         summary = choice.summary()
-    if len(query.from_tables) > 2:
-        # Reuse the order the auto-mode search already picked rather
-        # than running the DP a second time.
-        order = summary.get("join_order_list") if summary is not None else None
-        execution = _execute_multijoin(ctx, catalog, query, mode, force_order=order)
-    elif query.join_table is not None:
-        execution = _execute_join(ctx, catalog, query, mode)
-    else:
-        execution = _execute_single(ctx, catalog, query, mode)
+    # Reuse the tree the auto-mode search already picked rather than
+    # running the DP a second time.
+    shape = summary.get("join_tree") if summary is not None else None
+    plan = build_plan(ctx, catalog, query, mode, shape=shape)
+    execution = execute_plan(ctx, plan)
     if summary is not None:
         execution.details["optimizer"] = summary
     return execution
+
+
+def build_plan(
+    ctx: CloudContext,
+    catalog: Catalog,
+    query: ast.Query,
+    mode: str,
+    shape=None,
+    force_order: list[str] | None = None,
+) -> PhysicalPlan:
+    """Build the physical plan for ``query`` without executing it.
+
+    ``shape`` forces a serialized join-tree shape (the auto-mode reuse
+    path); ``force_order`` forces a left-deep order (experiment sweeps).
+    Plan building never touches storage, so ``db.explain()`` can render
+    the tree for free.
+    """
+    forced = shape is not None or force_order is not None
+    if query.join_table is None:
+        plan = _build_single_plan(ctx, catalog, query, mode)
+    elif (
+        not forced
+        and len(query.from_tables) == 2
+        and _has_equi_join(catalog, query)
+    ):
+        plan = _build_pairwise_plan(ctx, catalog, query, mode)
+    else:
+        plan = _build_multiway_plan(
+            ctx, catalog, query, mode, shape=shape, force_order=force_order
+        )
+    physical.annotate_costs(plan.root, ctx, catalog)
+    return plan
+
+
+def _has_equi_join(catalog: Catalog, query: ast.Query) -> bool:
+    """Whether a 2-table query carries an equi-join condition."""
+    from repro.optimizer.joinorder import build_join_graph
+
+    return bool(build_join_graph(catalog, query).edges)
 
 
 # ----------------------------------------------------------------------
 # single-table plans
 # ----------------------------------------------------------------------
 
-def _execute_single(
+def _build_single_plan(
     ctx: CloudContext, catalog: Catalog, query: ast.Query, mode: str
-) -> QueryExecution:
-    """Run a single-table query as a streaming RecordBatch pipeline.
+) -> PhysicalPlan:
+    """A single-table query as one streaming scan + local-tail pipeline.
 
-    The scan source issues every partition request up front (so request
-    and byte accounting never depend on how far the pipeline is pulled),
-    then batches flow through the local tail; a LIMIT cuts parsing and
+    The scan issues every partition request up front (so request and
+    byte accounting never depend on how far the pipeline is pulled);
+    batches flow through the local tail; a LIMIT cuts parsing and
     operator work short without changing what was billed.
     """
     table = catalog.get(query.table)
-    tally = CpuTally()
-    mark = ctx.begin_query()
-
     if mode == "optimized" and _fully_pushable(query):
-        return _execute_pushed_aggregate(ctx, table, query, mark)
-
+        root = PushedAggregateNode(table, query)
+        return PhysicalPlan(
+            root=root, mode=mode, strategy="optimized single-table",
+            scan_tables=[table],
+        )
+    stats = table.stats_or_default()
+    selectivity = estimate_selectivity(query.where, stats)
     if mode == "baseline":
         names = list(table.schema.names)
-        # Ingest is counted after the local filter, exactly as the
-        # materialized planner did (the model charges parse time for
-        # rows the tail consumes; a LIMIT that stops pulling shrinks it).
-        source = BatchCounter(
-            filter_batches(iter_scan_batches(ctx, table), names, query.where, tally)
-        )
+        scan = ScanNode(table, names, query.where, pushdown=False,
+                        phase_label="scan")
     else:
-        needed = _needed_columns(query, table)
-        where_sql = query.where.to_sql() if query.where is not None else None
-        source = BatchCounter(
-            iter_scan_batches(ctx, table, projection_sql(needed, where_sql))
+        names = _needed_columns(query, table)
+        scan = ScanNode(table, names, query.where, pushdown=True,
+                        phase_label="scan")
+        scan.est_terms = float(
+            table.num_rows * len(ast.split_conjuncts(query.where))
         )
-        names = needed
-
-    scanned_columns = len(names)
-    rows, names = _local_tail_batches(query, iter(source), names, tally)
-    phase = phase_since(
-        ctx, mark, "scan", streams=table.partitions,
-        server_cpu_seconds=tally.seconds,
-        ingest=(source.rows, scanned_columns),
+    scan.est_rows = selectivity * table.num_rows
+    root = attach_local_tail(scan, query, names)
+    return PhysicalPlan(
+        root=root, mode=mode, strategy=f"{mode} single-table",
+        scan_tables=[table],
     )
-    return ctx.finalize(mark, rows, names, [phase], strategy=f"{mode} single-table")
 
 
 def _fully_pushable(query: ast.Query) -> bool:
@@ -152,23 +173,6 @@ def _fully_pushable(query: ast.Query) -> bool:
             return False
         aggs.extend(n for n in ast.walk(item.expr) if isinstance(n, ast.Aggregate))
     return all(a.func in _ADDITIVE and not a.distinct for a in aggs)
-
-
-def _execute_pushed_aggregate(
-    ctx: CloudContext, table: TableInfo, query: ast.Query, mark: int
-) -> QueryExecution:
-    pushed = ast.Query(
-        select_items=query.select_items, table="S3Object", where=query.where
-    )
-    partials, names = select_aggregate(ctx, table, pushed.to_sql())
-    merged = merge_sum_partials(partials)
-    out_names = [
-        item.output_name(i) for i, item in enumerate(query.select_items, start=1)
-    ]
-    phase = phase_since(ctx, mark, "pushed-aggregate", streams=table.partitions)
-    return ctx.finalize(
-        mark, [tuple(merged)], out_names, [phase], strategy="optimized single-table"
-    )
 
 
 def _needed_columns(query: ast.Query, table: TableInfo) -> list[str]:
@@ -192,104 +196,8 @@ def _needed_columns(query: ast.Query, table: TableInfo) -> list[str]:
     return needed
 
 
-def _local_tail_batches(
-    query: ast.Query, stream, names: list[str], tally: CpuTally
-) -> tuple[list[tuple], list[str]]:
-    """GROUP BY / aggregate / ORDER BY / LIMIT as a streaming pipeline.
-
-    ``stream`` is an iterator of RecordBatches.  Row-at-a-time operators
-    (projection, LIMIT) stay streaming; pipeline breakers (group-by,
-    aggregation, sort, top-K) drain the stream internally and re-enter
-    the pipeline as a single batch.
-
-    SQL allows ``ORDER BY`` keys outside the select list; projection is
-    deferred until after the sort/top-K in that case so the keys are
-    still in scope (queries whose keys are selected keep the historical
-    project-first pipeline and its metering).
-    """
-    deferred_projection = False
-    if query.group_by:
-        grouped = tally.add(
-            group_by_batches(stream, names, query.group_by, _agg_items(query))
-        )
-        stream, names = iter([grouped.rows]), grouped.column_names
-    elif any(
-        not isinstance(i.expr, ast.Star) and ast.contains_aggregate(i.expr)
-        for i in query.select_items
-    ):
-        out = tally.add(
-            group_by_batches(stream, names, (), list(query.select_items))
-        )
-        stream, names = iter([out.rows]), out.column_names
-    elif not all(isinstance(i.expr, ast.Star) for i in query.select_items):
-        out_names = {n.lower() for n in projected_names(names, query.select_items)}
-        deferred_projection = any(
-            ref.lower() not in out_names
-            for item in query.order_by
-            for ref in ast.referenced_columns(item.expr)
-        )
-        if not deferred_projection:
-            stream = project_batches(stream, names, query.select_items, tally)
-            names = projected_names(names, query.select_items)
-
-    order_by = query.order_by
-    if deferred_projection:
-        # SQL resolves ORDER BY names against the select list first;
-        # with projection deferred the sort sees raw scan columns, so
-        # alias references must be rewritten to their expressions.
-        order_by = tuple(
-            ast.OrderItem(_unalias(o.expr, query.select_items), o.descending)
-            for o in order_by
-        )
-    if order_by:
-        if query.limit is not None:
-            out = tally.add(top_k_batches(stream, names, order_by, query.limit))
-            rows = out.rows
-        else:
-            out = tally.add(sort_batches(stream, names, order_by))
-            rows = out.rows
-    else:
-        rows = materialize(limit_batches(stream, query.limit))
-    if deferred_projection:
-        projected = tally.add(project(rows, names, query.select_items))
-        rows, names = projected.rows, projected.column_names
-    return rows, names
-
-
-def _unalias(expr: ast.Expr, select_items) -> ast.Expr:
-    """Substitute output-alias references with their select expressions.
-
-    Recurses through the whole expression (``ORDER BY k + l_tax`` with
-    ``... AS k`` rewrites the ``k`` inside the sum), matching SQL's
-    rule that ORDER BY names resolve against the select list first.
-    """
-    aliases = {
-        item.alias.lower(): item.expr
-        for item in select_items
-        if item.alias
-    }
-
-    def substitute(column: ast.Column) -> ast.Expr:
-        if column.table is None:
-            replacement = aliases.get(column.name.lower())
-            if replacement is not None:
-                return replacement
-        return column
-
-    return ast.map_columns(expr, substitute)
-
-
-def _agg_items(query: ast.Query) -> list[ast.SelectItem]:
-    """Aggregate-bearing select items (group columns come from GROUP BY)."""
-    return [
-        item
-        for item in query.select_items
-        if not isinstance(item.expr, ast.Star) and ast.contains_aggregate(item.expr)
-    ]
-
-
 # ----------------------------------------------------------------------
-# two-table join plans
+# two-table join plans (the historical pairwise shape)
 # ----------------------------------------------------------------------
 
 @dataclass
@@ -408,100 +316,115 @@ def _join_needed_columns(
     return [n for n in table.schema.names if n.lower() in referenced]
 
 
-def _execute_join(
+def _build_pairwise_plan(
     ctx: CloudContext, catalog: Catalog, query: ast.Query, mode: str
-) -> QueryExecution:
-    """Two-table equi-join as a streaming pipeline.
+) -> PhysicalPlan:
+    """Two-table equi-join as the historical pairwise plan shape.
 
     The build side is a pipeline breaker (its rows must be hashed before
-    probing), so it materializes; the probe side streams batch-by-batch
-    through the join, the residual filter, and the local tail.
+    probing), so its scan materializes; the probe side streams
+    batch-by-batch through the join, the residual filter, and the local
+    tail.  Metering is byte-identical to the pre-IR pairwise path.
     """
     plan, _ = _build_join_plan(catalog, query)
-    tally = CpuTally()
-    mark = ctx.begin_query()
     build_cols = _join_needed_columns(query, plan.build, plan.build_key, plan.residual)
     probe_cols = _join_needed_columns(query, plan.probe, plan.probe_key, plan.residual)
-    phases = []
-    mark2 = mark
-
-    if mode == "baseline":
-        build_rows = materialize(iter_scan_batches(ctx, plan.build))
-        b = tally.add(filter_rows(build_rows, plan.build.schema.names, plan.build_pred))
-        probe_stream = filter_batches(
-            iter_scan_batches(ctx, plan.probe),
-            plan.probe.schema.names, plan.probe_pred, tally,
-        )
-        names, joined_stream = hash_join_batches(
-            b.rows, plan.build.schema.names,
-            probe_stream, plan.probe.schema.names,
-            plan.build_key, plan.probe_key, tally,
-        )
-        probe_source = None
-    else:
-        build_sql = projection_sql(
-            build_cols,
-            plan.build_pred.to_sql() if plan.build_pred is not None else None,
-        )
-        build_rows, _ = select_table(ctx, plan.build, build_sql)
-        phases.append(
-            phase_since(
-                ctx, mark, "build-scan", streams=plan.build.partitions,
-                ingest=(len(build_rows), len(build_cols)),
-            )
-        )
-        mark2 = ctx.metrics.mark()
-        key_idx = [c.lower() for c in build_cols].index(plan.build_key.lower())
-        keys = [r[key_idx] for r in build_rows if r[key_idx] is not None]
-        probe_clauses = []
-        if plan.probe_pred is not None:
-            probe_clauses.append(plan.probe_pred.to_sql())
-        use_bloom = (
-            plan.build.schema.column(plan.build_key).type == "int" and keys
-        )
-        if use_bloom:
-            base_sql = projection_sql(probe_cols, " AND ".join(probe_clauses) or None)
-            clause = bloom_where(keys, plan.probe_key, base_sql)
-            if clause is not None:
-                probe_clauses.append(clause)
-        probe_sql = projection_sql(probe_cols, " AND ".join(probe_clauses) or None)
-        probe_source = BatchCounter(iter_scan_batches(ctx, plan.probe, probe_sql))
-        names, joined_stream = hash_join_batches(
-            build_rows, build_cols, probe_source, probe_cols,
-            plan.build_key, plan.probe_key, tally,
-        )
-
+    optimized = mode != "baseline"
+    build_scan = ScanNode(
+        plan.build,
+        build_cols if optimized else list(plan.build.schema.names),
+        plan.build_pred, pushdown=optimized, phase_label="build-scan",
+    )
+    probe_scan = ScanNode(
+        plan.probe,
+        probe_cols if optimized else list(plan.probe.schema.names),
+        plan.probe_pred, pushdown=optimized, phase_label="probe-scan",
+    )
+    bloom = optimized and plan.build.schema.column(plan.build_key).type == "int"
+    if bloom:
+        probe_scan.bloom_attr = plan.probe_key
+    join = HashJoinNode(
+        build_scan, probe_scan, plan.build_key, plan.probe_key,
+        bloom=bloom, stream_probe=True,
+    )
+    _annotate_pairwise(catalog, plan, build_scan, probe_scan, join)
+    node: physical.PlanNode = join
     if plan.residual is not None:
-        joined_stream = filter_batches(joined_stream, names, plan.residual, tally)
-    rows, names = _local_tail_batches(query, joined_stream, names, tally)
+        node = FilterNode(node, plan.residual)
+    names = (
+        build_scan.columns + probe_scan.columns
+        if optimized
+        else list(plan.build.schema.names) + list(plan.probe.schema.names)
+    )
+    root = attach_local_tail(node, query, names)
+    return PhysicalPlan(
+        root=root, mode=mode, strategy=f"{mode} join",
+        scan_tables=[plan.build, plan.probe],
+        combined_label=None if optimized else "load+join",
+    )
 
-    if mode == "baseline":
-        n_records = plan.build.num_rows + plan.probe.num_rows
-        n_fields = (
-            plan.build.num_rows * len(plan.build.schema)
-            + plan.probe.num_rows * len(plan.probe.schema)
-        )
-        phases = [
-            phase_since(
-                ctx, mark, "load+join",
-                streams=plan.build.partitions + plan.probe.partitions,
-                server_cpu_seconds=tally.seconds,
-                ingest=(n_records, n_fields / max(n_records, 1)),
-            )
-        ]
-    else:
-        phases.append(
-            phase_since(
-                ctx, mark2, "probe-scan", streams=plan.probe.partitions,
-                ingest=(probe_source.rows, len(probe_cols)),
-            )
-        )
-        phases[-1].server_cpu_seconds += tally.seconds
-    return ctx.finalize(mark, rows, names, phases, strategy=f"{mode} join")
+
+def _annotate_pairwise(
+    catalog: Catalog,
+    plan: _JoinPlan,
+    build_scan: ScanNode,
+    probe_scan: ScanNode,
+    join: HashJoinNode,
+) -> None:
+    """Containment estimates for the pairwise plan's EXPLAIN annotations."""
+    b_stats = plan.build.stats_or_default()
+    p_stats = plan.probe.stats_or_default()
+    build_rows = estimate_selectivity(plan.build_pred, b_stats) * plan.build.num_rows
+    probe_rows = estimate_selectivity(plan.probe_pred, p_stats) * plan.probe.num_rows
+    build_scan.est_rows = build_rows
+    build_scan.est_terms = float(
+        plan.build.num_rows * len(ast.split_conjuncts(plan.build_pred))
+    )
+    probe_scan.est_rows = probe_rows
+    probe_scan.est_terms = float(
+        plan.probe.num_rows * len(ast.split_conjuncts(plan.probe_pred))
+    )
+    build_key_stats = b_stats.column(plan.build_key)
+    probe_key_stats = p_stats.column(plan.probe_key)
+    build_distinct = (
+        max(build_key_stats.distinct, 1) if build_key_stats
+        else max(plan.build.num_rows, 1)
+    )
+    probe_distinct = (
+        max(probe_key_stats.distinct, 1) if probe_key_stats
+        else max(plan.probe.num_rows, 1)
+    )
+    distinct_keys = min(build_rows, build_distinct)
+    matched = probe_rows * min(1.0, distinct_keys / probe_distinct)
+    join.est_rows = matched
+    join.est_build_rows = min(build_rows, probe_rows)
+    join.est_probe_rows = max(build_rows, probe_rows)
+    from repro.cloud.perf import SERVER_CPU_PER_ROW
+
+    join.est_cpu_plain = (
+        join.est_build_rows * SERVER_CPU_PER_ROW["hash_build"]
+        + join.est_probe_rows * SERVER_CPU_PER_ROW["hash_probe"]
+    )
+    join.est_cpu = join.est_cpu_plain
+    if join.bloom:
+        # Mirror what the executor meters: the Bloom predicate reduces
+        # the probe scan's returned rows to the expected pass-rows and
+        # adds its hash evaluations to the scanned-row terms.
+        from repro.bloom.filter import optimal_num_bits, optimal_num_hashes
+        from repro.s3select.validator import EXPRESSION_LIMIT_BYTES
+        from repro.strategies.join import DEFAULT_FPR
+
+        join.est_cpu += build_rows * SERVER_CPU_PER_ROW["bloom_insert"]
+        hashes = optimal_num_hashes(DEFAULT_FPR)
+        bits = optimal_num_bits(int(max(distinct_keys, 1)), DEFAULT_FPR)
+        if hashes * (bits + 60) <= EXPRESSION_LIMIT_BYTES:
+            pass_rows = matched + (probe_rows - matched) * DEFAULT_FPR
+            probe_scan.est_rows = min(probe_rows, pass_rows)
+            probe_scan.est_terms += float(plan.probe.num_rows * hashes)
 
 
 # ----------------------------------------------------------------------
-# N-way (>2 table) join plans
+# N-way (>2 table) and cross-product join plans
 # ----------------------------------------------------------------------
 
 def execute_with_join_order(
@@ -513,43 +436,61 @@ def execute_with_join_order(
 ) -> QueryExecution:
     """Run a multi-table query with a caller-forced left-deep join order.
 
-    The fig12 experiment uses this to sweep every connected order and
-    compare the optimizer's pick against the measured best.
+    The fig12/fig13 experiments use this to sweep every connected order
+    and compare the optimizer's pick against the measured best.
     """
     query = parse(sql)
     if len(query.from_tables) < 3:
         raise PlanError("execute_with_join_order needs a 3+-table query")
-    return _execute_multijoin(
+    plan = build_plan(
         ctx, catalog, query, mode, force_order=[t.lower() for t in order]
     )
+    return execute_plan(ctx, plan)
 
 
-def _execute_multijoin(
+def execute_with_join_tree(
+    ctx: CloudContext,
+    catalog: Catalog,
+    sql: str,
+    shape,
+    mode: str = "optimized",
+) -> QueryExecution:
+    """Run a multi-table query with a caller-forced join-tree shape.
+
+    ``shape`` is :func:`repro.planner.physical.serialize_shape` output —
+    a table name or ``[kind, build, probe]`` nesting — so experiments can
+    force genuinely bushy plans the left-deep order API cannot express.
+    """
+    query = parse(sql)
+    if len(query.from_tables) < 2:
+        raise PlanError("execute_with_join_tree needs a multi-table query")
+    plan = build_plan(ctx, catalog, query, mode, shape=shape)
+    return execute_plan(ctx, plan)
+
+
+def _build_multiway_plan(
     ctx: CloudContext,
     catalog: Catalog,
     query: ast.Query,
     mode: str,
+    shape=None,
     force_order: list[str] | None = None,
-) -> QueryExecution:
-    """N-way equi-join as a chain of hash joins over the picked order.
+) -> PhysicalPlan:
+    """N-way equi-join (or guarded cross product) as a physical plan.
 
-    The join-order search (``optimizer/joinorder.py``) decides the
-    left-deep sequence; every table but the outermost probe materializes
-    (each is a hash-build pipeline breaker), while the final probe side
-    streams batch-by-batch through the last join, the residual filter
-    and the local tail.  In optimized mode each table's predicate and
-    projection are pushed into its S3 Select scan, and the outermost
-    probe scan carries a Bloom predicate when the build key is an
-    integer column.
+    The join-tree search (``optimizer/joinorder.py``) decides the shape
+    — left-deep or bushy — unless the caller forces one.  Hash-build
+    sides materialize; the spine join streams its probe through the
+    residual filter and the local tail.  In optimized mode each table's
+    predicate and projection are pushed into its S3 Select scan, and
+    *every* probe-side scan whose build key is an integer carries a
+    Bloom predicate — inner probes included, which is what bushy
+    snowflake plans profit from.
     """
-    from repro.optimizer.joinorder import (
-        build_join_graph,
-        needed_columns,
-        plan_join_order,
-    )
-    from repro.optimizer.selectivity import estimate_selectivity
+    from repro.optimizer.joinorder import JoinOrderSearch, build_join_graph
 
     graph = build_join_graph(catalog, query)
+    search = JoinOrderSearch(ctx, catalog, graph, query)
     if force_order is not None:
         order = list(force_order)
         if sorted(order) != sorted(graph.table_names()):
@@ -562,153 +503,91 @@ def _execute_multijoin(
                 raise PlanError(
                     f"join order {order} is not connected at {order[i]!r}"
                 )
+        tree = search.left_deep_tree(order)
+    elif shape is not None:
+        tree = search.build_tree(shape)
     else:
-        order = plan_join_order(ctx, catalog, query, graph=graph).order
+        tree = search.search().tree
 
-    columns = needed_columns(graph, query)
-    tally = CpuTally()
-    mark = ctx.begin_query()
-    phases = []
-    #: Equality edges beyond the hash edge at each step, applied as
-    #: residual filters over the joined stream.
-    deferred: list[ast.Expr] = []
+    optimized = mode != "baseline"
+    if not optimized:
+        tree = _as_baseline_tree(tree)
+    _mark_spine(tree)
 
-    def scan_names(name: str) -> list[str]:
-        return (
-            list(graph.tables[name].schema.names)
-            if mode == "baseline"
-            else columns[name]
-        )
-
-    def load_filtered(name: str) -> list[tuple]:
-        """Materialize one table's filtered, projected rows (metered)."""
-        table = graph.tables[name]
-        pred = graph.predicates[name]
-        scan_mark = ctx.metrics.mark()
-        if mode == "baseline":
-            rows = materialize(iter_scan_batches(ctx, table))
-            rows = tally.add(filter_rows(rows, table.schema.names, pred)).rows
-            return rows
-        sql = projection_sql(
-            columns[name], pred.to_sql() if pred is not None else None
-        )
-        rows, _ = select_table(ctx, table, sql)
-        phases.append(phase_since(
-            ctx, scan_mark, f"scan-{name}", streams=table.partitions,
-            ingest=(len(rows), len(columns[name])),
-        ))
-        return rows
-
-    # Materialize every table but the outermost probe, joining as we go.
-    cur_rows = load_filtered(order[0])
-    cur_names = scan_names(order[0])
-    joined: set[str] = {order[0]}
-    for name in order[1:-1]:
-        rows = load_filtered(name)
-        names = scan_names(name)
-        edges = graph.edges_between(name, joined)
-        hash_edge, extra = edges[0], edges[1:]
-        deferred.extend(e.to_expr() for e in extra)
-        inter_key = hash_edge.key_for(hash_edge.other(name))
-        table_key = hash_edge.key_for(name)
-        if len(cur_rows) <= len(rows):
-            out = tally.add(hash_join(
-                cur_rows, cur_names, rows, names, inter_key, table_key
-            ))
-        else:
-            out = tally.add(hash_join(
-                rows, names, cur_rows, cur_names, table_key, inter_key
-            ))
-        cur_rows, cur_names = out.rows, out.column_names
-        joined.add(name)
-
-    # Outermost step: pick the build side per edge, stream the probe.
-    last = order[-1]
-    last_table = graph.tables[last]
-    last_pred = graph.predicates[last]
-    last_names = scan_names(last)
-    edges = graph.edges_between(last, joined)
-    hash_edge, extra = edges[0], edges[1:]
-    deferred.extend(e.to_expr() for e in extra)
-    inter_key = hash_edge.key_for(hash_edge.other(last))
-    last_key = hash_edge.key_for(last)
-    est_last_rows = (
-        estimate_selectivity(last_pred, last_table.stats_or_default())
-        * last_table.num_rows
-    )
-    probe_mark = ctx.metrics.mark()
-
-    if est_last_rows < len(cur_rows):
-        # The final table is the smaller side: build from it and stream
-        # the intermediate through the join instead.
-        build_rows = load_filtered(last)
-        probe_source = None
-        names, joined_stream = hash_join_batches(
-            build_rows, last_names,
-            iter(batches_of(cur_rows, getattr(ctx, "batch_size", None)
-                            or DEFAULT_BATCH_SIZE)),
-            cur_names, last_key, inter_key, tally,
-        )
-    elif mode == "baseline":
-        probe_stream = filter_batches(
-            iter_scan_batches(ctx, last_table),
-            last_table.schema.names, last_pred, tally,
-        )
-        probe_source = BatchCounter(probe_stream)
-        names, joined_stream = hash_join_batches(
-            cur_rows, cur_names, probe_source, last_names,
-            inter_key, last_key, tally,
-        )
-    else:
-        probe_clauses = []
-        if last_pred is not None:
-            probe_clauses.append(last_pred.to_sql())
-        build_endpoint = hash_edge.other(last)
-        key_type = graph.tables[build_endpoint].schema.column(
-            hash_edge.key_for(build_endpoint)
-        ).type
-        if key_type == "int":
-            key_idx = [c.lower() for c in cur_names].index(inter_key.lower())
-            keys = [r[key_idx] for r in cur_rows if r[key_idx] is not None]
-            if keys:
-                base_sql = projection_sql(
-                    last_names, " AND ".join(probe_clauses) or None
-                )
-                clause = bloom_where(keys, last_key, base_sql)
-                if clause is not None:
-                    probe_clauses.append(clause)
-        probe_sql = projection_sql(
-            last_names, " AND ".join(probe_clauses) or None
-        )
-        probe_source = BatchCounter(iter_scan_batches(ctx, last_table, probe_sql))
-        names, joined_stream = hash_join_batches(
-            cur_rows, cur_names, probe_source, last_names,
-            inter_key, last_key, tally,
-        )
-
+    deferred = [
+        edge.to_expr() for edge in _collect_extra_edges(tree)
+    ]
     residual = _and_join(deferred + _split_conjuncts(graph.residual))
+    node: physical.PlanNode = tree
     if residual is not None:
-        joined_stream = filter_batches(joined_stream, names, residual, tally)
-    rows, names = _local_tail_batches(query, joined_stream, names, tally)
+        node = FilterNode(node, residual)
+    names = [
+        column
+        for leaf in _leaf_scans(tree)
+        for column in leaf.columns
+    ]
+    root = attach_local_tail(node, query, names)
+    label = physical.join_tree_label(tree)
+    return PhysicalPlan(
+        root=root, mode=mode,
+        strategy=f"{mode} multi-join ({label})",
+        scan_tables=[leaf.table for leaf in _leaf_scans(tree)],
+        combined_label=None if optimized else "load+join",
+    )
 
-    if mode == "baseline":
-        n_records = sum(t.num_rows for t in graph.tables.values())
-        n_fields = sum(
-            t.num_rows * len(t.schema) for t in graph.tables.values()
+
+def _leaf_scans(tree: physical.PlanNode) -> list[ScanNode]:
+    if isinstance(tree, ScanNode):
+        return [tree]
+    return [leaf for child in tree.children() for leaf in _leaf_scans(child)]
+
+
+def _collect_extra_edges(tree: physical.PlanNode) -> list:
+    if isinstance(tree, ScanNode):
+        return []
+    extra = list(getattr(tree, "extra_edges", ()))
+    for child in tree.children():
+        extra.extend(_collect_extra_edges(child))
+    return extra
+
+
+def _as_baseline_tree(tree: physical.PlanNode) -> physical.PlanNode:
+    """Rebuild a search tree for baseline mode: GET scans, no Blooms."""
+    if isinstance(tree, ScanNode):
+        twin = ScanNode(
+            tree.table, list(tree.table.schema.names), tree.predicate,
+            pushdown=False, phase_label=tree.phase_label,
         )
-        phases = [phase_since(
-            ctx, mark, "load+join",
-            streams=sum(t.partitions for t in graph.tables.values()),
-            server_cpu_seconds=tally.seconds,
-            ingest=(n_records, n_fields / max(n_records, 1)),
-        )]
+        # Baseline scans carry no Bloom, so annotate with the pre-Bloom
+        # filtered estimate — the optimized tree's est_rows may have
+        # been reduced to the Bloom pass-rows.
+        twin.est_rows = (
+            tree.est_filtered_rows
+            if tree.est_filtered_rows is not None
+            else tree.est_rows
+        )
+        return twin
+    build = _as_baseline_tree(tree.build)
+    probe = _as_baseline_tree(tree.probe)
+    if isinstance(tree, HashJoinNode):
+        twin = HashJoinNode(
+            build, probe, tree.build_key, tree.probe_key, bloom=False
+        )
     else:
-        if probe_source is not None:
-            phases.append(phase_since(
-                ctx, probe_mark, f"probe-scan-{last}",
-                streams=last_table.partitions,
-                ingest=(probe_source.rows, len(last_names)),
-            ))
-        phases[-1].server_cpu_seconds += tally.seconds
-    strategy = f"{mode} multi-join ({' >< '.join(order)})"
-    return ctx.finalize(mark, rows, names, phases, strategy=strategy)
+        twin = physical.CrossProductNode(build, probe)
+    twin.est_rows = tree.est_rows
+    twin.est_build_rows = tree.est_build_rows
+    twin.est_probe_rows = tree.est_probe_rows
+    twin.est_cpu = tree.est_cpu_plain
+    twin.est_cpu_plain = tree.est_cpu_plain
+    twin.extra_edges = list(tree.extra_edges)
+    return twin
+
+
+def _mark_spine(tree: physical.PlanNode) -> None:
+    """Stream the root join's probe side; relabel its probe scan."""
+    if isinstance(tree, (HashJoinNode, physical.CrossProductNode)):
+        tree.stream_probe = True
+        probe = tree.probe
+        if isinstance(probe, ScanNode):
+            probe.phase_label = f"probe-scan-{probe.table.name}"

@@ -116,3 +116,71 @@ def _zip_columns(int_cols, float_cols, num_rows: int) -> list[tuple]:
             + tuple(float(c[r]) for c in float_cols)
         )
     return rows
+
+
+# ----------------------------------------------------------------------
+# snowflake join workload (fig13)
+# ----------------------------------------------------------------------
+
+#: Schemas of the fig13 snowflake: a fact table referencing two
+#: dimensions, each dimension referencing a filtered sub-dimension.
+SNOWFLAKE_SCHEMAS = {
+    "fact": TableSchema.of("f_d1:int", "f_d2:int", "f_v:float",
+                           *[f"f_p{i}:float" for i in range(4)]),
+    "dim1": TableSchema.of("d1_id:int", "d1_s1:int", "d1_pad:str"),
+    "sub1": TableSchema.of("s1_id:int", "s1_attr:int", "s1_pad:str"),
+    "dim2": TableSchema.of("d2_id:int", "d2_s2:int", "d2_pad:str"),
+    "sub2": TableSchema.of("s2_id:int", "s2_attr:int", "s2_pad:str"),
+}
+
+
+def snowflake_tables(
+    fact_rows: int = 9000, seed: int | None = None
+) -> dict[str, list[tuple]]:
+    """Rows for the fig13 snowflake join (fact + 2 dims + 2 sub-dims).
+
+    Both branches hang selective filters on their *sub*-dimension
+    (``s1_attr`` / ``s2_attr`` are uniform in ``0..99``, so ``< t``
+    keeps ``t`` percent), which is the shape where bushy plans beat
+    every left-deep order: each dimension scan can be Bloom-reduced by
+    its own filtered sub-dimension, while a left-deep chain can only
+    bloom the second branch's dimension from the (unselective) fact-side
+    intermediate.  The dimensions carry string padding so an unreduced
+    dimension scan visibly costs bytes.
+    """
+    rng = np_rng(derive_seed(seed or 0, "snowflake", fact_rows))
+    n_d1 = max(fact_rows // 10, 8)
+    n_d2 = max(fact_rows // 6, 8)
+    n_s1 = max(fact_rows // 40, 4)
+    n_s2 = max(fact_rows // 30, 4)
+    d1_refs = rng.integers(0, n_d1, fact_rows)
+    d2_refs = rng.integers(0, n_d2, fact_rows)
+    values = rng.uniform(0.0, 1000.0, fact_rows).round(4)
+    payload = rng.uniform(0.0, 1e6, (fact_rows, 4)).round(4)
+    fact = [
+        (
+            int(d1_refs[r]), int(d2_refs[r]), float(values[r]),
+            *(float(v) for v in payload[r]),
+        )
+        for r in range(fact_rows)
+    ]
+
+    def dim(n, sub_n, prefix):
+        return [
+            (i, int(rng.integers(0, sub_n)), f"{prefix}-pad-{i:06d}")
+            for i in range(n)
+        ]
+
+    def sub(n, prefix):
+        return [
+            (i, int(rng.integers(0, 100)), f"{prefix}-pad-{i:06d}")
+            for i in range(n)
+        ]
+
+    return {
+        "fact": fact,
+        "dim1": dim(n_d1, n_s1, "d1"),
+        "sub1": sub(n_s1, "s1"),
+        "dim2": dim(n_d2, n_s2, "d2"),
+        "sub2": sub(n_s2, "s2"),
+    }

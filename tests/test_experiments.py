@@ -19,6 +19,7 @@ from repro.experiments import (
     fig10_tpch,
     fig11_parquet,
     fig12_multijoin,
+    fig13_snowflake,
 )
 
 
@@ -208,6 +209,35 @@ class TestFig12Multijoin:
                 r["cost_total"] for r in point if r["strategy"] != "auto"
             )
             assert auto["cost_total"] <= worst * (1 + 1e-9)
+
+
+class TestFig13Snowflake:
+    @pytest.fixture(scope="class")
+    def fig13(self):
+        return fig13_snowflake.run(fact_rows=4000, thresholds=(10, 25))
+
+    def test_every_left_deep_order_runs(self, fig13):
+        orders = {
+            r["strategy"] for r in fig13.rows
+            if r["strategy"] not in ("auto", "dp-pick")
+        }
+        assert len(orders) == 16  # 5-node path graph: 2^4 interval orders
+
+    def test_pick_is_bushy_and_beats_left_deep(self, fig13):
+        """The acceptance claim: at >= 1 swept point the DP picks a
+        genuinely bushy tree whose measured cost is no worse than the
+        best left-deep order's."""
+        assert fig13.notes["bushy_wins"] >= 1
+
+    def test_dp_pick_never_loses_to_worst_order(self, fig13):
+        for value in {r["threshold"] for r in fig13.rows}:
+            point = [r for r in fig13.rows if r["threshold"] == value]
+            pick = next(r for r in point if r["strategy"] == "dp-pick")
+            worst = max(
+                r["cost_total"] for r in point
+                if r["strategy"] not in ("auto", "dp-pick")
+            )
+            assert pick["cost_total"] <= worst * (1 + 1e-9)
 
 
 class TestHarnessUtilities:

@@ -82,11 +82,30 @@ class TestJoinGraph:
         with pytest.raises(PlanError, match="has no column"):
             build_join_graph(catalog, query)
 
-    def test_disconnected_rejected(self, env):
+    def test_disconnected_graph_reports_components(self, env):
         _, catalog = env
         query = parse("SELECT COUNT(*) AS n FROM a, b, c WHERE a_id = b_a")
+        graph = build_join_graph(catalog, query)
+        assert graph.connected_components() == [["a", "b"], ["c"]]
+        assert not graph.is_connected()
+
+    def test_small_disconnected_plans_as_cross_product(self, env):
+        from repro.planner.physical import CrossProductNode
+
+        ctx, catalog = env
+        query = parse("SELECT COUNT(*) AS n FROM a, b, c WHERE a_id = b_a")
+        decision = plan_join_order(ctx, catalog, query)
+        assert isinstance(decision.tree, CrossProductNode)
+        assert decision.method.endswith("+cross")
+
+    def test_large_cross_product_rejected(self, env, monkeypatch):
+        from repro.optimizer import joinorder
+
+        ctx, catalog = env
+        monkeypatch.setattr(joinorder, "CROSS_PRODUCT_LIMIT", 10.0)
+        query = parse("SELECT COUNT(*) AS n FROM a, b, c WHERE a_id = b_a")
         with pytest.raises(PlanError, match="connect"):
-            build_join_graph(catalog, query)
+            plan_join_order(ctx, catalog, query)
 
     def test_needed_columns_include_join_keys(self, env):
         _, catalog = env
@@ -192,3 +211,73 @@ class TestSearch:
         assert with_bloom.bytes_returned < search.price_baseline(
             ["a", "b", "c"]
         ).bytes_transferred
+
+
+class TestBushySearch:
+    """The DP enumerates subset *pairs*, so bushy trees are reachable."""
+
+    @pytest.fixture(scope="class")
+    def snowflake(self):
+        from repro.workloads.synthetic import (
+            SNOWFLAKE_SCHEMAS,
+            snowflake_tables,
+        )
+
+        from repro.experiments.harness import calibrate_tables
+
+        ctx = CloudContext()
+        catalog = Catalog()
+        # Default partitioning, as in the fig13 harness: with very few
+        # partitions the serial per-stream scan time dominates and the
+        # returned-bytes advantage of bushy plans stops mattering.
+        for name, rows in snowflake_tables(fact_rows=9000, seed=7).items():
+            load_table(ctx, catalog, name, rows, SNOWFLAKE_SCHEMAS[name])
+        # Paper-scale calibration: byte costs dominate the fixed
+        # per-request terms, as in the fig13 harness.
+        calibrate_tables(
+            ctx, catalog, ["fact", "dim1", "sub1", "dim2", "sub2"], 10e9
+        )
+        sql = (
+            "SELECT SUM(f_v) AS total FROM fact, dim1, sub1, dim2, sub2"
+            " WHERE f_d1 = d1_id AND d1_s1 = s1_id AND f_d2 = d2_id"
+            " AND d2_s2 = s2_id AND s1_attr < 10 AND s2_attr < 10"
+        )
+        return ctx, catalog, parse(sql)
+
+    def test_dp_picks_a_bushy_tree_on_snowflakes(self, snowflake):
+        from repro.planner import physical
+
+        ctx, catalog, query = snowflake
+        decision = plan_join_order(ctx, catalog, query)
+        assert not physical.is_left_deep(decision.tree)
+        assert "><" in physical.join_tree_label(decision.tree)
+
+    def test_bushy_estimate_beats_every_left_deep_order(self, snowflake):
+        ctx, catalog, query = snowflake
+        graph = build_join_graph(catalog, query)
+        decision = plan_join_order(ctx, catalog, query, graph=graph)
+        search = JoinOrderSearch(ctx, catalog, graph, query)
+        best_left_deep = min(
+            search.price_order(order).total_cost
+            for order in enumerate_left_deep_orders(graph)
+        )
+        assert decision.estimate.total_cost < best_left_deep
+
+    def test_inner_probe_scans_carry_bloom_estimates(self, snowflake):
+        """price/execution symmetry: probe-side leaf scans below the
+        root join are Bloom-annotated when the build key is an int."""
+        from repro.planner.physical import HashJoinNode, ScanNode
+
+        ctx, catalog, query = snowflake
+        decision = plan_join_order(ctx, catalog, query)
+        bloomed = []
+
+        def walk(node):
+            if isinstance(node, HashJoinNode):
+                if isinstance(node.probe, ScanNode) and node.bloom:
+                    bloomed.append(node.probe.table.name)
+                walk(node.build)
+                walk(node.probe)
+
+        walk(decision.tree)
+        assert len(bloomed) >= 2  # both dims (and the fact) get one

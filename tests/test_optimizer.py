@@ -176,6 +176,76 @@ class TestOtherFamilies:
         assert "bloom join" not in names  # string keys cannot Bloom
 
 
+class TestExtensionCoverage:
+    """ROADMAP "optimizer coverage": extension strategies + hybrid split."""
+
+    def test_multirange_is_opt_in(self, fig1_env):
+        ctx, catalog = fig1_env
+        model = CostModel(ctx, catalog)
+        default = {e.strategy for e in model.estimate_filter(_filter_query(50))}
+        assert "multirange indexed filter" not in default
+        extended = {
+            e.strategy
+            for e in model.estimate_filter(
+                _filter_query(50), include_extensions=True
+            )
+        }
+        assert "multirange indexed filter" in extended
+
+    def test_multirange_estimate_tracks_measured(self, fig1_env):
+        ctx, catalog = fig1_env
+        model = CostModel(ctx, catalog)
+        estimate = next(
+            e for e in model.estimate_filter(
+                _filter_query(50), include_extensions=True
+            )
+            if e.strategy == "multirange indexed filter"
+        )
+        execution = STRATEGY_RUNNERS["multirange indexed filter"](
+            ctx, catalog, _filter_query(50)
+        )
+        assert estimate.runtime_seconds == pytest.approx(
+            execution.runtime_seconds, rel=0.1
+        )
+        assert estimate.total_cost == pytest.approx(
+            execution.total_cost, rel=0.1
+        )
+
+    def test_chooser_picks_multirange_when_offered(self, fig1_env):
+        """Multi-range GETs collapse the indexing strategy's request
+        flood, so once offered the extension wins the selective end."""
+        ctx, catalog = fig1_env
+        choice = choose_filter_strategy(
+            ctx, catalog, _filter_query(5), include_extensions=True
+        )
+        assert choice.picked == "multirange indexed filter"
+        execution = run_auto(
+            ctx, catalog, _filter_query(5), include_extensions=True
+        )
+        assert len(execution.rows) == 5
+
+    def test_hybrid_split_point_is_swept(self, fig1_env):
+        from repro.optimizer.cost import HYBRID_SPLIT_CANDIDATES
+
+        ctx, catalog = fig1_env
+        query = GroupByQuery(
+            table="filter_data", group_columns=["tag"],
+            aggregates=[AggSpec("sum", "p0")],
+        )
+        hybrids = [
+            e for e in CostModel(ctx, catalog).estimate_group_by(query)
+            if e.strategy == "hybrid group-by"
+        ]
+        assert len(hybrids) == 1  # one candidate, best split folded in
+        best = hybrids[0]
+        assert best.notes["s3_groups"] in (
+            *HYBRID_SPLIT_CANDIDATES, 8,
+        )
+        swept = best.notes["split_candidates"]
+        assert len(swept) >= 3
+        assert min(swept.values()) == pytest.approx(best.total_cost, rel=1e-6)
+
+
 class TestPlannerAuto:
     @pytest.fixture(scope="class")
     def db(self, tpch_rows):

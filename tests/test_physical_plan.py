@@ -1,0 +1,246 @@
+"""Physical-plan IR tests: golden EXPLAIN snapshots + bushy differentials.
+
+The golden strings pin the rendered operator trees (shape, pushdown
+annotations, Bloom placement, per-node est_rows/est_cost) for every plan
+family: single-table, pairwise, left-deep, bushy, cross-product.  A
+shape or annotation regression shows up as a readable diff.  The
+differential tests assert that bushy trees, forced left-deep orders and
+the auto planner all produce identical row sets on snowflake-shaped
+queries, and that executions record per-node estimate-vs-actual
+cardinalities.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.planner import physical
+from repro.planner.database import PushdownDB
+from repro.planner.planner import (
+    build_plan,
+    execute_with_join_order,
+    execute_with_join_tree,
+)
+from repro.sqlparser.parser import parse
+from repro.storage.schema import TableSchema
+from repro.workloads.synthetic import SNOWFLAKE_SCHEMAS, snowflake_tables
+
+SNOWFLAKE_SQL = (
+    "SELECT SUM(f_v) AS total FROM fact, dim1, sub1, dim2, sub2"
+    " WHERE f_d1 = d1_id AND d1_s1 = s1_id AND f_d2 = d2_id"
+    " AND d2_s2 = s2_id AND s1_attr < 10 AND s2_attr < 10"
+)
+
+BUSHY_SHAPE = [
+    "hash",
+    ["hash", "sub1", "dim1"],
+    ["hash", ["hash", "sub2", "dim2"], "fact"],
+]
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = PushdownDB()
+    tables = snowflake_tables(fact_rows=800, seed=3)
+    for name, rows in tables.items():
+        database.load_table(name, rows, SNOWFLAKE_SCHEMAS[name], partitions=2)
+    database.load_table(
+        "tiny", [(i, i % 5, float(i)) for i in range(20)],
+        TableSchema.of("y_id:int", "y_g:int", "y_v:float"), partitions=2,
+    )
+    return database
+
+
+def rendered(db, sql, mode="optimized", shape=None) -> str:
+    plan = build_plan(db.ctx, db.catalog, parse(sql), mode, shape=shape)
+    return plan.describe()
+
+
+class TestGoldenPlans:
+    """Exact rendered-tree snapshots, one per plan family."""
+
+    def test_single_table(self, db):
+        assert rendered(
+            db,
+            "SELECT s1_id, s1_attr FROM sub1 WHERE s1_attr < 10"
+            " ORDER BY s1_attr",
+        ) == textwrap.dedent("""\
+            sort [s1_attr ASC]
+            `- project [s1_id, s1_attr]
+               `- scan sub1 [select] cols=2 pred=((s1_attr < 10))  (est_rows=2.2, est_cost=$1.26261e-05)""")
+
+    def test_pairwise_join(self, db):
+        assert rendered(
+            db,
+            "SELECT COUNT(*) AS n FROM sub1, dim1"
+            " WHERE s1_id = d1_s1 AND s1_attr < 10",
+        ) == textwrap.dedent("""\
+            group-by [-] aggs=1
+            `- hash-join [s1_id = d1_s1] streamed  (est_rows=9.1, est_cost=$2.52922e-05)
+               +- build: scan sub1 [select] cols=1 pred=((s1_attr < 10))  (est_rows=2.2, est_cost=$1.26261e-05)
+               `- probe: scan dim1 [select+bloom(d1_s1)] cols=1  (est_rows=9.8, est_cost=$1.26661e-05)""")
+
+    def test_left_deep_chain(self, db):
+        """A forced left-deep order renders as a probe-side spine with a
+        Bloom on the inner probe scan — the pre-IR executor could not
+        bloom that scan at all."""
+        plan = build_plan(
+            db.ctx, db.catalog,
+            parse(
+                "SELECT SUM(f_v) AS total FROM fact, dim1, sub1"
+                " WHERE f_d1 = d1_id AND d1_s1 = s1_id AND s1_attr < 10"
+            ),
+            "optimized", force_order=["sub1", "dim1", "fact"],
+        )
+        assert plan.describe() == textwrap.dedent("""\
+            group-by [-] aggs=1
+            `- hash-join [d1_id = f_d1] streamed  (est_rows=91.3, est_cost=$3.85896e-05)
+               +- build: hash-join [s1_id = d1_s1]  (est_rows=9.1, est_cost=$2.52922e-05)
+               |  +- build: scan sub1 [select] cols=1 pred=((s1_attr < 10))  (est_rows=2.2, est_cost=$1.26261e-05)
+               |  `- probe: scan dim1 [select+bloom(d1_s1)] cols=2  (est_rows=9.8, est_cost=$1.26661e-05)
+               `- probe: scan fact [select+bloom(f_d1)] cols=2  (est_rows=98.4, est_cost=$1.32974e-05)""")
+
+    def test_bushy_tree(self, db):
+        assert rendered(
+            db, SNOWFLAKE_SQL, shape=BUSHY_SHAPE,
+        ) == textwrap.dedent("""\
+            group-by [-] aggs=1
+            `- hash-join [d1_id = f_d1] streamed  (est_rows=0.0, est_cost=$6.39118e-05)
+               +- build: hash-join [s1_id = d1_s1]  (est_rows=9.1, est_cost=$2.52922e-05)
+               |  +- build: scan sub1 [select] cols=1 pred=((s1_attr < 10))  (est_rows=2.2, est_cost=$1.26261e-05)
+               |  `- probe: scan dim1 [select+bloom(d1_s1)] cols=2  (est_rows=9.8, est_cost=$1.26661e-05)
+               `- probe: hash-join [d2_id = f_d2]  (est_rows=0.0, est_cost=$3.86196e-05)
+                  +- build: hash-join [s2_id = d2_s2]  (est_rows=0.0, est_cost=$2.53229e-05)
+                  |  +- build: scan sub2 [select] cols=1 pred=((s2_attr < 10))  (est_rows=0.0, est_cost=$1.26273e-05)
+                  |  `- probe: scan dim2 [select+bloom(d2_s2)] cols=2  (est_rows=6.4, est_cost=$1.26956e-05)
+                  `- probe: scan fact [select+bloom(f_d2)] cols=3  (est_rows=14.0, est_cost=$1.32968e-05)""")
+
+    def test_cross_product(self, db):
+        assert rendered(
+            db, "SELECT COUNT(*) AS n FROM sub1, tiny WHERE s1_attr < 5",
+        ) == textwrap.dedent("""\
+            group-by [-] aggs=1
+            `- cross-product streamed  (est_rows=19.3, est_cost=$2.52539e-05)
+               +- build: scan sub1 [select] cols=1 pred=((s1_attr < 5))  (est_rows=1.0, est_cost=$1.26261e-05)
+               `- probe: scan tiny [select] cols=1  (est_rows=20.0, est_cost=$1.26274e-05)""")
+
+    def test_baseline_plan_uses_get_scans(self, db):
+        text = rendered(
+            db,
+            "SELECT COUNT(*) AS n FROM sub1, dim1"
+            " WHERE s1_id = d1_s1 AND s1_attr < 10",
+            mode="baseline",
+        )
+        assert "[get]" in text
+        assert "bloom" not in text
+
+
+class TestShapeRoundTrip:
+    def test_serialize_rebuild_is_stable(self, db):
+        query = parse(SNOWFLAKE_SQL)
+        plan = build_plan(db.ctx, db.catalog, query, "optimized",
+                          shape=BUSHY_SHAPE)
+        join_root = plan.root
+        while not isinstance(join_root, physical.HashJoinNode):
+            join_root = join_root.children()[0]
+        assert physical.serialize_shape(join_root) == BUSHY_SHAPE
+        assert not physical.is_left_deep(join_root)
+        assert physical.join_tree_label(join_root) == (
+            "((sub1 >< dim1) >< ((sub2 >< dim2) >< fact))"
+        )
+
+    def test_left_deep_label_and_order(self, db):
+        plan = build_plan(
+            db.ctx, db.catalog,
+            parse(
+                "SELECT SUM(f_v) AS total FROM fact, dim1, sub1"
+                " WHERE f_d1 = d1_id AND d1_s1 = s1_id AND s1_attr < 10"
+            ),
+            "optimized", force_order=["sub1", "dim1", "fact"],
+        )
+        join_root = plan.root
+        while not isinstance(join_root, physical.HashJoinNode):
+            join_root = join_root.children()[0]
+        assert physical.is_left_deep(join_root)
+        assert physical.join_leaf_order(join_root) == ["sub1", "dim1", "fact"]
+        assert physical.join_tree_label(join_root) == "sub1 >< dim1 >< fact"
+
+
+class TestBushyDifferential:
+    """Bushy, left-deep and auto plans must agree row-for-row."""
+
+    def test_bushy_matches_every_left_deep_order(self, db):
+        from repro.optimizer.joinorder import (
+            build_join_graph,
+            enumerate_left_deep_orders,
+        )
+
+        graph = build_join_graph(db.catalog, parse(SNOWFLAKE_SQL))
+        bushy = execute_with_join_tree(
+            db.ctx, db.catalog, SNOWFLAKE_SQL, BUSHY_SHAPE
+        )
+        orders = enumerate_left_deep_orders(graph)
+        assert len(orders) == 16  # 5-node path graph: 2^4 interval orders
+        for order in orders:
+            forced = execute_with_join_order(
+                db.ctx, db.catalog, SNOWFLAKE_SQL, order
+            )
+            assert forced.rows[0][0] == pytest.approx(bushy.rows[0][0])
+
+    def test_bushy_matches_baseline_and_auto(self, db):
+        bushy = execute_with_join_tree(
+            db.ctx, db.catalog, SNOWFLAKE_SQL, BUSHY_SHAPE
+        )
+        for mode in ("baseline", "auto"):
+            execution = db.execute(SNOWFLAKE_SQL, mode=mode)
+            assert execution.rows[0][0] == pytest.approx(bushy.rows[0][0])
+
+    def test_bushy_blooms_both_dimension_scans(self, db):
+        """The snowflake payoff: both dims Bloom-reduced by their own
+        filtered sub-dimension, which no left-deep order achieves."""
+        bushy = execute_with_join_tree(
+            db.ctx, db.catalog, SNOWFLAKE_SQL, BUSHY_SHAPE
+        )
+        bloomed = [
+            r["node"] for r in bushy.details["actuals"]
+            if "bloom" in r["node"] and "dim" in r["node"]
+        ]
+        assert len(bloomed) == 2
+
+
+class TestActualsFeedback:
+    def test_actuals_recorded_with_q_error(self, db):
+        execution = db.execute(
+            "SELECT COUNT(*) AS n FROM sub1, dim1"
+            " WHERE s1_id = d1_s1 AND s1_attr < 10"
+        )
+        actuals = execution.details["actuals"]
+        scans = [r for r in actuals if r["node"].startswith("scan ")]
+        assert len(scans) == 2
+        for record in scans:
+            assert record["actual_rows"] is not None
+            assert record["est_rows"] is not None
+            assert record["q_error"] >= 1.0
+
+    def test_report_renders_estimate_vs_actual(self, db):
+        execution = db.execute(SNOWFLAKE_SQL)
+        report = physical.render_execution_report(execution)
+        assert "q-error" in report
+        assert "est rows" in report and "actual" in report
+        assert "hash-join" in report
+
+    def test_limit_skips_downstream_actuals(self, db):
+        """Nodes past a LIMIT cut-off report what actually flowed."""
+        execution = db.execute(
+            "SELECT s1_id FROM sub1 ORDER BY s1_id LIMIT 3"
+        )
+        top = execution.details["actuals"][0]
+        assert top["actual_rows"] == 3
+
+    def test_explain_includes_physical_plan(self, db):
+        report = db.explain(SNOWFLAKE_SQL)
+        assert "physical plan" in report
+        assert "scan fact" in report
+        assert "est_rows" in report

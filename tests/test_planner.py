@@ -165,9 +165,25 @@ class TestJoins:
         # whole orders table.
         assert execution.bytes_returned < db.table("orders").total_bytes / 3
 
-    def test_missing_join_condition_rejected(self, db):
-        with pytest.raises(PlanError, match="equi-join"):
-            db.execute("SELECT * FROM customer, orders WHERE c_acctbal < 0")
+    def test_cross_product_fallback_for_missing_join_condition(self, db):
+        """Two tables without an equi-join now run as a guarded cross
+        product (both modes agree with each other)."""
+        baseline, optimized = both_modes(
+            db,
+            "SELECT COUNT(*) AS n FROM customer, orders"
+            " WHERE c_acctbal <= -998",
+        )
+        assert "multi-join" in optimized.strategy
+        n_matching = db.execute(
+            "SELECT COUNT(*) AS n FROM customer WHERE c_acctbal <= -998"
+        ).rows[0][0]
+        assert optimized.rows[0][0] == n_matching * db.table("orders").num_rows
+
+    def test_large_cross_product_rejected(self, db):
+        """The cross-product fallback is guarded by an estimated-rows
+        cap; big disconnected FROM lists still fail to plan."""
+        with pytest.raises(PlanError, match="connect"):
+            db.execute("SELECT COUNT(*) AS n FROM customer, lineitem")
 
 
 class TestMultiwayJoins:

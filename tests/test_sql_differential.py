@@ -2,9 +2,11 @@
 
 A seeded RNG generates ~200 SELECTs over four random tables — filters
 (comparisons, IN, BETWEEN, IS NULL, NOT, OR), group-by with aggregates,
-order-by/limit, and 2–4-way equi-join chains with per-table and
-cross-table residual predicates — and every query must produce the same
-row set as sqlite3 under both ``mode="baseline"`` and ``mode="auto"``.
+order-by/limit, 2–4-way equi-join chains with per-table and cross-table
+residual predicates, and two-table *cross joins* (no equi-join
+condition, exercising the planner's guarded CrossProductNode fallback)
+— and every query must produce the same row set as sqlite3 under both
+``mode="baseline"`` and ``mode="auto"``.
 
 This extends the sqlite-oracle approach of ``test_null_semantics.py``
 from single expressions to full queries: parser, planner, join-order
@@ -167,8 +169,13 @@ def _generate_query(rng: random.Random) -> str:
     tables = rng.sample(list(_COLUMNS), n_tables)
 
     where: list[str] = []
-    for prev, curr in zip(tables, tables[1:]):
-        where.append(f"{_KEY_OF[prev]} = {_KEY_OF[curr]}")
+    # Occasionally drop the join condition of a 2-table query: the
+    # product of two generator tables stays well under the planner's
+    # cross-product guard, so these execute as CrossProductNode plans.
+    cross_join = n_tables == 2 and rng.random() < 0.12
+    if not cross_join:
+        for prev, curr in zip(tables, tables[1:]):
+            where.append(f"{_KEY_OF[prev]} = {_KEY_OF[curr]}")
     for table in tables:
         if rng.random() < 0.55:
             where.append(_table_predicate(rng, table))
@@ -285,3 +292,15 @@ def test_fuzz_covers_join_arities(engines):
         sql = _generate_query(rng)
         arities.add(sql.split(" FROM ")[1].split(" WHERE ")[0].count(",") + 1)
     assert arities == {1, 2, 3, 4}
+
+
+def test_fuzz_covers_cross_joins(engines):
+    """The pinned seed generates 2-table queries with no join condition."""
+    rng = random.Random(SEED + 1)
+    crosses = 0
+    for _ in range(NUM_QUERIES):
+        sql = _generate_query(rng)
+        from_list = sql.split(" FROM ")[1].split(" WHERE ")[0]
+        if from_list.count(",") == 1 and "_key = t" not in sql:
+            crosses += 1
+    assert crosses >= 5
