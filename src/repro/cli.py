@@ -1,11 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands:
+Four subcommands:
 
 * ``experiment fig1 [fig5 ...]`` — run paper-figure harnesses and print
   their tables (``all`` runs everything; sizes match the benchmarks);
 * ``query "<SQL>"`` — load a TPC-H dataset and run one SQL statement in
   both baseline and optimized mode, with an execution report;
+* ``explain "<SQL>"`` — the optimizer's EXPLAIN report (candidate
+  strategies, join-order table, annotated physical plan) without
+  executing anything;
 * ``tables`` — list the TPC-H tables and sizes at a scale factor.
 """
 
@@ -34,15 +37,25 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
+def _load_tpch_db(args: argparse.Namespace):
     from repro import PushdownDB
+
     from repro.workloads.tpch import TABLE_SCHEMAS, TpchGenerator
 
     gen = TpchGenerator(scale_factor=args.scale_factor)
-    db = PushdownDB(workers=args.workers, batch_size=args.batch_size)
+    db = PushdownDB(
+        workers=getattr(args, "workers", None),
+        batch_size=getattr(args, "batch_size", None),
+        adaptive_threshold=getattr(args, "adaptive_threshold", None),
+    )
     for table in ("customer", "orders", "lineitem", "part"):
         db.load_table(table, gen.table(table), TABLE_SCHEMAS[table])
     db.calibrate_to_paper_scale()
+    return db
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    db = _load_tpch_db(args)
 
     strategy = args.strategy if args.strategy is not None else args.mode
     if args.compare:
@@ -67,6 +80,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         if len(execution.rows) > args.max_rows:
             print(f"  ... {len(execution.rows) - args.max_rows} more row(s)")
         print()
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    db = _load_tpch_db(args)
+    print(db.explain(args.sql))
     return 0
 
 
@@ -102,29 +121,61 @@ def build_parser() -> argparse.ArgumentParser:
             help="rows per RecordBatch in the streaming executor",
         )
 
+    # The valid experiment names come from the registry itself, so new
+    # figures can never go stale in this help string.
+    from repro.experiments import ALL_EXPERIMENTS
+
     p_exp = sub.add_parser("experiment", help="run paper-figure experiments")
-    p_exp.add_argument("names", nargs="+", help="fig1..fig13, auto, or 'all'")
+    p_exp.add_argument(
+        "names", nargs="+",
+        help=f"{', '.join(ALL_EXPERIMENTS)}, or 'all'",
+    )
     add_pipeline_knobs(p_exp)
     p_exp.set_defaults(fn=_cmd_experiment)
 
+    modes = ("baseline", "optimized", "auto", "adaptive")
     p_query = sub.add_parser("query", help="run SQL over a TPC-H dataset")
     p_query.add_argument("sql")
     p_query.add_argument("--scale-factor", type=float, default=0.005)
     p_query.add_argument(
-        "--strategy", choices=("baseline", "optimized", "auto"), default=None,
+        "--strategy", choices=modes, default=None,
         help="physical plan: 'baseline' loads whole tables with GETs,"
              " 'optimized' pushes work into S3 Select, 'auto' lets the"
              " cost-based optimizer pick from per-candidate estimates"
-             " and prints its EXPLAIN report (default: optimized)",
+             " and prints its EXPLAIN report, 'adaptive' re-plans"
+             " misestimated joins mid-flight (default: optimized)",
     )
-    p_query.add_argument("--mode", choices=("baseline", "optimized", "auto"),
+    p_query.add_argument("--mode", choices=modes,
                          default="optimized",
                          help="deprecated alias for --strategy")
     p_query.add_argument("--compare", action="store_true",
                          help="run both modes and show both reports")
     p_query.add_argument("--max-rows", type=int, default=10)
+    def q_error_bound(text: str) -> float:
+        value = float(text)
+        if value < 1.0:
+            raise argparse.ArgumentTypeError(
+                f"a Q-error bound must be >= 1.0, got {text}"
+            )
+        return value
+
+    p_query.add_argument(
+        "--adaptive-threshold", type=q_error_bound, default=None, metavar="Q",
+        help="Q-error a completed hash build may reach before an"
+             " adaptive execution re-plans the remaining join tree"
+             " (default 2.0; only used with --strategy adaptive)",
+    )
     add_pipeline_knobs(p_query)
     p_query.set_defaults(fn=_cmd_query)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="print the optimizer's EXPLAIN report without executing",
+    )
+    p_explain.add_argument("sql")
+    p_explain.add_argument("--scale-factor", type=float, default=0.005)
+    add_pipeline_knobs(p_explain)
+    p_explain.set_defaults(fn=_cmd_explain)
 
     p_tables = sub.add_parser("tables", help="show TPC-H table sizes")
     p_tables.add_argument("--scale-factor", type=float, default=0.01)

@@ -123,6 +123,12 @@ class QueryExecution:
 class CloudContext:
     """Storage + metering + pricing + performance calibration."""
 
+    #: Default Q-error (max(est/actual, actual/est)) a completed hash
+    #: build may reach before adaptive execution re-plans the remaining
+    #: join tree.  ~2x matches the classic mid-query re-optimization
+    #: literature: below it, reordering rarely pays for itself.
+    DEFAULT_ADAPTIVE_THRESHOLD = 2.0
+
     def __init__(
         self,
         perf: PerfModel | None = None,
@@ -130,6 +136,7 @@ class CloudContext:
         store: ObjectStore | None = None,
         workers: int | None = None,
         batch_size: int | None = None,
+        adaptive_threshold: float | None = None,
     ):
         """Args:
             workers: default partition-scan concurrency for this context
@@ -137,12 +144,29 @@ class CloudContext:
                 serial).  Concurrency changes wall-clock only — rows,
                 bytes and dollar cost are independent of it.
             batch_size: rows per RecordBatch in the streaming pipeline.
+            adaptive_threshold: build-cardinality Q-error above which
+                ``mode="adaptive"`` executions re-plan the un-executed
+                part of a join tree (default 2.0).
         """
+        from repro.optimizer.feedback import FeedbackStore
+
         self.store = store if store is not None else ObjectStore()
         self.metrics = MetricsCollector()
         self.client = S3Client(self.store, self.metrics)
         self.perf = perf if perf is not None else PAPER_PERF
         self.pricing = pricing if pricing is not None else PAPER_PRICING
+        #: Session-scoped measured-selectivity/cardinality store; every
+        #: executed plan feeds it, every estimate consults it.
+        self.feedback = FeedbackStore()
+        self.adaptive_threshold = (
+            float(adaptive_threshold) if adaptive_threshold is not None
+            else self.DEFAULT_ADAPTIVE_THRESHOLD
+        )
+        if self.adaptive_threshold < 1.0:
+            raise ValueError(
+                "adaptive_threshold is a Q-error bound and must be >= 1.0,"
+                f" got {self.adaptive_threshold}"
+            )
         self.workers = (
             max(1, int(workers)) if workers is not None
             else _PIPELINE_DEFAULTS["workers"]

@@ -147,6 +147,12 @@ def load_table(
     """
     if data_format not in ("csv", "parquet"):
         raise CatalogError(f"unknown format {data_format!r}")
+    feedback = getattr(ctx, "feedback", None)
+    if feedback is not None:
+        # (Re)loading invalidates every measurement taken against the
+        # table's previous contents — stale "facts" must not outlive
+        # the data they were measured on.
+        feedback.forget_table(name)
     ctx.store.create_bucket(bucket)
     slices = _partition_slices(len(rows), partitions)
     schema_spec = [f"{c.name}:{c.type}" for c in schema.columns]

@@ -3,39 +3,57 @@
 Each module exposes ``run(**params) -> ExperimentResult`` with defaults
 sized for seconds-scale execution; the benchmarks call these and print
 ``result.to_table()``.
+
+:data:`ALL_EXPERIMENTS` is a *lazy* registry: iterating or rendering the
+name list (the CLI help does both) imports nothing, and each figure
+module loads only when its ``run`` is actually fetched — so
+``python -m repro tables`` never pays for fig1..fig14 at startup.
 """
 
-from repro.experiments import (  # noqa: F401
-    auto_strategy,
-    fig01_filter,
-    fig02_join_customer,
-    fig03_join_orders,
-    fig04_bloom_fpr,
-    fig05_groupby_groups,
-    fig06_hybrid_split,
-    fig07_groupby_skew,
-    fig08_topk_sample,
-    fig09_topk_k,
-    fig10_tpch,
-    fig11_parquet,
-    fig12_multijoin,
-    fig13_snowflake,
-)
+from collections.abc import Mapping
+from importlib import import_module
+from typing import Callable, Iterator
+
 from repro.experiments.harness import ExperimentResult  # noqa: F401
 
-ALL_EXPERIMENTS = {
-    "fig1": fig01_filter.run,
-    "fig2": fig02_join_customer.run,
-    "fig3": fig03_join_orders.run,
-    "fig4": fig04_bloom_fpr.run,
-    "fig5": fig05_groupby_groups.run,
-    "fig6": fig06_hybrid_split.run,
-    "fig7": fig07_groupby_skew.run,
-    "fig8": fig08_topk_sample.run,
-    "fig9": fig09_topk_k.run,
-    "fig10": fig10_tpch.run,
-    "fig11": fig11_parquet.run,
-    "fig12": fig12_multijoin.run,
-    "fig13": fig13_snowflake.run,
-    "auto": auto_strategy.run,
+#: Experiment name -> implementing module, the single source of truth
+#: both the registry and the CLI's help string read.
+_EXPERIMENT_MODULES = {
+    "fig1": "fig01_filter",
+    "fig2": "fig02_join_customer",
+    "fig3": "fig03_join_orders",
+    "fig4": "fig04_bloom_fpr",
+    "fig5": "fig05_groupby_groups",
+    "fig6": "fig06_hybrid_split",
+    "fig7": "fig07_groupby_skew",
+    "fig8": "fig08_topk_sample",
+    "fig9": "fig09_topk_k",
+    "fig10": "fig10_tpch",
+    "fig11": "fig11_parquet",
+    "fig12": "fig12_multijoin",
+    "fig13": "fig13_snowflake",
+    "fig14": "fig14_adaptive",
+    "auto": "auto_strategy",
 }
+
+
+class _LazyRegistry(Mapping):
+    """Experiment name -> ``run`` callable, imported on first access."""
+
+    def __getitem__(self, name: str) -> Callable:
+        module = import_module(
+            f"repro.experiments.{_EXPERIMENT_MODULES[name]}"
+        )
+        return module.run
+
+    def __contains__(self, name: object) -> bool:
+        return name in _EXPERIMENT_MODULES
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(_EXPERIMENT_MODULES)
+
+    def __len__(self) -> int:
+        return len(_EXPERIMENT_MODULES)
+
+
+ALL_EXPERIMENTS = _LazyRegistry()

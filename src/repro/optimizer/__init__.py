@@ -17,7 +17,11 @@ itself:
   built on the *same* :mod:`repro.cloud.perf` phase math and
   :mod:`repro.cloud.pricing` sheet the execution layer is billed with;
 * :mod:`repro.optimizer.chooser` — ranks the candidates, runs the
-  winner, and renders an EXPLAIN-style report.
+  winner, and renders an EXPLAIN-style report;
+* :mod:`repro.optimizer.feedback` — the session feedback store: every
+  executed plan's measured selectivities and join cardinalities
+  override the System-R heuristics for the rest of the session, and
+  the adaptive executor re-plans mid-flight around them.
 """
 
 from repro.optimizer.chooser import (  # noqa: F401
@@ -32,6 +36,11 @@ from repro.optimizer.chooser import (  # noqa: F401
     run_auto,
 )
 from repro.optimizer.cost import CostModel, StrategyEstimate  # noqa: F401
+from repro.optimizer.feedback import (  # noqa: F401
+    FeedbackStore,
+    estimate_selectivity_with_feedback,
+    harvest_plan,
+)
 from repro.optimizer.selectivity import (  # noqa: F401
     estimate_selectivity,
     probe_selectivity,

@@ -46,6 +46,7 @@ STRATEGY_RUNNERS: dict[str, Callable] = {
     "filtered group-by": groupby_strategies.filtered_group_by,
     "s3-side group-by": groupby_strategies.s3_side_group_by,
     "hybrid group-by": groupby_strategies.hybrid_group_by,
+    "partial group-by pushdown": extension_strategies.partial_pushdown_group_by,
     "server-side top-k": topk_strategies.server_side_top_k,
     "sampling top-k": topk_strategies.sampling_top_k,
     "baseline join": join_strategies.baseline_join,
@@ -126,12 +127,18 @@ def choose_filter_strategy(
     objective: str = "cost",
     probe: bool = False,
     probe_fraction: float = 0.02,
+    probe_refresh: bool = False,
     include_extensions: bool = False,
 ) -> Choice:
     """Pick among server-side / S3-side / indexed filtering.
 
     ``probe=True`` measures selectivity with a metered ScanRange probe
-    instead of trusting the statistics estimate.
+    instead of trusting the statistics estimate.  A selectivity already
+    measured this session (earlier probe or executed scan) is reused
+    without spending requests — and without re-reading ``probe_fraction``
+    — so the note's request count is 0 on warm hits; pass
+    ``probe_refresh=True`` to force a fresh metered probe at the
+    requested fraction.
     ``include_extensions=True`` adds the multi-range-GET indexed filter
     (Suggestion 1) to the candidate set.
     """
@@ -141,7 +148,8 @@ def choose_filter_strategy(
     if probe:
         mark = ctx.metrics.mark()
         selectivity = probe_selectivity(
-            ctx, catalog.get(query.table), query.predicate, probe_fraction
+            ctx, catalog.get(query.table), query.predicate, probe_fraction,
+            refresh=probe_refresh,
         )
         notes["probe"] = {
             "selectivity": selectivity,
@@ -159,10 +167,18 @@ def choose_group_by_strategy(
     query: GroupByQuery,
     objective: str = "cost",
     include_hybrid: bool = True,
+    include_extensions: bool = False,
 ) -> Choice:
+    """Pick among the paper's four group-by strategies.
+
+    ``include_extensions=True`` adds Suggestion 4's partial group-by
+    pushdown to the candidate set (an extension real S3 does not offer,
+    so it is opt-in, mirroring the multirange filter).
+    """
     model = CostModel(ctx, catalog)
     candidates = model.estimate_group_by(
-        query, include_hybrid=include_hybrid, objective=objective
+        query, include_hybrid=include_hybrid, objective=objective,
+        include_extensions=include_extensions,
     )
     return _choose("group-by", candidates, objective)
 

@@ -24,7 +24,7 @@ from repro.cloud.metrics import Phase, RequestKind, RequestRecord, StreamWork
 from repro.cloud.perf import SERVER_CPU_PER_ROW
 from repro.cloud.pricing import CostBreakdown, cost_of_query
 from repro.engine.catalog import Catalog, TableInfo
-from repro.optimizer.selectivity import estimate_selectivity
+from repro.optimizer.feedback import estimate_selectivity_with_feedback
 from repro.optimizer.stats import TableStats
 from repro.s3select.validator import EXPRESSION_LIMIT_BYTES
 from repro.sqlparser import ast
@@ -178,6 +178,14 @@ class CostModel:
         info = self.catalog.get(name)
         return info, info.stats_or_default()
 
+    def _selectivity(
+        self, table: str, predicate: ast.Expr | None, stats: TableStats
+    ) -> float:
+        """Session-feedback-first selectivity (System-R when cold)."""
+        return estimate_selectivity_with_feedback(
+            getattr(self.ctx, "feedback", None), table, predicate, stats
+        )
+
     @staticmethod
     def _output_cpu(n_rows: float, output_items) -> float:
         """Local cost of a final select list (aggregation or projection)."""
@@ -211,7 +219,7 @@ class CostModel:
         """
         table, stats = self._table(query.table)
         if selectivity is None:
-            selectivity = estimate_selectivity(query.predicate, stats)
+            selectivity = self._selectivity(query.table, query.predicate, stats)
         n = table.num_rows
         matched = selectivity * n
         columns = (
@@ -308,7 +316,7 @@ class CostModel:
     # ------------------------------------------------------------------
     def _groupby_shape(self, query: GroupByQuery, stats: TableStats):
         table = self.catalog.get(query.table)
-        sel = estimate_selectivity(query.predicate, stats)
+        sel = self._selectivity(query.table, query.predicate, stats)
         agg_columns: list[str] = []
         for agg in query.aggregates:
             agg_columns.extend(
@@ -351,8 +359,14 @@ class CostModel:
         sample_fraction: float = DEFAULT_SAMPLE_FRACTION,
         include_hybrid: bool = True,
         objective: str = "cost",
+        include_extensions: bool = False,
     ) -> list[StrategyEstimate]:
-        """Candidates: server-side, filtered, S3-side, hybrid group-by."""
+        """Candidates: server-side, filtered, S3-side, hybrid group-by.
+
+        ``include_extensions=True`` adds the Suggestion-4 partial
+        group-by pushdown — a capability real S3 does not offer, so it
+        is opt-in rather than a default candidate.
+        """
         _, stats = self._table(query.table)
         table, sel, needed, groups, accumulators = self._groupby_shape(query, stats)
         n = table.num_rows
@@ -414,6 +428,38 @@ class CostModel:
             "s3-side group-by", [phase1, phase2],
             {**notes, "case_columns": case_columns, "chunks": chunks},
         ))
+
+        if include_extensions:
+            # Suggestion 4: a real GROUP BY pushed to storage — one scan
+            # per partition returning per-group partial aggregates,
+            # merged locally.  Per-row S3 work is one term per pushed
+            # accumulator (AVG decomposes into SUM + COUNT), independent
+            # of the group count — the whole point of the suggestion.
+            per_partition = kept / max(table.partitions, 1)
+            seen = (
+                groups * (1.0 - (1.0 - 1.0 / groups) ** per_partition)
+                if groups > 0 else 0.0
+            )
+            partial_rows = table.partitions * max(
+                min(seen, per_partition), 0.0
+            )
+            pushed_width = (
+                stats.projected_row_bytes(query.group_columns)
+                + accumulators * 12.0
+            )
+            estimates.append(self._finalize(
+                "partial group-by pushdown",
+                [_phase(
+                    "partial-groupby", table.partitions,
+                    scan_bytes=float(table.total_bytes),
+                    returned_bytes=partial_rows * pushed_width,
+                    term_evals=n * (accumulators + _conjuncts(query.predicate)),
+                    records=partial_rows,
+                    fields=partial_rows
+                    * (len(query.group_columns) + accumulators),
+                )],
+                {**notes, "partial_rows": partial_rows},
+            ))
 
         if not (include_hybrid and len(query.group_columns) == 1):
             return estimates
@@ -609,7 +655,7 @@ class CostModel:
             return self._estimate_planner_join(query)
         table, stats = self._table(query.table)
         n = table.num_rows
-        sel = estimate_selectivity(query.where, stats)
+        sel = self._selectivity(query.table, query.where, stats)
         kept = sel * n
         estimates = [self._finalize(
             "baseline",
@@ -762,7 +808,7 @@ class CostModel:
     # ------------------------------------------------------------------
     def _side(self, name: str, projection, predicate):
         info, stats = self._table(name)
-        sel = estimate_selectivity(predicate, stats)
+        sel = self._selectivity(name, predicate, stats)
         columns = projection if projection is not None else list(info.schema.names)
         return info, stats, sel, columns
 

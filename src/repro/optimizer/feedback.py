@@ -1,0 +1,332 @@
+"""Session-scoped execution feedback: the optimizer learns what it ran.
+
+PR 4 made every physical-plan execution record per-node
+estimate-vs-actual cardinalities (``details["actuals"]``) — and then
+threw them away.  This module closes the loop:
+
+* a :class:`FeedbackStore` lives on the
+  :class:`~repro.cloud.context.CloudContext` (one per PushdownDB
+  session) and maps **normalized signatures** to **measured
+  cardinalities**:
+
+  - ``(table, predicate)`` → observed selectivity, harvested from every
+    executed scan (pushdown or GET + local filter) and from every
+    metered :func:`~repro.optimizer.selectivity.probe_selectivity`
+    run — probes are paid for once and reused for the rest of the
+    session;
+  - join signatures (table set + per-table predicates + applied hash
+    edges) → observed join output rows, harvested from every executed
+    hash join;
+
+* :func:`estimate_selectivity_with_feedback` is the estimator every
+  cost-model call site goes through: a recorded measurement wins over
+  the System-R heuristic, per conjunct, so *similar* queries (sharing
+  some predicates) improve too.  With an empty store it reduces exactly
+  to :func:`~repro.optimizer.selectivity.estimate_selectivity`, so a
+  cold session plans byte-identically to the pre-feedback planner;
+
+* :func:`harvest_plan` walks an executed plan tree and records every
+  fully-drained node (subtrees cut short by a streaming ``LIMIT`` are
+  skipped — their observed counts are lower bounds, not measurements).
+
+The store is thread-safe (scans may execute under ``workers > 1``) and
+strictly session-scoped: two ``PushdownDB`` instances never share
+feedback, and :meth:`FeedbackStore.reset` returns a session to the
+cold-start System-R behavior.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.optimizer.selectivity import estimate_selectivity
+from repro.optimizer.stats import TableStats
+from repro.sqlparser import ast
+
+
+def predicate_signature(predicate: ast.Expr | None) -> str:
+    """Normalized signature of a predicate: sorted top-level conjuncts.
+
+    ``a < 5 AND b = 2`` and ``b = 2 AND a < 5`` share one signature, so
+    feedback recorded under either spelling serves both.
+    """
+    if predicate is None:
+        return ""
+    return " AND ".join(sorted(c.to_sql() for c in ast.split_conjuncts(predicate)))
+
+
+def join_signature(
+    tables_with_predicates: list[tuple[str, ast.Expr | None]],
+    edges: list[tuple[str, str]],
+) -> tuple:
+    """Normalized signature of a join subtree's semantic content.
+
+    ``tables_with_predicates`` pairs each base table with the
+    single-table predicate pushed into its scan; ``edges`` are the
+    ``(build_key, probe_key)`` pairs of the hash joins *applied inside*
+    the subtree.  Bloom predicates are deliberately absent: they only
+    prune rows the join would drop anyway (modulo false positives that
+    the join still drops), so the output cardinality is Bloom-invariant.
+    """
+    tables = tuple(sorted(
+        (name.lower(), predicate_signature(pred))
+        for name, pred in tables_with_predicates
+    ))
+    edge_sigs = tuple(sorted(
+        tuple(sorted((a.lower(), b.lower()))) for a, b in edges
+    ))
+    return tables, edge_sigs
+
+
+@dataclass
+class FeedbackRecord:
+    """One learned measurement (selectivity or cardinality)."""
+
+    value: float
+    source: str
+    observations: int = 1
+
+
+@dataclass
+class FeedbackStore:
+    """Measured selectivities and join cardinalities for one session."""
+
+    _selectivities: dict = field(default_factory=dict)
+    _joins: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Counters for reports/tests: how often lookups hit or missed.
+    hits: int = 0
+    misses: int = 0
+
+    # -- selectivity ----------------------------------------------------
+    def record_selectivity(
+        self,
+        table: str,
+        predicate: ast.Expr | None,
+        selectivity: float,
+        source: str = "execution",
+    ) -> None:
+        """Record the measured fraction of ``table`` rows passing ``predicate``."""
+        if predicate is None:
+            return
+        key = (table.lower(), predicate_signature(predicate))
+        value = min(max(float(selectivity), 0.0), 1.0)
+        with self._lock:
+            prior = self._selectivities.get(key)
+            if prior is None:
+                self._selectivities[key] = FeedbackRecord(value, source)
+            else:
+                # Exact measurements simply refresh; the newest run wins
+                # (data and literals are fixed within a session, so
+                # repeated observations agree up to probe sampling).
+                prior.value = value
+                prior.source = source
+                prior.observations += 1
+
+    def lookup_selectivity(
+        self, table: str, predicate: ast.Expr | None
+    ) -> float | None:
+        if predicate is None:
+            return None
+        key = (table.lower(), predicate_signature(predicate))
+        with self._lock:
+            record = self._selectivities.get(key)
+            if record is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return record.value
+
+    # -- joins ----------------------------------------------------------
+    def record_join(self, signature: tuple, actual_rows: float,
+                    source: str = "execution") -> None:
+        with self._lock:
+            prior = self._joins.get(signature)
+            if prior is None:
+                self._joins[signature] = FeedbackRecord(
+                    float(actual_rows), source
+                )
+            else:
+                prior.value = float(actual_rows)
+                prior.source = source
+                prior.observations += 1
+
+    def lookup_join(self, signature: tuple) -> float | None:
+        with self._lock:
+            record = self._joins.get(signature)
+            if record is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return record.value
+
+    def has_join_feedback(self) -> bool:
+        """Cheap emptiness check: the join-order DP skips signature
+        construction and lock traffic entirely on cold sessions."""
+        return bool(self._joins)
+
+    # -- session management ---------------------------------------------
+    def forget_table(self, table: str) -> None:
+        """Drop every measurement involving ``table``.
+
+        Called when a table is (re)loaded: measurements taken against
+        the old rows are no longer facts, and keeping them would let a
+        stale "measured" selectivity suppress fresh probes and mislead
+        every estimate for the rest of the session.
+        """
+        key = table.lower()
+        with self._lock:
+            self._selectivities = {
+                sig: record
+                for sig, record in self._selectivities.items()
+                if sig[0] != key
+            }
+            self._joins = {
+                sig: record
+                for sig, record in self._joins.items()
+                if all(name != key for name, _ in sig[0])
+            }
+
+    def reset(self) -> None:
+        """Forget everything: back to cold-start System-R estimates."""
+        with self._lock:
+            self._selectivities.clear()
+            self._joins.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def summary(self) -> dict:
+        with self._lock:
+            return {
+                "selectivities": len(self._selectivities),
+                "joins": len(self._joins),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+def estimate_selectivity_with_feedback(
+    store: FeedbackStore | None,
+    table: str,
+    predicate: ast.Expr | None,
+    stats: TableStats,
+) -> float:
+    """Feedback-first selectivity: measurements override System-R.
+
+    Resolution order per the whole predicate, then per top-level
+    conjunct: an exact signature hit returns the measured value; a
+    conjunction combines per-conjunct answers (measured where known,
+    System-R where not) under the independence assumption.  With no
+    feedback recorded this computes *exactly* what
+    :func:`~repro.optimizer.selectivity.estimate_selectivity` computes,
+    so cold sessions keep byte-identical plans.
+    """
+    if predicate is None:
+        return 1.0
+    if store is None:
+        return estimate_selectivity(predicate, stats)
+    exact = store.lookup_selectivity(table, predicate)
+    if exact is not None:
+        return exact
+    conjuncts = ast.split_conjuncts(predicate)
+    if len(conjuncts) <= 1:
+        return estimate_selectivity(predicate, stats)
+    product = 1.0
+    for conjunct in conjuncts:
+        measured = store.lookup_selectivity(table, conjunct)
+        product *= (
+            measured if measured is not None
+            else estimate_selectivity(conjunct, stats)
+        )
+    return min(max(product, 0.0), 1.0)
+
+
+# ----------------------------------------------------------------------
+# harvesting executed plans
+# ----------------------------------------------------------------------
+
+def scan_feedback_entries(root) -> list[tuple[str, ast.Expr, float]]:
+    """``(table, predicate, selectivity)`` for every harvestable scan.
+
+    A scan is harvestable when it ran to completion (no streaming LIMIT
+    above it cut the pull short), carries a predicate, and has no Bloom
+    predicate attached (a Bloom-reduced count measures predicate x
+    Bloom, not the predicate alone).
+    """
+    from repro.planner import physical
+
+    out: list[tuple[str, ast.Expr, float]] = []
+
+    def walk(node, complete: bool) -> None:
+        if isinstance(node, physical.MaterializedNode):
+            if node.source is not None:
+                walk(node.source, complete)
+            return
+        if isinstance(node, physical.ScanNode):
+            if (
+                complete
+                and node.predicate is not None
+                and node.bloom_attr is None
+                and node.actual_rows is not None
+                and node.table.num_rows > 0
+            ):
+                out.append((
+                    node.table.name,
+                    node.predicate,
+                    node.actual_rows / node.table.num_rows,
+                ))
+            return
+        child_complete = complete and not isinstance(
+            node, physical.LimitNode
+        )
+        for child in node.children():
+            walk(child, child_complete)
+
+    walk(root, True)
+    return out
+
+
+def join_feedback_entries(root) -> list[tuple[tuple, float]]:
+    """``(signature, actual_rows)`` for every fully-drained hash join."""
+    from repro.planner import physical
+
+    out: list[tuple[tuple, float]] = []
+
+    def walk(node, complete: bool) -> None:
+        if isinstance(node, physical.MaterializedNode):
+            if node.source is not None:
+                walk(node.source, complete)
+            return
+        if isinstance(node, physical.HashJoinNode):
+            if complete and node.actual_rows is not None:
+                parts = physical.tree_signature(node)
+                if parts is not None:
+                    out.append((
+                        join_signature(*parts), float(node.actual_rows)
+                    ))
+        child_complete = complete and not isinstance(
+            node, physical.LimitNode
+        )
+        for child in node.children():
+            walk(child, child_complete)
+
+    walk(root, True)
+    return out
+
+
+def harvest_plan(store: FeedbackStore, root) -> int:
+    """Record everything an executed plan tree measured; returns count.
+
+    Called by the physical executor after every execution, so the
+    session's very next query already plans with corrected estimates —
+    no extra metered requests are spent learning what was just paid for.
+    """
+    recorded = 0
+    for table, predicate, selectivity in scan_feedback_entries(root):
+        store.record_selectivity(table, predicate, selectivity)
+        recorded += 1
+    for signature, actual_rows in join_feedback_entries(root):
+        store.record_join(signature, actual_rows)
+        recorded += 1
+    return recorded

@@ -47,7 +47,10 @@ from repro.optimizer.cost import (
     _phase,
     objective_key,
 )
-from repro.optimizer.selectivity import estimate_selectivity
+from repro.optimizer.feedback import (
+    estimate_selectivity_with_feedback,
+    predicate_signature,
+)
 from repro.planner import physical
 from repro.planner.physical import (
     CrossProductNode,
@@ -368,12 +371,22 @@ class JoinOrderSearch:
         self.query = query
         self.fpr = fpr
         self.model = CostModel(ctx, catalog)
+        self.feedback = getattr(ctx, "feedback", None)
+        #: Per-table ``(name, predicate_signature)`` pairs, precomputed
+        #: once so warm-session DP candidates can build their feedback
+        #: signatures without re-serializing predicates per candidate.
+        self._pred_sigs = {
+            name: (name, predicate_signature(graph.predicates[name]))
+            for name in graph.tables
+        }
         columns = needed_columns(graph, query)
         self.shapes: dict[str, _TableShape] = {}
         for name, info in graph.tables.items():
             stats = info.stats_or_default()
             pred = graph.predicates[name]
-            sel = estimate_selectivity(pred, stats)
+            sel = estimate_selectivity_with_feedback(
+                self.feedback, name, pred, stats
+            )
             self.shapes[name] = _TableShape(
                 info=info,
                 selectivity=sel,
@@ -415,6 +428,38 @@ class JoinOrderSearch:
                 # side even when the distinct counts are uninformative.
                 rows = min(rows, left.est_rows, right.est_rows)
         return max(rows, 0.0)
+
+    def _candidate_signature(self, node: PlanNode) -> tuple | None:
+        """Feedback signature of a DP candidate subtree.
+
+        Equivalent to ``join_signature(*physical.tree_signature(node))``
+        for trees this search built, but reads the per-table predicate
+        signatures precomputed at construction instead of re-serializing
+        every predicate inside the DP's inner loop.  Materialized leaves
+        are walked through their sources, which were planned from this
+        same graph, so the memo applies to them too.
+        """
+        names: list[str] = []
+        edges: list[tuple[str, str]] = []
+
+        def collect(n: PlanNode) -> bool:
+            if isinstance(n, physical.MaterializedNode):
+                return n.source is not None and collect(n.source)
+            if isinstance(n, ScanNode):
+                names.append(n.table.name.lower())
+                return True
+            if isinstance(n, HashJoinNode):
+                edges.append((n.build_key, n.probe_key))
+                return collect(n.build) and collect(n.probe)
+            return False
+
+        if not collect(node):
+            return None
+        tables = tuple(sorted(self._pred_sigs[name] for name in names))
+        edge_sigs = tuple(sorted(
+            tuple(sorted((a.lower(), b.lower()))) for a, b in edges
+        ))
+        return tables, edge_sigs
 
     # -- tree construction -------------------------------------------
     def leaf(self, name: str) -> ScanNode:
@@ -463,6 +508,32 @@ class JoinOrderSearch:
             probe_key=edge.key_for(probe_end),
         )
         node.extra_edges = list(edges[1:])
+        if node.extra_edges:
+            # The hash join itself only applies ``edges[0]``; the rest
+            # are filtered in the residual above the tree, so the rows
+            # this node *emits* are estimated from the hash edge alone.
+            node.est_out_rows = self._pair_rows(t1, t2, edges[:1])
+        if self.feedback is not None and self.feedback.has_join_feedback():
+            # A join this session already executed (same tables, same
+            # pushed predicates, same hash edges) has a *measured* output
+            # cardinality; it replaces the containment estimate.  The
+            # emptiness guard keeps signature construction out of the
+            # cold DP's inner loop.  (Measured counts are pre-residual,
+            # i.e. exactly what the node emits.)
+            signature = self._candidate_signature(node)
+            if signature is not None:
+                measured = self.feedback.lookup_join(signature)
+                if measured is not None:
+                    if node.est_out_rows:
+                        # Measured counts are what the node *emits*
+                        # (pre-residual).  est_rows keeps its all-edges
+                        # semantics, so deferred-edge selectivity is
+                        # re-applied at the model's own ratio — warm and
+                        # cold candidates stay ranked on one quantity.
+                        est_rows = measured * (est_rows / node.est_out_rows)
+                    else:
+                        est_rows = measured
+                    node.est_out_rows = measured
         node.est_rows = est_rows
         node.est_build_rows = min(build.est_rows, probe.est_rows)
         node.est_probe_rows = max(build.est_rows, probe.est_rows)
@@ -707,22 +778,41 @@ class JoinOrderSearch:
     ) -> list[tuple[PlanNode, StrategyEstimate]]:
         """Bushy DP over one connected component's subsets.
 
-        ``best[S]`` holds the cheapest join tree over exactly the tables
-        in ``S``, found by splitting ``S`` into every connected pair of
-        disjoint subsets — single-table extensions (left-deep) fall out
-        as the ``|S2| = 1`` splits.  The full set's splits become the
-        EXPLAIN candidate list.  Callers handle single-table components
-        themselves, so ``names`` always holds at least two tables.
+        Callers handle single-table components themselves, so ``names``
+        always holds at least two tables.
         """
         assert len(names) >= 2, "single-table components never reach the DP"
+        level = self._dp_leaves([self.leaf(name) for name in names], objective)
+        if not level:
+            raise PlanError(
+                f"no connected join tree exists for tables {names}"
+            )
+        return level
+
+    def _dp_leaves(
+        self, leaves: list[PlanNode], objective: str
+    ) -> list[tuple[PlanNode, StrategyEstimate]]:
+        """The bushy DP itself, over generic leaves.
+
+        ``best[S]`` holds the cheapest join tree over exactly the leaves
+        in ``S``, found by splitting ``S`` into every connected pair of
+        disjoint subsets — single-leaf extensions (left-deep) fall out
+        as the ``|S2| = 1`` splits.  The full set's splits are returned
+        (the EXPLAIN candidate list).  One loop serves both the
+        plan-time search (every leaf a fresh scan) and mid-flight
+        re-planning (materialized intermediates mixed in); connectivity
+        is judged on each subset's union of base tables.
+        """
         key = objective_key(objective)
-        best: dict[frozenset, PlanNode] = {}
-        for name in names:
-            best[frozenset((name,))] = self.leaf(name)
-        for size in range(2, len(names) + 1):
-            final_level = size == len(names)
-            level: list[tuple[PlanNode, StrategyEstimate]] = []
-            for subset in itertools.combinations(names, size):
+        n = len(leaves)
+        best: dict[frozenset, PlanNode] = {
+            frozenset((i,)): leaves[i] for i in range(n)
+        }
+        tables_of = {i: leaves[i].tables for i in range(n)}
+        level: list[tuple[PlanNode, StrategyEstimate]] = []
+        for size in range(2, n + 1):
+            final_level = size == n
+            for subset in itertools.combinations(range(n), size):
                 subset_key = frozenset(subset)
                 anchor, rest = subset[0], subset[1:]
                 options: list[tuple[PlanNode, StrategyEstimate]] = []
@@ -733,7 +823,9 @@ class JoinOrderSearch:
                         t1, t2 = best.get(s1), best.get(s2)
                         if t1 is None or t2 is None:
                             continue
-                        if not self.graph.edges_across(s1, s2):
+                        u1 = frozenset().union(*(tables_of[i] for i in s1))
+                        u2 = frozenset().union(*(tables_of[i] for i in s2))
+                        if not self.graph.edges_across(u1, u2):
                             continue
                         tree = self.combine(t1, t2)
                         options.append((tree, self.price_tree(tree)))
@@ -744,11 +836,79 @@ class JoinOrderSearch:
                 )[0]
                 if final_level:
                     level = options
-        if not level:
-            raise PlanError(
-                f"no connected join tree exists for tables {names}"
-            )
         return level
+
+    def replan_remaining(
+        self, leaves: list[PlanNode], objective: str = "cost"
+    ) -> PlanNode:
+        """Bushy DP over the remaining relations of a *running* query.
+
+        The adaptive executor calls this after a pipeline breaker's
+        observed cardinality blows past its estimate.  ``leaves`` mix
+        not-yet-started scans with materialized intermediates
+        (:class:`~repro.planner.physical.MaterializedNode`) whose
+        cardinalities are now facts; both carry ``tables`` /
+        ``est_rows``, which is all :meth:`combine` needs.  Candidates are
+        priced through the same :meth:`price_tree` machinery as the
+        plan-time search — materialized leaves contribute no predicted
+        phases (their work is already billed), so the ranking reflects
+        only the work still to do.
+        """
+        if len(leaves) < 2:
+            raise PlanError(
+                "replanning needs at least two remaining relations"
+            )
+        # Pending scans re-enter the search as fresh leaves: the live
+        # tree's scan nodes carry plan-time Bloom annotations (reduced
+        # est_rows, extra hash terms) that no longer apply once the tree
+        # around them changes.  Their selectivity estimates are still
+        # the plan-time ones (self.shapes is frozen at construction);
+        # only materialized leaves carry measured cardinalities.
+        leaves = [
+            self.leaf(next(iter(leaf.tables)))
+            if isinstance(leaf, ScanNode) else leaf
+            for leaf in leaves
+        ]
+        if len(leaves) > DP_TABLE_LIMIT:
+            # Mirror the plan-time search's guard: exhaustive subset
+            # enumeration mid-query would stall execution on wide joins.
+            return self._greedy_leaves(leaves)
+        options = self._dp_leaves(leaves, objective)
+        if not options:
+            raise PlanError(
+                "no connected join tree exists over the remaining relations"
+            )
+        return min(options, key=lambda pair: objective_key(objective)(pair[1]))[0]
+
+    def _greedy_leaves(self, leaves: list[PlanNode]) -> PlanNode:
+        """Greedy minimum-intermediate-rows combine over mixed leaves
+        (the wide-join fallback of :meth:`replan_remaining`)."""
+        remaining = list(leaves)
+        tree = min(
+            remaining,
+            key=lambda leaf: (leaf.est_rows, tuple(sorted(leaf.tables))),
+        )
+        remaining.remove(tree)
+        while remaining:
+            frontier = [
+                leaf for leaf in remaining
+                if self.graph.edges_across(tree.tables, leaf.tables)
+            ]
+            if not frontier:
+                raise PlanError(
+                    "no connected join tree exists over the remaining"
+                    " relations"
+                )
+            nxt = min(
+                frontier,
+                key=lambda leaf: self._pair_rows(
+                    tree, leaf,
+                    self.graph.edges_across(tree.tables, leaf.tables),
+                ),
+            )
+            tree = self.combine(tree, nxt)
+            remaining.remove(nxt)
+        return tree
 
     def _greedy_order(self, names: list[str] | None = None) -> list[str]:
         """Smallest filtered table first, then minimum intermediate rows."""

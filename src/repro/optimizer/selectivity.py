@@ -199,6 +199,7 @@ def probe_selectivity(
     table,
     predicate: ast.Expr,
     fraction: float = 0.02,
+    refresh: bool = False,
 ) -> float:
     """Measure selectivity on a leading slice of every partition.
 
@@ -206,9 +207,21 @@ def probe_selectivity(
     ``fraction`` of the object — requests and scanned bytes are metered
     exactly like query work, so a chooser that probes pays for what it
     learns (and the EXPLAIN report says so).
+
+    The session's :class:`~repro.optimizer.feedback.FeedbackStore` is
+    consulted first: a selectivity already measured this session (by an
+    earlier probe *or* by an executed scan) is returned without issuing
+    any request, so repeated queries stop paying for probes.  The
+    measurement is recorded back into the store either way.
+    ``refresh=True`` forces a fresh metered probe.
     """
     from repro.strategies.scans import projection_sql, select_table
 
+    store = getattr(ctx, "feedback", None)
+    if store is not None and not refresh:
+        cached = store.lookup_selectivity(table.name, predicate)
+        if cached is not None:
+            return cached
     sql = projection_sql(
         [f"SUM(CASE WHEN {predicate.to_sql()} THEN 1 ELSE 0 END)", "SUM(1)"]
     )
@@ -217,4 +230,7 @@ def probe_selectivity(
     seen = sum(r[1] or 0 for r in rows)
     if not seen:
         return estimate_selectivity(predicate, table.stats_or_default())
-    return matched / seen
+    measured = matched / seen
+    if store is not None:
+        store.record_selectivity(table.name, predicate, measured, source="probe")
+    return measured

@@ -32,18 +32,39 @@ class PushdownDB:
         bucket: str = "pushdowndb",
         workers: int | None = None,
         batch_size: int | None = None,
+        adaptive_threshold: float | None = None,
     ):
         """Args:
             workers: concurrent partition-scan requests per table scan
                 (default serial).  Changes wall-clock only; rows, bytes
                 and simulated cost are identical for any setting.
             batch_size: rows per RecordBatch in the streaming executor.
+            adaptive_threshold: Q-error bound for ``mode="adaptive"``
+                executions — a completed hash build whose observed
+                cardinality misses its estimate by more than this factor
+                triggers a mid-flight re-plan of the remaining join tree
+                (default 2.0).
         """
         self.ctx = CloudContext(
-            perf=perf, pricing=pricing, workers=workers, batch_size=batch_size
+            perf=perf, pricing=pricing, workers=workers, batch_size=batch_size,
+            adaptive_threshold=adaptive_threshold,
         )
         self.catalog = Catalog()
         self.bucket = bucket
+
+    @property
+    def feedback(self):
+        """The session's learned-selectivity store.
+
+        Populated automatically from every executed plan and every
+        metered selectivity probe; consulted by every estimate.  Session
+        scoped: two ``PushdownDB`` instances never share feedback.
+        """
+        return self.ctx.feedback
+
+    def reset_feedback(self) -> None:
+        """Forget learned statistics: back to cold-start System-R plans."""
+        self.ctx.feedback.reset()
 
     # ------------------------------------------------------------------
     # data loading
@@ -93,7 +114,14 @@ class PushdownDB:
                 ``"baseline"`` loads whole tables with plain GETs;
                 ``"auto"`` lets the cost-based optimizer pick whichever
                 the statistics predict cheaper (the per-candidate
-                estimates land in ``execution.details["optimizer"]``).
+                estimates land in ``execution.details["optimizer"]``);
+                ``"adaptive"`` runs the optimized plan with mid-flight
+                join re-optimization — misestimated hash builds
+                (Q-error beyond ``adaptive_threshold``) re-plan the
+                remaining tree around the observed cardinality, and
+                accurate estimates execute byte-identically to
+                ``"optimized"`` (re-plan events land in
+                ``execution.details["adaptive"]``).
             strategy: alias for ``mode`` matching the CLI's
                 ``--strategy`` flag; wins when both are given.
         """

@@ -313,6 +313,12 @@ class HashJoinNode(PlanNode):
         self.est_rows = None
         self.est_cost = None
         self.actual_rows = None
+        #: Estimated rows this node itself emits when extra equi edges
+        #: are deferred to the plan's residual filter: ``est_rows``
+        #: folds every crossing edge's selectivity in (the quantity the
+        #: DP ranks with), but the hash join only applies its own edge,
+        #: so the materialized count is compared against this instead.
+        self.est_out_rows: float | None = None
         #: Pre-Bloom estimated build/probe input rows, for CPU pricing.
         self.est_build_rows: float = 0.0
         self.est_probe_rows: float = 0.0
@@ -366,6 +372,44 @@ class HashJoinNode(PlanNode):
             ))
         self.actual_rows = len(out.rows)
         return out.column_names, iter([out.rows])
+
+
+class MaterializedNode(PlanNode):
+    """A subtree that already executed: its rows live in memory.
+
+    The adaptive executor replaces each pipeline breaker it finishes
+    with one of these, so the *remaining* tree can be re-planned around
+    a cardinality that is now a fact rather than an estimate.  Running
+    one is free — no requests, no phases, no CPU — because everything
+    was metered when the wrapped ``source`` subtree actually ran.
+    """
+
+    def __init__(
+        self,
+        rows: list[tuple],
+        names: Sequence[str],
+        tables: Iterable[str],
+        source: PlanNode | None = None,
+    ):
+        self.rows = rows
+        self.names = list(names)
+        self.tables: frozenset = frozenset(tables)
+        #: The executed subtree this result came from (reporting +
+        #: feedback harvesting descend into it; execution does not).
+        self.source = source
+        self.est_rows = float(len(rows))
+        self.est_cost = None
+        self.actual_rows = len(rows)
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.source,) if self.source is not None else ()
+
+    def describe(self) -> str:
+        label = "+".join(sorted(self.tables))
+        return f"materialized[{label}] rows={len(self.rows)}"
+
+    def run(self, state: ExecState):
+        return list(self.names), iter([self.rows])
 
 
 class CrossProductNode(PlanNode):
@@ -585,6 +629,254 @@ class LimitNode(PlanNode):
         return names, _counted(self, limit_batches(stream, self.n))
 
 
+def q_error(est: float | None, actual: int | None) -> float:
+    """Smoothed quotient error: ``max((est+1)/(act+1), (act+1)/(est+1))``.
+
+    1.0 is a perfect estimate; the +1 keeps empty results finite.  The
+    one formula behind both the EXPLAIN-ANALYZE report column
+    (:func:`collect_actuals`) and the adaptive executor's re-planning
+    trigger, so the reported number is always the number that decided.
+    """
+    if est is None or actual is None:
+        return 1.0
+    e, a = est + 1.0, actual + 1.0
+    return max(e / a, a / e)
+
+
+def tree_signature(node: PlanNode):
+    """``(tables_with_predicates, applied_edges)`` of a hash-join subtree.
+
+    The semantic identity of a join result: which base tables it joins,
+    the single-table predicate pushed into each scan, and the hash edges
+    applied inside.  Bloom predicates are excluded on purpose — they
+    only pre-drop rows the join drops anyway — so Bloom and non-Bloom
+    plans over the same query share feedback.  Returns ``None`` for
+    shapes feedback does not model (cross products, pushed aggregates).
+    """
+    tables: list[tuple[str, ast.Expr | None]] = []
+    edges: list[tuple[str, str]] = []
+
+    def collect(n: PlanNode) -> bool:
+        if isinstance(n, MaterializedNode):
+            return n.source is not None and collect(n.source)
+        if isinstance(n, ScanNode):
+            tables.append((n.table.name, n.predicate))
+            return True
+        if isinstance(n, HashJoinNode):
+            edges.append((n.build_key, n.probe_key))
+            return collect(n.build) and collect(n.probe)
+        return False
+
+    if not collect(node):
+        return None
+    return tables, edges
+
+
+def _adaptive_leaves(node: PlanNode) -> list[PlanNode]:
+    """The not-yet-joined relations of a working tree: pending scans and
+    finished materializations."""
+    if isinstance(node, (ScanNode, MaterializedNode)):
+        return [node]
+    return [
+        leaf
+        for child in (node.build, node.probe)
+        for leaf in _adaptive_leaves(child)
+    ]
+
+
+def _join_extra_edges(node: PlanNode) -> list:
+    """Extra (non-hash) equi edges of the *live* joins in a working tree.
+
+    Materialized results are opaque here: their deferred edges were part
+    of the originally planned tree, so the plan-time residual filter
+    already covers them.
+    """
+    if isinstance(node, (ScanNode, MaterializedNode)):
+        return []
+    out = list(getattr(node, "extra_edges", ()))
+    out += _join_extra_edges(node.build) + _join_extra_edges(node.probe)
+    return out
+
+
+def _tree_shape_key(node: PlanNode):
+    """Hashable shape identity used to detect a no-op re-plan."""
+    if isinstance(node, MaterializedNode):
+        return ("m", tuple(sorted(node.tables)))
+    if isinstance(node, ScanNode):
+        return ("s", node.table.name)
+    return (
+        "j", node.build_key, node.probe_key,
+        _tree_shape_key(node.build), _tree_shape_key(node.probe),
+    )
+
+
+def _adaptive_label(node: PlanNode) -> str:
+    if isinstance(node, MaterializedNode):
+        return "[" + "+".join(sorted(node.tables)) + "]"
+    if isinstance(node, ScanNode):
+        return node.table.name
+    return f"({_adaptive_label(node.build)} >< {_adaptive_label(node.probe)})"
+
+
+def _next_adaptive_step(root: "HashJoinNode"):
+    """The next materialization the static recursive executor would run.
+
+    Mirrors :meth:`HashJoinNode.run` order exactly — build subtree fully
+    first, then the probe subtree — so an adaptive execution in which no
+    re-plan fires issues the same requests, in the same order, as the
+    static plan.  Returns ``(action, join, parent)`` where ``action`` is
+    ``"build_scan"`` (materialize ``join.build``, a leaf scan),
+    ``"join"`` (both children ready; run the whole inner join) or
+    ``"final"`` (only the streaming spine remains).
+    """
+    node, parent = root, None
+    while True:
+        build = node.build
+        if isinstance(build, HashJoinNode):
+            node, parent = build, node
+            continue
+        if not isinstance(build, MaterializedNode):
+            return ("build_scan", node, parent)
+        probe = node.probe
+        if isinstance(probe, HashJoinNode):
+            node, parent = probe, node
+            continue
+        if parent is None:
+            return ("final", node, None)
+        return ("join", node, parent)
+
+
+class AdaptiveJoinNode(PlanNode):
+    """Mid-flight re-optimizing wrapper around a multiway hash-join tree.
+
+    Executes the planned tree on the same materialization schedule the
+    recursive executor follows (deepest build first), checking each
+    completed pipeline breaker's observed cardinality against its
+    estimate.  While every Q-error stays at or under ``threshold`` the
+    execution is byte-identical — rows, bytes, requests, runtime, cost —
+    to the static plan.  When a build comes out badly misestimated, the
+    observed cardinality is fed into the join-order search and the bushy
+    DP re-runs over the *remaining* relations (the fresh materialization
+    plus every not-yet-started scan); the winning tree is spliced in and
+    execution continues.  Already-issued requests and billed bytes are
+    never revisited: re-planning only reorders work not yet started.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        search,
+        threshold: float,
+        objective: str = "cost",
+    ):
+        self.child = child
+        #: The session's :class:`~repro.optimizer.joinorder.JoinOrderSearch`,
+        #: re-used for mid-flight DP runs (duck-typed to avoid a planner
+        #: import cycle).
+        self.search = search
+        self.threshold = float(threshold)
+        self.objective = objective
+        self.events: list[dict] = []
+        self.replans = 0
+        self.est_rows = child.est_rows
+        self.est_cost = None
+        self.actual_rows = None
+        self.tables: frozenset = getattr(child, "tables", frozenset())
+        #: Extra equi edges the *planned* tree deferred — the planner put
+        #: them in the residual filter above this node.  A re-planned
+        #: tree may defer different edges; the delta is applied here.
+        self._known_extras = set(_join_extra_edges(child))
+        self._missing_residual: list = []
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"adaptive [threshold={self.threshold:g} replans={self.replans}]"
+
+    def run(self, state: ExecState):
+        tree = self.child
+        if not isinstance(tree, HashJoinNode):
+            return _run_node(tree, state)
+        while True:
+            action, join, parent = _next_adaptive_step(tree)
+            if action == "final":
+                break
+            if action == "build_scan":
+                scan = join.build
+                names, rows = scan.run_materialized(state)
+                done = MaterializedNode(rows, names, scan.tables, source=scan)
+                join.build = done
+                tree = self._check(tree, done, scan.est_rows)
+            else:
+                names, stream = join.run(state)
+                rows = materialize(stream)
+                done = MaterializedNode(rows, names, join.tables, source=join)
+                if parent.build is join:
+                    parent.build = done
+                else:
+                    parent.probe = done
+                # Joins with deferred extra equi edges emit *pre-residual*
+                # rows; compare against the commensurate estimate so an
+                # accurately-planned cyclic join never fires.
+                est = (
+                    join.est_out_rows
+                    if join.est_out_rows is not None else join.est_rows
+                )
+                tree = self._check(tree, done, est)
+        self.child = tree
+        names, stream = tree.run(state)
+        if self._missing_residual:
+            residual = ast.and_join(
+                [edge.to_expr() for edge in self._missing_residual]
+            )
+            stream = filter_batches(stream, names, residual, state.tally)
+        return names, _counted(self, stream)
+
+    def _check(
+        self, tree: "HashJoinNode", done: MaterializedNode,
+        est_rows: float | None,
+    ) -> "HashJoinNode":
+        """Record the estimate-vs-actual outcome; re-plan when it is bad."""
+        q = q_error(est_rows, done.actual_rows)
+        event = {
+            "tables": sorted(done.tables),
+            "est_rows": round(est_rows, 1) if est_rows is not None else None,
+            "actual_rows": done.actual_rows,
+            "q_error": round(q, 3),
+            "replanned": False,
+        }
+        self.events.append(event)
+        if q <= self.threshold:
+            return tree
+        leaves = _adaptive_leaves(tree)
+        if len(leaves) < 3:
+            event["note"] = "no alternative join order remains"
+            return tree
+        try:
+            new_tree = self.search.replan_remaining(leaves, self.objective)
+        except PlanError as exc:
+            event["note"] = f"replan failed: {exc}"
+            return tree
+        if _tree_shape_key(new_tree) == _tree_shape_key(tree):
+            event["note"] = "replan confirmed the current tree"
+            return tree
+        new_tree.stream_probe = True
+        if isinstance(new_tree.probe, ScanNode):
+            new_tree.probe.phase_label = (
+                f"probe-scan-{new_tree.probe.table.name}"
+            )
+        covered = self._known_extras | set(self._missing_residual)
+        self._missing_residual.extend(
+            edge for edge in _join_extra_edges(new_tree) if edge not in covered
+        )
+        self.replans += 1
+        event["replanned"] = True
+        event["old_tree"] = _adaptive_label(tree)
+        event["new_tree"] = _adaptive_label(new_tree)
+        return new_tree
+
+
 def _run_node(node: PlanNode, state: ExecState, bloom_keys=None):
     if isinstance(node, ScanNode):
         return node.run(state, bloom_keys)
@@ -703,6 +995,9 @@ class PhysicalPlan:
     #: Phase name for baseline join plans, which meter all scans as one
     #: whole-query phase with formula ingest; ``None`` = per-scan phases.
     combined_label: str | None = None
+    #: The mid-flight re-optimization wrapper, when this is an adaptive
+    #: plan (``mode="adaptive"`` over a 3+-way equi-join tree).
+    adaptive_node: "AdaptiveJoinNode | None" = None
 
     def describe(self) -> str:
         return render_plan(self.root)
@@ -743,6 +1038,20 @@ def execute_plan(ctx: CloudContext, plan: PhysicalPlan) -> QueryExecution:
     execution = ctx.finalize(mark, rows, names, phases, strategy=plan.strategy)
     execution.details["plan"] = render_plan(plan.root)
     execution.details["actuals"] = collect_actuals(plan.root)
+    if plan.adaptive_node is not None:
+        adaptive = plan.adaptive_node
+        execution.details["adaptive"] = {
+            "threshold": adaptive.threshold,
+            "replans": adaptive.replans,
+            "events": list(adaptive.events),
+        }
+    feedback = getattr(ctx, "feedback", None)
+    if feedback is not None:
+        # Close the loop: every measured cardinality becomes a learned
+        # estimate for the rest of the session, for free.
+        from repro.optimizer.feedback import harvest_plan
+
+        harvest_plan(feedback, plan.root)
     return execution
 
 
@@ -766,6 +1075,9 @@ def predicted_phases(node: PlanNode) -> list[Phase]:
     phases: list[Phase] = []
 
     def walk(n: PlanNode) -> None:
+        if isinstance(n, MaterializedNode):
+            # Already executed (and billed): contributes no future work.
+            return
         if isinstance(n, ScanNode):
             stats = n.table.stats_or_default()
             est = (
@@ -800,6 +1112,14 @@ def predicted_phases(node: PlanNode) -> list[Phase]:
             walk(n.probe)
             if phases:
                 phases[-1].server_cpu_seconds += n.est_cpu
+            elif n.est_cpu:
+                # Both inputs already materialized (mid-flight replan
+                # candidates): the join's local CPU is still future work
+                # and must not vanish from the ranking — carry it on a
+                # zero-IO phase.
+                phases.append(_phase(
+                    "local-join", 1, requests=0.0, cpu_seconds=n.est_cpu,
+                ))
             return
         for child in n.children():
             walk(child)
@@ -839,6 +1159,9 @@ def clone_tree(node: PlanNode) -> PlanNode:
     candidates embedding a memoized subtree clone it first so Bloom
     annotations on one candidate never leak into another.
     """
+    if isinstance(node, MaterializedNode):
+        # Executed results are immutable facts: candidates share them.
+        return node
     if isinstance(node, ScanNode):
         twin = ScanNode(
             node.table, node.columns, node.predicate, node.pushdown,
@@ -857,6 +1180,7 @@ def clone_tree(node: PlanNode) -> PlanNode:
                 build, probe, node.build_key, node.probe_key,
                 bloom=node.bloom, stream_probe=node.stream_probe,
             )
+            twin.est_out_rows = node.est_out_rows
         else:
             twin = CrossProductNode(build, probe, node.stream_probe)
         twin.est_rows = node.est_rows
@@ -877,6 +1201,10 @@ def serialize_shape(node: PlanNode):
     """
     if isinstance(node, ScanNode):
         return node.table.name
+    if isinstance(node, MaterializedNode):
+        # Mid-flight shapes are descriptive only — a materialized result
+        # cannot be rebuilt from a shape against a fresh catalog.
+        return ["materialized", sorted(node.tables)]
     if isinstance(node, HashJoinNode):
         return ["hash", serialize_shape(node.build), serialize_shape(node.probe)]
     if isinstance(node, CrossProductNode):
@@ -892,28 +1220,34 @@ def join_leaf_order(node: PlanNode) -> list[str]:
     matches this tree.  Genuinely bushy nodes concatenate build then
     probe (display only; no left-deep equivalent exists).
     """
-    if isinstance(node, ScanNode):
-        return [node.table.name]
+    if isinstance(node, (ScanNode, MaterializedNode)):
+        return [_leaf_label(node)]
     build, probe = node.build, node.probe
-    build_leaf = isinstance(build, ScanNode)
-    probe_leaf = isinstance(probe, ScanNode)
+    build_leaf = isinstance(build, (ScanNode, MaterializedNode))
+    probe_leaf = isinstance(probe, (ScanNode, MaterializedNode))
     if build_leaf and probe_leaf:
-        return [build.table.name, probe.table.name]
+        return [_leaf_label(build), _leaf_label(probe)]
     if probe_leaf:
-        return join_leaf_order(build) + [probe.table.name]
+        return join_leaf_order(build) + [_leaf_label(probe)]
     if build_leaf:
-        return join_leaf_order(probe) + [build.table.name]
+        return join_leaf_order(probe) + [_leaf_label(build)]
     return join_leaf_order(build) + join_leaf_order(probe)
+
+
+def _leaf_label(node: PlanNode) -> str:
+    if isinstance(node, ScanNode):
+        return node.table.name
+    return "[" + "+".join(sorted(node.tables)) + "]"
 
 
 def is_left_deep(node: PlanNode) -> bool:
     """True when the tree has a left-deep-equivalent execution order."""
-    if isinstance(node, ScanNode):
+    if isinstance(node, (ScanNode, MaterializedNode)):
         return True
     if isinstance(node, CrossProductNode):
         return False
-    build_leaf = isinstance(node.build, ScanNode)
-    probe_leaf = isinstance(node.probe, ScanNode)
+    build_leaf = isinstance(node.build, (ScanNode, MaterializedNode))
+    probe_leaf = isinstance(node.probe, (ScanNode, MaterializedNode))
     if build_leaf and probe_leaf:
         return True
     if probe_leaf:
@@ -925,14 +1259,14 @@ def is_left_deep(node: PlanNode) -> bool:
 
 def join_tree_label(node: PlanNode) -> str:
     """Compact label: `a >< b >< c` for left-deep, parenthesized for bushy."""
-    if isinstance(node, ScanNode):
-        return node.table.name
+    if isinstance(node, (ScanNode, MaterializedNode)):
+        return _leaf_label(node)
     if is_left_deep(node) and not _has_cross(node):
         return " >< ".join(join_leaf_order(node))
 
     def render(n: PlanNode) -> str:
-        if isinstance(n, ScanNode):
-            return n.table.name
+        if isinstance(n, (ScanNode, MaterializedNode)):
+            return _leaf_label(n)
         op = " x " if isinstance(n, CrossProductNode) else " >< "
         return f"({render(n.build)}{op}{render(n.probe)})"
 
@@ -995,10 +1329,9 @@ def collect_actuals(root: PlanNode) -> list[dict]:
     out: list[dict] = []
 
     def walk(node: PlanNode, depth: int) -> None:
-        q_error = None
+        quotient = None
         if node.est_rows is not None and node.actual_rows is not None:
-            est, actual = node.est_rows + 1.0, node.actual_rows + 1.0
-            q_error = round(max(est / actual, actual / est), 3)
+            quotient = round(q_error(node.est_rows, node.actual_rows), 3)
         out.append({
             "node": node.describe(),
             "depth": depth,
@@ -1006,7 +1339,7 @@ def collect_actuals(root: PlanNode) -> list[dict]:
                 round(node.est_rows, 1) if node.est_rows is not None else None
             ),
             "actual_rows": node.actual_rows,
-            "q_error": q_error,
+            "q_error": quotient,
         })
         for child in node.children():
             walk(child, depth + 1)

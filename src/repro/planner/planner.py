@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from repro.cloud.context import CloudContext, QueryExecution
 from repro.common.errors import PlanError
 from repro.engine.catalog import Catalog, TableInfo
-from repro.optimizer.selectivity import estimate_selectivity
+from repro.optimizer.feedback import estimate_selectivity_with_feedback
 from repro.planner import physical
 from repro.planner.physical import (
     FilterNode,
@@ -57,11 +57,18 @@ def plan_and_execute(
 
     ``mode="auto"`` asks the cost-based optimizer to pick between the
     baseline and optimized physical plans; the per-candidate estimates
-    land in ``execution.details["optimizer"]``.
+    land in ``execution.details["optimizer"]``.  ``mode="adaptive"``
+    executes the optimized plan with mid-flight re-optimization: when a
+    completed hash build's cardinality misses its estimate by more than
+    the context's ``adaptive_threshold`` Q-error, the remaining join
+    tree is re-planned around the observed count (see
+    :class:`~repro.planner.physical.AdaptiveJoinNode`); accurate
+    estimates execute byte-identically to ``mode="optimized"``.
     """
-    if mode not in ("baseline", "optimized", "auto"):
+    if mode not in ("baseline", "optimized", "auto", "adaptive"):
         raise PlanError(
-            f"unknown mode {mode!r}; use 'baseline', 'optimized' or 'auto'"
+            f"unknown mode {mode!r}; use 'baseline', 'optimized',"
+            " 'auto' or 'adaptive'"
         )
     query = parse(sql)
     summary = None
@@ -135,14 +142,16 @@ def _build_single_plan(
     operator work short without changing what was billed.
     """
     table = catalog.get(query.table)
-    if mode == "optimized" and _fully_pushable(query):
+    if mode in ("optimized", "adaptive") and _fully_pushable(query):
         root = PushedAggregateNode(table, query)
         return PhysicalPlan(
             root=root, mode=mode, strategy="optimized single-table",
             scan_tables=[table],
         )
     stats = table.stats_or_default()
-    selectivity = estimate_selectivity(query.where, stats)
+    selectivity = estimate_selectivity_with_feedback(
+        getattr(ctx, "feedback", None), table.name, query.where, stats
+    )
     if mode == "baseline":
         names = list(table.schema.names)
         scan = ScanNode(table, names, query.where, pushdown=False,
@@ -347,7 +356,7 @@ def _build_pairwise_plan(
         build_scan, probe_scan, plan.build_key, plan.probe_key,
         bloom=bloom, stream_probe=True,
     )
-    _annotate_pairwise(catalog, plan, build_scan, probe_scan, join)
+    _annotate_pairwise(ctx, catalog, plan, build_scan, probe_scan, join)
     node: physical.PlanNode = join
     if plan.residual is not None:
         node = FilterNode(node, plan.residual)
@@ -365,6 +374,7 @@ def _build_pairwise_plan(
 
 
 def _annotate_pairwise(
+    ctx: CloudContext,
     catalog: Catalog,
     plan: _JoinPlan,
     build_scan: ScanNode,
@@ -372,10 +382,15 @@ def _annotate_pairwise(
     join: HashJoinNode,
 ) -> None:
     """Containment estimates for the pairwise plan's EXPLAIN annotations."""
+    feedback = getattr(ctx, "feedback", None)
     b_stats = plan.build.stats_or_default()
     p_stats = plan.probe.stats_or_default()
-    build_rows = estimate_selectivity(plan.build_pred, b_stats) * plan.build.num_rows
-    probe_rows = estimate_selectivity(plan.probe_pred, p_stats) * plan.probe.num_rows
+    build_rows = estimate_selectivity_with_feedback(
+        feedback, plan.build.name, plan.build_pred, b_stats
+    ) * plan.build.num_rows
+    probe_rows = estimate_selectivity_with_feedback(
+        feedback, plan.probe.name, plan.probe_pred, p_stats
+    ) * plan.probe.num_rows
     build_scan.est_rows = build_rows
     build_scan.est_terms = float(
         plan.build.num_rows * len(ast.split_conjuncts(plan.build_pred))
@@ -396,6 +411,14 @@ def _annotate_pairwise(
     )
     distinct_keys = min(build_rows, build_distinct)
     matched = probe_rows * min(1.0, distinct_keys / probe_distinct)
+    if feedback is not None and feedback.has_join_feedback():
+        from repro.optimizer.feedback import join_signature
+
+        parts = physical.tree_signature(join)
+        if parts is not None:
+            measured = feedback.lookup_join(join_signature(*parts))
+            if measured is not None:
+                matched = measured
     join.est_rows = matched
     join.est_build_rows = min(build_rows, probe_rows)
     join.est_probe_rows = max(build_rows, probe_rows)
@@ -513,12 +536,28 @@ def _build_multiway_plan(
     if not optimized:
         tree = _as_baseline_tree(tree)
     _mark_spine(tree)
+    label = physical.join_tree_label(tree)
 
     deferred = [
         edge.to_expr() for edge in _collect_extra_edges(tree)
     ]
     residual = _and_join(deferred + _split_conjuncts(graph.residual))
     node: physical.PlanNode = tree
+    adaptive_node = None
+    if (
+        mode == "adaptive"
+        and isinstance(tree, HashJoinNode)
+        and _all_hash_joins(tree)
+        and len(_leaf_scans(tree)) >= 3
+    ):
+        # Mid-flight re-optimization needs at least three relations (two
+        # leave nothing to reorder) and a pure equi-join tree; the search
+        # object rides along so re-plans price through the same
+        # calibrated cost model the original plan did.
+        adaptive_node = physical.AdaptiveJoinNode(
+            tree, search, ctx.adaptive_threshold
+        )
+        node = adaptive_node
     if residual is not None:
         node = FilterNode(node, residual)
     names = [
@@ -527,12 +566,12 @@ def _build_multiway_plan(
         for column in leaf.columns
     ]
     root = attach_local_tail(node, query, names)
-    label = physical.join_tree_label(tree)
     return PhysicalPlan(
         root=root, mode=mode,
         strategy=f"{mode} multi-join ({label})",
         scan_tables=[leaf.table for leaf in _leaf_scans(tree)],
         combined_label=None if optimized else "load+join",
+        adaptive_node=adaptive_node,
     )
 
 
@@ -540,6 +579,15 @@ def _leaf_scans(tree: physical.PlanNode) -> list[ScanNode]:
     if isinstance(tree, ScanNode):
         return [tree]
     return [leaf for child in tree.children() for leaf in _leaf_scans(child)]
+
+
+def _all_hash_joins(tree: physical.PlanNode) -> bool:
+    """True when ``tree`` is scans composed purely by hash joins."""
+    if isinstance(tree, ScanNode):
+        return True
+    if isinstance(tree, HashJoinNode):
+        return _all_hash_joins(tree.build) and _all_hash_joins(tree.probe)
+    return False
 
 
 def _collect_extra_edges(tree: physical.PlanNode) -> list:

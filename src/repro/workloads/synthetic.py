@@ -184,3 +184,73 @@ def snowflake_tables(
         "dim2": dim(n_d2, n_s2, "d2"),
         "sub2": sub(n_s2, "s2"),
     }
+
+
+# ----------------------------------------------------------------------
+# correlated-predicate star workload (fig14)
+# ----------------------------------------------------------------------
+
+#: Schemas of the fig14 star: a fact table referencing three dimensions.
+#: ``dima`` carries two *correlated* attribute columns — the adversarial
+#: input for System-R's independence assumption.
+CORRELATED_STAR_SCHEMAS = {
+    "fact": TableSchema.of(
+        "f_a:int", "f_b:int", "f_c:int", "f_v:float",
+        *[f"f_p{i}:float" for i in range(3)],
+    ),
+    "dima": TableSchema.of("a_id:int", "a_x:int", "a_y:int", "a_pad:str"),
+    "dimb": TableSchema.of("b_id:int", "b_sel:int", "b_pad:str"),
+    "dimc": TableSchema.of("c_id:int", "c_w:int", "c_pad:str"),
+}
+
+
+def correlated_star_tables(
+    fact_rows: int = 8000, seed: int | None = None
+) -> dict[str, list[tuple]]:
+    """Rows for the fig14 adaptive-execution star join.
+
+    ``dima.a_x`` and ``dima.a_y`` are uniform in ``0..99`` and (almost)
+    perfectly correlated: ``a_y`` is ``a_x`` plus or minus at most 1.
+    A conjunction ``a_x < t AND a_y < t`` therefore keeps about ``t``
+    percent of the rows, while a System-R estimator multiplying
+    per-conjunct selectivities predicts ``(t/100)^2`` — the classic
+    quadratic underestimate that makes a cost-based search join ``dima``
+    first when it should not.  ``dimb`` carries an *accurately*
+    estimable uniform filter column, and ``dimc`` is an unfiltered
+    bystander that keeps the remaining search space non-trivial after
+    the first materialization.
+    """
+    rng = np_rng(derive_seed(seed or 0, "correlated-star", fact_rows))
+    n_a = max(fact_rows // 5, 8)
+    n_b = max(fact_rows // 6, 8)
+    n_c = max(fact_rows // 8, 8)
+    a_refs = rng.integers(0, n_a, fact_rows)
+    b_refs = rng.integers(0, n_b, fact_rows)
+    c_refs = rng.integers(0, n_c, fact_rows)
+    values = rng.uniform(0.0, 1000.0, fact_rows).round(4)
+    payload = rng.uniform(0.0, 1e6, (fact_rows, 3)).round(4)
+    fact = [
+        (
+            int(a_refs[r]), int(b_refs[r]), int(c_refs[r]), float(values[r]),
+            *(float(v) for v in payload[r]),
+        )
+        for r in range(fact_rows)
+    ]
+    a_x = rng.integers(0, 100, n_a)
+    a_noise = rng.integers(-1, 2, n_a)
+    dima = [
+        (
+            i,
+            int(a_x[i]),
+            int(min(max(a_x[i] + a_noise[i], 0), 99)),
+            f"a-pad-{i:06d}",
+        )
+        for i in range(n_a)
+    ]
+    dimb = [
+        (i, int(rng.integers(0, 100)), f"b-pad-{i:06d}") for i in range(n_b)
+    ]
+    dimc = [
+        (i, int(rng.integers(0, 100)), f"c-pad-{i:06d}") for i in range(n_c)
+    ]
+    return {"fact": fact, "dima": dima, "dimb": dimb, "dimc": dimc}

@@ -66,6 +66,47 @@ class TestCli:
         assert main(["experiment", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().out
 
+    def test_experiment_help_derives_from_registry(self, capsys):
+        """The valid-names help text can never go stale: it is rendered
+        from the experiment registry itself."""
+        from repro.experiments import ALL_EXPERIMENTS
+
+        with pytest.raises(SystemExit):
+            main(["experiment", "--help"])
+        help_text = capsys.readouterr().out
+        for name in ALL_EXPERIMENTS:
+            assert name in help_text
+        assert "fig14" in help_text
+
+    def test_explain_command(self, capsys):
+        code = main([
+            "explain",
+            "SELECT SUM(l_extendedprice) AS s FROM customer, orders, lineitem"
+            " WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey"
+            " AND c_acctbal > 100",
+            "--scale-factor", "0.001",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimizer:" in out
+        assert "join-order search" in out
+        assert "physical plan" in out
+        assert "hash-join" in out
+
+    def test_query_command_strategy_adaptive(self, capsys):
+        code = main([
+            "query",
+            "SELECT COUNT(*) AS n FROM customer, orders, lineitem"
+            " WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey",
+            "--scale-factor", "0.001",
+            "--strategy", "adaptive",
+            "--adaptive-threshold", "3.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adaptive multi-join" in out
+        assert "'threshold': 3.5" in out
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

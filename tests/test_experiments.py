@@ -20,6 +20,7 @@ from repro.experiments import (
     fig11_parquet,
     fig12_multijoin,
     fig13_snowflake,
+    fig14_adaptive,
 )
 
 
@@ -238,6 +239,41 @@ class TestFig13Snowflake:
                 if r["strategy"] not in ("auto", "dp-pick")
             )
             assert pick["cost_total"] <= worst * (1 + 1e-9)
+
+
+class TestFig14Adaptive:
+    @pytest.fixture(scope="class")
+    def fig14(self):
+        return fig14_adaptive.run(fact_rows=4000, thresholds=(15, 55))
+
+    def test_three_runs_per_point_plus_probe_sweep(self, fig14):
+        strategies = {r["strategy"] for r in fig14.rows}
+        assert strategies == {
+            "static", "adaptive", "warm", "probed-filter-choice"
+        }
+
+    def test_replanning_fires_and_wins_somewhere(self, fig14):
+        assert fig14.notes["replan_wins"] >= 1
+
+    def test_adaptive_never_measures_worse(self, fig14):
+        for value in {
+            r["threshold"] for r in fig14.rows if "threshold" in r
+        }:
+            point = [
+                r for r in fig14.rows if r.get("threshold") == value
+            ]
+            static = next(r for r in point if r["strategy"] == "static")
+            adaptive = next(r for r in point if r["strategy"] == "adaptive")
+            assert adaptive["cost_total"] <= static["cost_total"] * (1 + 1e-9)
+            assert adaptive["runtime_s"] <= static["runtime_s"] * (1 + 1e-9)
+
+    def test_warm_probe_runs_are_free(self, fig14):
+        probes = [
+            r for r in fig14.rows if r["strategy"] == "probed-filter-choice"
+        ]
+        assert probes[0]["probe_requests"] > 0
+        assert all(r["probe_requests"] == 0 for r in probes[1:])
+        assert len({r["probed_selectivity"] for r in probes}) == 1
 
 
 class TestHarnessUtilities:

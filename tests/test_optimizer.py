@@ -224,6 +224,66 @@ class TestExtensionCoverage:
         )
         assert len(execution.rows) == 5
 
+    def test_partial_groupby_is_opt_in(self, fig1_env):
+        ctx, catalog = fig1_env
+        model = CostModel(ctx, catalog)
+        query = GroupByQuery(
+            table="filter_data", group_columns=["tag"],
+            aggregates=[AggSpec("sum", "p0"), AggSpec("avg", "p1")],
+        )
+        default = {e.strategy for e in model.estimate_group_by(query)}
+        assert "partial group-by pushdown" not in default
+        extended = {
+            e.strategy
+            for e in model.estimate_group_by(query, include_extensions=True)
+        }
+        assert "partial group-by pushdown" in extended
+
+    def test_partial_groupby_estimate_tracks_measured(self, fig1_env):
+        ctx, catalog = fig1_env
+        model = CostModel(ctx, catalog)
+        query = GroupByQuery(
+            table="filter_data", group_columns=["tag"],
+            aggregates=[AggSpec("sum", "p0"), AggSpec("avg", "p1")],
+        )
+        estimate = next(
+            e for e in model.estimate_group_by(query, include_extensions=True)
+            if e.strategy == "partial group-by pushdown"
+        )
+        execution = STRATEGY_RUNNERS["partial group-by pushdown"](
+            ctx, catalog, query
+        )
+        assert estimate.requests == execution.num_requests
+        assert estimate.bytes_scanned == pytest.approx(
+            execution.bytes_scanned, rel=0.01
+        )
+        assert estimate.runtime_seconds == pytest.approx(
+            execution.runtime_seconds, rel=0.15
+        )
+        assert estimate.total_cost == pytest.approx(
+            execution.total_cost, rel=0.15
+        )
+
+    def test_run_auto_executes_partial_groupby_pick(self, fig1_env):
+        """When offered and predicted cheapest, the chooser's pick runs
+        through `run_auto` and returns the real grouped result."""
+        from repro.optimizer.chooser import choose_group_by_strategy
+
+        ctx, catalog = fig1_env
+        query = GroupByQuery(
+            table="filter_data", group_columns=["key"],
+            aggregates=[AggSpec("sum", "p0")],
+        )
+        choice = choose_group_by_strategy(
+            ctx, catalog, query, include_extensions=True
+        )
+        assert "partial group-by pushdown" in {
+            c.strategy for c in choice.candidates
+        }
+        execution = run_auto(ctx, catalog, query, include_extensions=True)
+        assert execution.details["optimizer"]["picked"] == choice.picked
+        assert len(execution.rows) == 10_000  # every key is its own group
+
     def test_hybrid_split_point_is_swept(self, fig1_env):
         from repro.optimizer.cost import HYBRID_SPLIT_CANDIDATES
 

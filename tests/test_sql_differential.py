@@ -5,8 +5,12 @@ A seeded RNG generates ~200 SELECTs over four random tables — filters
 order-by/limit, 2–4-way equi-join chains with per-table and cross-table
 residual predicates, and two-table *cross joins* (no equi-join
 condition, exercising the planner's guarded CrossProductNode fallback)
-— and every query must produce the same row set as sqlite3 under both
-``mode="baseline"`` and ``mode="auto"``.
+— and every query must produce the same row set as sqlite3 under
+``mode="baseline"``, ``mode="auto"`` and ``mode="adaptive"``.  The
+adaptive pass doubles as the acceptance gate that mid-flight join
+re-planning never changes result rows, and — because the fixture is one
+long-lived session — that plans steered by accumulated execution
+feedback stay correct as estimates shift under the fuzzer's feet.
 
 This extends the sqlite-oracle approach of ``test_null_semantics.py``
 from single expressions to full queries: parser, planner, join-order
@@ -260,7 +264,7 @@ def _check(db: PushdownDB, oracle: sqlite3.Connection, sql: str):
     # output column, so the selected prefix is a deterministic multiset
     # too (equal-key rows may interleave differently between engines).
     expected = sorted(_normalize(oracle.execute(sql).fetchall()), key=repr)
-    for mode in ("baseline", "auto"):
+    for mode in ("baseline", "auto", "adaptive"):
         got = sorted(_normalize(db.execute(sql, mode=mode).rows), key=repr)
         assert got == expected, (
             f"mode={mode}: {sql}\n got {got}\n exp {expected}"
