@@ -1,18 +1,34 @@
 """Microbenchmarks of the substrate itself (not a paper figure).
 
 Measures the simulated S3 Select engine's scan throughput, the local
-hash join, the batched vs materialized decode paths, and the wall-clock
-effect of concurrent partition scans, so regressions in the substrate
-are visible independently of the simulated-time results.
+hash join, the batched vs materialized decode paths, the vectorized
+columnar operator paths against their row-wise twins, and the
+wall-clock effect of concurrent partition scans, so regressions in the
+substrate are visible independently of the simulated-time results.
+
+The vectorized-vs-row-wise results are also written to
+``BENCH_throughput.json`` (override the path with the
+``BENCH_THROUGHPUT_JSON`` environment variable) so CI can archive
+per-operator rows/sec across commits.
 """
 
+import json
+import os
 import statistics
 import time
 
+import pytest
+
 from repro.cloud.context import CloudContext
+from repro.engine.batch import Batch
 from repro.engine.catalog import Catalog, load_table
+from repro.engine.operators.base import batches_of
+from repro.engine.operators.filter import filter_batches
+from repro.engine.operators.groupby import group_by_batches
 from repro.engine.operators.hashjoin import hash_join
+from repro.queries.common import items
 from repro.s3select.engine import execute_select
+from repro.sqlparser.parser import parse_expression
 from repro.storage.csvcodec import decode_table, encode_table, iter_decode_batches
 from repro.storage.object_store import StoredObject
 from repro.strategies.scans import select_table
@@ -25,6 +41,94 @@ OBJ = StoredObject(
     {"format": "csv", "schema": [f"{c.name}:{c.type}" for c in FILTER_SCHEMA.columns],
      "header": False},
 )
+
+NAMES = [c.name for c in FILTER_SCHEMA.columns]
+BATCH_SIZE = 1024
+COLUMN_BATCHES = [Batch.from_rows(c) for c in batches_of(ROWS, BATCH_SIZE)]
+LIST_BATCHES = list(batches_of(ROWS, BATCH_SIZE))
+
+#: rows/sec per operator, vectorized vs row-wise; dumped to JSON at exit.
+_THROUGHPUT: dict[str, dict[str, float]] = {}
+
+
+def _median_seconds(fn, repeats: int = 5) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def _record_speedup(benchmark, operator: str, vector_s: float, row_s: float):
+    entry = {
+        "rows": len(ROWS),
+        "vectorized_rows_per_sec": round(len(ROWS) / vector_s),
+        "row_wise_rows_per_sec": round(len(ROWS) / row_s),
+        "speedup": round(row_s / vector_s, 2),
+    }
+    _THROUGHPUT[operator] = entry
+    benchmark.extra_info.update(entry)
+    return entry["speedup"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_throughput_json():
+    """Write the vectorized-vs-row-wise numbers after the module runs."""
+    yield
+    if not _THROUGHPUT:
+        return
+    path = os.environ.get("BENCH_THROUGHPUT_JSON", "BENCH_throughput.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {"batch_size": BATCH_SIZE, "operators": _THROUGHPUT}, fh, indent=2
+        )
+        fh.write("\n")
+
+
+def test_vectorized_filter_throughput(benchmark):
+    """Columnar filter must beat the row-wise filter by >=2x rows/sec.
+
+    Both paths run the same WHERE through ``filter_batches``; the only
+    difference is the batch currency (columnar Batches vs row-tuple
+    lists), which selects the vectorized or the row-wise predicate.
+    """
+    predicate = parse_expression("key < 10000 AND p0 >= 250000.0")
+
+    def drain(batches):
+        return sum(len(b) for b in filter_batches(batches, NAMES, predicate))
+
+    expected = drain(LIST_BATCHES)
+    assert drain(COLUMN_BATCHES) == expected and expected > 0
+
+    vector_s = _median_seconds(lambda: drain(COLUMN_BATCHES))
+    row_s = _median_seconds(lambda: drain(LIST_BATCHES))
+    benchmark(lambda: drain(COLUMN_BATCHES))
+    speedup = _record_speedup(benchmark, "filter_scan", vector_s, row_s)
+    assert speedup >= 2.0, (
+        f"vectorized filter only {speedup:.2f}x the row-wise path"
+        f" ({vector_s:.4f}s vs {row_s:.4f}s)"
+    )
+
+
+def test_vectorized_group_by_throughput(benchmark):
+    """Columnar group-by must beat the row-wise path by >=2x rows/sec."""
+    groups = [parse_expression("key % 16")]
+    aggs = items("COUNT(*) AS n", "SUM(p0) AS s0", "AVG(p1) AS a1")
+
+    def grouped(batches):
+        return group_by_batches(batches, NAMES, groups, aggs)
+
+    assert grouped(COLUMN_BATCHES).rows == grouped(LIST_BATCHES).rows
+
+    vector_s = _median_seconds(lambda: grouped(COLUMN_BATCHES))
+    row_s = _median_seconds(lambda: grouped(LIST_BATCHES))
+    benchmark(lambda: grouped(COLUMN_BATCHES))
+    speedup = _record_speedup(benchmark, "group_by", vector_s, row_s)
+    assert speedup >= 2.0, (
+        f"vectorized group-by only {speedup:.2f}x the row-wise path"
+        f" ({vector_s:.4f}s vs {row_s:.4f}s)"
+    )
 
 
 def test_select_scan_throughput(benchmark):

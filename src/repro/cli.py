@@ -110,14 +110,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value <= 0:
+            raise argparse.ArgumentTypeError(
+                f"must be a positive integer, got {text}"
+            )
+        return value
+
     def add_pipeline_knobs(p: argparse.ArgumentParser) -> None:
         p.add_argument(
-            "--workers", type=int, default=None, metavar="N",
+            "--workers", type=positive_int, default=None, metavar="N",
             help="concurrent partition-scan requests (default: serial);"
                  " affects wall-clock only, never results or cost",
         )
         p.add_argument(
-            "--batch-size", type=int, default=None, metavar="ROWS",
+            "--batch-size", type=positive_int, default=None, metavar="ROWS",
             help="rows per RecordBatch in the streaming executor",
         )
 

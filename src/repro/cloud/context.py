@@ -33,9 +33,16 @@ def set_default_pipeline(
     """Set process-wide defaults for ``CloudContext`` pipeline knobs.
 
     Arguments left as ``None`` keep their current default.
+
+    Raises:
+        ValueError: on a non-positive ``workers`` or ``batch_size`` —
+            rejected here rather than silently clamped, so a typo'd knob
+            fails loudly instead of degrading downstream.
     """
     if workers is not None:
-        _PIPELINE_DEFAULTS["workers"] = max(1, int(workers))
+        if int(workers) <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        _PIPELINE_DEFAULTS["workers"] = int(workers)
     if batch_size is not None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -96,7 +103,7 @@ class QueryExecution:
             )
         extras = {
             k: v for k, v in self.details.items()
-            if k not in ("plan", "actuals")
+            if k not in ("plan", "actuals", "operator_times")
         }
         if extras:
             lines.append(f"  details: {extras}")
@@ -167,8 +174,10 @@ class CloudContext:
                 "adaptive_threshold is a Q-error bound and must be >= 1.0,"
                 f" got {self.adaptive_threshold}"
             )
+        if workers is not None and int(workers) <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
         self.workers = (
-            max(1, int(workers)) if workers is not None
+            int(workers) if workers is not None
             else _PIPELINE_DEFAULTS["workers"]
         )
         self.batch_size = (

@@ -1,0 +1,160 @@
+"""The columnar RecordBatch: one value sequence per column.
+
+The streaming pipeline historically moved ``list[tuple]`` chunks.  Row
+tuples are convenient but slow to build and tear apart: every operator
+pays a Python-level loop per row, and the CSV decoder materializes a
+tuple per record just so a filter can immediately discard most of them.
+A :class:`Batch` stores the same chunk column-wise — one plain Python
+list (or ``array.array`` for NULL-free fixed-width numerics, see
+:meth:`compact`) per column plus a row count — so the vectorized
+expression kernels in :mod:`repro.expr.vector` can sweep whole columns
+with C-speed list comprehensions.
+
+Compatibility contract: a :class:`Batch` behaves like the sequence of
+row tuples it represents.  ``len(batch)`` is the row count, iteration
+yields tuples, ``batch[i]`` is a row, and ``batch[a:b]`` is a sliced
+*view* — column slices share the underlying value objects and no row
+tuple is ever rebuilt.  Operators that receive plain lists keep their
+row-wise paths, so the two batch currencies can coexist in one stream.
+"""
+
+from __future__ import annotations
+
+from array import array
+from itertools import compress
+from typing import Iterable, Iterator, Sequence
+
+#: ``array.array`` typecodes used by :meth:`Batch.compact`.
+_COMPACT_TYPECODES = {int: "q", float: "d"}
+
+
+class Batch:
+    """One columnar RecordBatch: per-column value sequences + a length.
+
+    ``columns`` is a list with one entry per output column; each entry is
+    an indexable sequence (usually a list, possibly an ``array.array``)
+    of exactly ``length`` values, where ``None`` encodes SQL NULL.
+    Columns are treated as immutable once a batch is constructed, which
+    is what makes slicing and projection views safe to share.
+    """
+
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns: Sequence[Sequence[object]], length: int | None = None):
+        self.columns = list(columns)
+        if length is None:
+            if not self.columns:
+                raise ValueError("a Batch without columns needs an explicit length")
+            length = len(self.columns[0])
+        self.length = length
+
+    # -- converters ----------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[tuple], num_columns: int | None = None
+    ) -> "Batch":
+        """Transpose row tuples into a columnar batch.
+
+        ``num_columns`` is only needed for an empty ``rows`` (the column
+        count cannot be inferred from nothing).
+        """
+        if not rows:
+            if num_columns is None:
+                raise ValueError("from_rows([]) needs num_columns")
+            return cls([[] for _ in range(num_columns)], 0)
+        return cls([list(col) for col in zip(*rows)], len(rows))
+
+    def to_rows(self) -> list[tuple]:
+        """Materialize the batch as a list of row tuples."""
+        if not self.columns:
+            return [()] * self.length
+        return list(zip(*self.columns))
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Iterate row tuples without materializing them all up front."""
+        if not self.columns:
+            return iter([()] * self.length)
+        return zip(*self.columns)
+
+    # -- sequence protocol (a Batch acts like its list of row tuples) --
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[tuple]:
+        return self.iter_rows()
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.length)
+            if step != 1:
+                raise ValueError("Batch slices must be contiguous (step 1)")
+            if start == 0 and stop == self.length:
+                return self
+            return Batch([col[start:stop] for col in self.columns], max(stop - start, 0))
+        return self.row(index)
+
+    def row(self, i: int) -> tuple:
+        """Materialize one row tuple."""
+        return tuple(col[i] for col in self.columns)
+
+    def column(self, i: int) -> Sequence[object]:
+        """The ``i``-th column's value sequence (shared, not copied)."""
+        return self.columns[i]
+
+    # -- columnar transforms -------------------------------------------
+
+    def filter(self, mask: Sequence[object]) -> "Batch":
+        """Rows whose mask entry is ``True`` (SQL WHERE: NULL drops).
+
+        ``mask`` entries must be ``True``, ``False`` or ``None`` (the
+        three values a predicate produces); counting and compressing
+        then both run at C speed.
+        """
+        kept = mask.count(True) if isinstance(mask, list) else sum(
+            v is True for v in mask
+        )
+        if kept == self.length:
+            return self
+        return Batch([list(compress(col, mask)) for col in self.columns], kept)
+
+    def take(self, indices: Sequence[int]) -> "Batch":
+        """Gather the given row positions into a new batch."""
+        return Batch([[col[i] for i in indices] for col in self.columns], len(indices))
+
+    def compact(self) -> "Batch":
+        """Repack NULL-free int/float columns into ``array.array``.
+
+        A memory-density optimization for long-lived batches (pipeline
+        breakers buffering input): fixed-width numerics drop the
+        per-object overhead.  Columns with NULLs, mixed types, or values
+        outside the fixed width stay as-is; values read back compare
+        equal, so semantics never change.
+        """
+        packed = []
+        for col in self.columns:
+            typecode = None
+            if self.length and not isinstance(col, array):
+                first = type(col[0])
+                typecode = _COMPACT_TYPECODES.get(first)
+                if typecode is not None and any(type(v) is not first for v in col):
+                    typecode = None
+            if typecode is None:
+                packed.append(col)
+                continue
+            try:
+                packed.append(array(typecode, col))
+            except (OverflowError, TypeError):
+                packed.append(col)
+        return Batch(packed, self.length)
+
+    def __repr__(self) -> str:
+        return f"Batch(columns={len(self.columns)}, rows={self.length})"
+
+
+def batch_rows(batch: "Batch | Iterable[tuple]") -> Iterable[tuple]:
+    """Row tuples of either batch currency (columnar or list)."""
+    if isinstance(batch, Batch):
+        return batch.iter_rows()
+    return batch

@@ -6,10 +6,18 @@ local operator comes in two shapes:
 * a **materialized** function (``filter_rows``, ``project``, ...) that
   transforms full row lists and returns an :class:`OpResult`;
 * a **streaming** variant (``filter_batches``, ``project_batches``, ...)
-  that consumes and produces iterators of RecordBatches (``list[tuple]``
-  chunks), charging the same per-row CPU into a :class:`CpuTally` as the
-  batches flow.  Pipeline-breaking operators (sort, group-by, top-K)
-  drain their input internally and return an :class:`OpResult`.
+  that consumes and produces iterators of RecordBatches, charging the
+  same per-row CPU into a :class:`CpuTally` as the batches flow.
+  Pipeline-breaking operators (sort, group-by, top-K) drain their input
+  internally and return an :class:`OpResult`.
+
+A RecordBatch comes in two currencies that coexist in one stream: a
+plain ``list[tuple]`` chunk (the historical shape, still produced by
+S3 Select result decoding and accepted everywhere), or a columnar
+:class:`repro.engine.batch.Batch`.  Streaming operators dispatch per
+batch — columnar input takes the vectorized kernels from
+:mod:`repro.expr.vector`, list input keeps the row-wise path — and both
+charge identical modeled CPU.
 
 Estimated CPU time is folded into the owning phase's
 ``server_cpu_seconds`` so the performance model can charge local compute.
@@ -18,12 +26,14 @@ Estimated CPU time is folded into the owning phase's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator, List, Union
 
+from repro.engine.batch import Batch as ColumnBatch
 from repro.storage.csvcodec import chunk_rows
 
-#: One RecordBatch: a chunk of row tuples flowing through the pipeline.
-Batch = List[tuple]
+#: One RecordBatch: a chunk of row tuples (legacy list currency) or a
+#: columnar :class:`~repro.engine.batch.Batch` flowing through the pipeline.
+Batch = Union[List[tuple], ColumnBatch]
 
 
 @dataclass

@@ -9,8 +9,10 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Sequence
 
 from repro.cloud.perf import SERVER_CPU_PER_ROW
+from repro.engine.batch import Batch as ColumnBatch
 from repro.engine.operators.base import Batch, CpuTally, OpResult
 from repro.expr.compiler import compile_predicate
+from repro.expr.vector import compile_predicate_vector
 from repro.sqlparser import ast
 
 
@@ -22,6 +24,8 @@ def filter_batches(
 ) -> Iterator[Batch]:
     """Streaming :func:`filter_rows`: filter each RecordBatch as it flows.
 
+    Columnar batches are filtered through the vectorized predicate (one
+    mask sweep + one gather); list batches keep the row-wise closure.
     Charges the same per-input-row CPU as the materialized variant into
     ``tally`` while batches are pulled, so a downstream LIMIT that stops
     early also stops paying.
@@ -30,12 +34,18 @@ def filter_batches(
         yield from batches
         return
     schema = {name: i for i, name in enumerate(column_names)}
-    keep = compile_predicate(predicate, schema)
+    keep_mask = compile_predicate_vector(predicate, schema)  # compile errors now
+    keep = None
     per_row = SERVER_CPU_PER_ROW["filter"]
     for batch in batches:
         if tally is not None:
             tally.add_seconds(len(batch) * per_row)
-        yield [row for row in batch if keep(row)]
+        if isinstance(batch, ColumnBatch):
+            yield batch.filter(keep_mask(batch))
+        else:
+            if keep is None:
+                keep = compile_predicate(predicate, schema)
+            yield [row for row in batch if keep(row)]
 
 
 def filter_rows(

@@ -3,6 +3,12 @@
 Used by the server-side / filtered group-by strategies, by hybrid
 group-by for its small-group tail, and by the SQL planner for TPC-H
 queries with GROUP BY.
+
+Both batch currencies feed one :class:`_GroupByState`: columnar batches
+extract group keys and aggregate inputs column-at-a-time and fold each
+group's slice with :meth:`Accumulator.add_many`; list batches keep the
+per-row loop.  Keys, accumulation order, and the modeled CPU charge are
+identical either way, so a stream may mix the two freely.
 """
 
 from __future__ import annotations
@@ -10,10 +16,120 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.cloud.perf import SERVER_CPU_PER_ROW
-from repro.engine.operators.base import Batch, OpResult, rows_of
+from repro.engine.batch import Batch as ColumnBatch
+from repro.engine.operators.base import Batch, OpResult
 from repro.expr.aggregates import CompiledAggregate, split_aggregate_expr
 from repro.expr.compiler import compile_expr
+from repro.expr.vector import compile_aggregate_input_vector, compile_expr_vector
 from repro.sqlparser import ast
+
+
+class _GroupByState:
+    """Incremental hash-aggregation state shared by both input shapes."""
+
+    def __init__(
+        self,
+        column_names: Sequence[str],
+        group_exprs: Sequence[ast.Expr],
+        agg_items: Sequence[ast.SelectItem],
+    ):
+        schema = {name: i for i, name in enumerate(column_names)}
+        self.group_exprs = list(group_exprs)
+        self.group_fns = [compile_expr(g, schema) for g in group_exprs]
+        self.compiled_items: list[tuple[list[CompiledAggregate], object]] = []
+        self.flat_agg_nodes: list[ast.Aggregate] = []
+        self.out_names: list[str] = []
+        for i, g in enumerate(group_exprs):
+            self.out_names.append(g.name if isinstance(g, ast.Column) else f"group_{i}")
+        for ordinal, item in enumerate(agg_items, start=1):
+            agg_nodes, finisher = split_aggregate_expr(item.expr)
+            compiled = [CompiledAggregate(node, schema) for node in agg_nodes]
+            self.compiled_items.append((compiled, finisher))
+            self.flat_agg_nodes.extend(agg_nodes)
+            self.out_names.append(item.output_name(ordinal))
+        self.total_aggs = len(self.flat_agg_nodes)
+        # Vectorized extractors, compiled on the first columnar batch.
+        self._vec_group_fns: list | None = None
+        self._vec_input_fns: list | None = None
+        self._vec_schema = schema
+
+        self.groups: dict[tuple, list] = {}
+        if not group_exprs:
+            # A global aggregate (no GROUP BY) always produces exactly one
+            # output row, even over zero input rows (SQL semantics: SUM of
+            # nothing is NULL, COUNT of nothing is 0).
+            self.groups[()] = self._new_state()
+        self.n_aggs = 0
+
+    def _new_state(self) -> list:
+        return [
+            [agg.new_accumulator() for agg in compiled]
+            for compiled, _ in self.compiled_items
+        ]
+
+    def add_rows(self, rows: Iterable[tuple]) -> None:
+        groups = self.groups
+        for row in rows:
+            key = tuple(fn(row) for fn in self.group_fns)
+            state = groups.get(key)
+            if state is None:
+                state = self._new_state()
+                groups[key] = state
+            for (compiled, _), accs in zip(self.compiled_items, state):
+                for agg, acc in zip(compiled, accs):
+                    acc.add(agg.input_value(row))
+                    self.n_aggs += 1
+
+    def add_batch(self, batch: ColumnBatch) -> None:
+        n = len(batch)
+        if n == 0:
+            return
+        if self._vec_input_fns is None:
+            schema = self._vec_schema
+            self._vec_group_fns = [
+                compile_expr_vector(g, schema) for g in self.group_exprs
+            ]
+            self._vec_input_fns = [
+                compile_aggregate_input_vector(node, schema)
+                for node in self.flat_agg_nodes
+            ]
+        input_cols = [fn(batch) for fn in self._vec_input_fns]
+        groups = self.groups
+        if not self.group_fns:
+            self._fold(groups[()], input_cols, None)
+        else:
+            key_cols = [fn(batch) for fn in self._vec_group_fns]
+            buckets: dict[tuple, list[int]] = {}
+            setdefault = buckets.setdefault
+            for i, key in enumerate(zip(*key_cols)):
+                setdefault(key, []).append(i)
+            for key, idxs in buckets.items():
+                state = groups.get(key)
+                if state is None:
+                    state = self._new_state()
+                    groups[key] = state
+                self._fold(state, input_cols, None if len(idxs) == n else idxs)
+        self.n_aggs += n * self.total_aggs
+
+    def _fold(self, state: list, input_cols: list, idxs: list[int] | None):
+        flat_accs = (acc for accs in state for acc in accs)
+        if idxs is None:
+            for col, acc in zip(input_cols, flat_accs):
+                acc.add_many(col)
+        else:
+            for col, acc in zip(input_cols, flat_accs):
+                acc.add_many([col[i] for i in idxs])
+
+    def finish(self) -> OpResult:
+        out: list[tuple] = []
+        for key, state in self.groups.items():
+            values: list[object] = list(key)
+            for (compiled, finisher), accs in zip(self.compiled_items, state):
+                results = [acc.result() for acc in accs]
+                values.append(results[0] if finisher is None else finisher(results))
+            out.append(tuple(values))
+        cpu = self.n_aggs * SERVER_CPU_PER_ROW["aggregate"]
+        return OpResult(rows=out, column_names=self.out_names, cpu_seconds=cpu)
 
 
 def group_by_batches(
@@ -27,7 +143,13 @@ def group_by_batches(
     Drains the batch stream into hash-table accumulators as batches
     arrive — nothing upstream is ever materialized whole.
     """
-    return group_by_aggregate(rows_of(batches), column_names, group_exprs, agg_items)
+    state = _GroupByState(column_names, group_exprs, agg_items)
+    for batch in batches:
+        if isinstance(batch, ColumnBatch):
+            state.add_batch(batch)
+        else:
+            state.add_rows(batch)
+    return state.finish()
 
 
 def group_by_aggregate(
@@ -43,50 +165,6 @@ def group_by_aggregate(
     expressions followed by one column per aggregate item; output order
     follows first appearance of each group (deterministic).
     """
-    schema = {name: i for i, name in enumerate(column_names)}
-    group_fns = [compile_expr(g, schema) for g in group_exprs]
-
-    compiled_items: list[tuple[list[CompiledAggregate], object]] = []
-    out_names: list[str] = []
-    for i, g in enumerate(group_exprs):
-        out_names.append(g.name if isinstance(g, ast.Column) else f"group_{i}")
-    for ordinal, item in enumerate(agg_items, start=1):
-        agg_nodes, finisher = split_aggregate_expr(item.expr)
-        compiled = [CompiledAggregate(node, schema) for node in agg_nodes]
-        compiled_items.append((compiled, finisher))
-        out_names.append(item.output_name(ordinal))
-
-    groups: dict[tuple, list] = {}
-    if not group_exprs:
-        # A global aggregate (no GROUP BY) always produces exactly one
-        # output row, even over zero input rows (SQL semantics: SUM of
-        # nothing is NULL, COUNT of nothing is 0).
-        groups[()] = [
-            [agg.new_accumulator() for agg in compiled]
-            for compiled, _ in compiled_items
-        ]
-    n_aggs = 0
-    for row in rows:
-        key = tuple(fn(row) for fn in group_fns)
-        state = groups.get(key)
-        if state is None:
-            state = [
-                [agg.new_accumulator() for agg in compiled]
-                for compiled, _ in compiled_items
-            ]
-            groups[key] = state
-        for (compiled, _), accs in zip(compiled_items, state):
-            for agg, acc in zip(compiled, accs):
-                acc.add(agg.input_value(row))
-                n_aggs += 1
-
-    out: list[tuple] = []
-    for key, state in groups.items():
-        values: list[object] = list(key)
-        for (compiled, finisher), accs in zip(compiled_items, state):
-            results = [acc.result() for acc in accs]
-            values.append(results[0] if finisher is None else finisher(results))
-        out.append(tuple(values))
-
-    cpu = n_aggs * SERVER_CPU_PER_ROW["aggregate"]
-    return OpResult(rows=out, column_names=out_names, cpu_seconds=cpu)
+    state = _GroupByState(column_names, group_exprs, agg_items)
+    state.add_rows(rows)
+    return state.finish()

@@ -12,6 +12,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.cloud.perf import SERVER_CPU_PER_ROW
 from repro.common.errors import PlanError
+from repro.engine.batch import Batch as ColumnBatch
 from repro.engine.operators.base import Batch, CpuTally, OpResult
 
 
@@ -49,15 +50,27 @@ def hash_join_batches(
 
     def probe() -> Iterator[Batch]:
         per_row = SERVER_CPU_PER_ROW["hash_probe"]
+        get = table.get
         for batch in probe_batches:
             if tally is not None:
                 tally.add_seconds(len(batch) * per_row)
-            out: Batch = []
-            for row in batch:
-                matches = table.get(row[probe_idx])
-                if matches:
-                    for build_row in matches:
-                        out.append(build_row + row)
+            out: list[tuple] = []
+            if isinstance(batch, ColumnBatch):
+                # Probe the key column directly; only matching rows are
+                # ever materialized as tuples.
+                row_of = batch.row
+                for i, key in enumerate(batch.column(probe_idx)):
+                    matches = get(key)
+                    if matches:
+                        row = row_of(i)
+                        for build_row in matches:
+                            out.append(build_row + row)
+            else:
+                for row in batch:
+                    matches = get(row[probe_idx])
+                    if matches:
+                        for build_row in matches:
+                            out.append(build_row + row)
             yield out
 
     return out_names, probe()

@@ -5,8 +5,10 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Sequence
 
 from repro.cloud.perf import SERVER_CPU_PER_ROW
+from repro.engine.batch import Batch as ColumnBatch
 from repro.engine.operators.base import Batch, CpuTally, OpResult
 from repro.expr.compiler import compile_expr
+from repro.expr.vector import compile_expr_vector
 from repro.sqlparser import ast
 
 
@@ -28,6 +30,21 @@ def _compile_items(
     return extractors, out_names
 
 
+def _compile_items_vector(
+    column_names: Sequence[str], items: Sequence[ast.SelectItem]
+) -> list:
+    """Vectorized twin of :func:`_compile_items`: batch -> column funcs."""
+    schema = {name: i for i, name in enumerate(column_names)}
+    extractors = []
+    for item in items:
+        if isinstance(item.expr, ast.Star):
+            for idx in range(len(column_names)):
+                extractors.append(lambda batch, i=idx: batch.column(i))
+            continue
+        extractors.append(compile_expr_vector(item.expr, schema))
+    return extractors
+
+
 def projected_names(
     column_names: Sequence[str], items: Sequence[ast.SelectItem]
 ) -> list[str]:
@@ -45,12 +62,18 @@ def project_batches(
 
     Output names are available up front via :func:`projected_names`.
     """
-    extractors, _ = _compile_items(column_names, items)
-    per_row = len(extractors) * SERVER_CPU_PER_ROW["filter"]
+    vec_extractors = _compile_items_vector(column_names, items)
+    extractors = None
+    per_row = len(vec_extractors) * SERVER_CPU_PER_ROW["filter"]
     for batch in batches:
         if tally is not None:
             tally.add_seconds(len(batch) * per_row)
-        yield [tuple(fn(row) for fn in extractors) for row in batch]
+        if isinstance(batch, ColumnBatch):
+            yield ColumnBatch([fn(batch) for fn in vec_extractors], len(batch))
+        else:
+            if extractors is None:
+                extractors = _compile_items(column_names, items)[0]
+            yield [tuple(fn(row) for fn in extractors) for row in batch]
 
 
 def project(

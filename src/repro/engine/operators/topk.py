@@ -14,9 +14,10 @@ import math
 from typing import Iterable, Sequence
 
 from repro.cloud.perf import SERVER_CPU_PER_ROW
+from repro.engine.batch import Batch as ColumnBatch
 from repro.engine.operators.base import Batch, OpResult
 from repro.sqlparser import ast
-from repro.engine.operators.sort import make_key_fn
+from repro.engine.operators.sort import make_key_fn, make_vector_key_fn
 
 
 def top_k_batches(
@@ -28,19 +29,48 @@ def top_k_batches(
     """Streaming :func:`top_k`: drains its input keeping only K rows live.
 
     Equivalent to ``nsmallest`` over the whole input (ties keep input
-    order, since the running best is re-merged in order), but memory is
-    bounded by K + one batch instead of the full row set.
+    order), but memory is bounded by K + one batch instead of the full
+    row set.  Rows are carried as ``(key, seq, row)`` heap entries — the
+    globally increasing ``seq`` breaks key ties by arrival order, so the
+    row payload itself is never compared; columnar batches compute keys
+    column-at-a-time and only materialize the (at most K) surviving row
+    tuples per batch.
     """
     if k < 0:
         raise ValueError(f"K must be non-negative, got {k}")
-    key_fn = make_key_fn(column_names, order_items)
+    key_fn = None
+    keys_fn = None
     best: list[tuple] = []
     n = 0
     for batch in batches:
+        # Bind the running row count now: the entry generators are lazy,
+        # and seq must reflect arrival order, not post-increment state.
+        base = n
         n += len(batch)
-        best = heapq.nsmallest(k, itertools.chain(best, batch), key=key_fn)
+        if isinstance(batch, ColumnBatch):
+            if keys_fn is None:
+                keys_fn = make_vector_key_fn(column_names, order_items)
+            entries = (
+                (key, base + i, batch, i)
+                for i, key in enumerate(keys_fn(batch))
+            )
+        else:
+            if key_fn is None:
+                key_fn = make_key_fn(column_names, order_items)
+            entries = (
+                (key_fn(row), base + i, None, row)
+                for i, row in enumerate(batch)
+            )
+        best = heapq.nsmallest(k, itertools.chain(best, entries))
+        # Pin at most K rows, not whole batches: swap surviving columnar
+        # references for materialized row tuples right away.
+        best = [
+            (key, seq, None, b.row(payload) if b is not None else payload)
+            for key, seq, b, payload in best
+        ]
+    rows = [payload for _, _, _, payload in best]
     cpu = n * max(1.0, math.log2(max(k, 2))) * SERVER_CPU_PER_ROW["heap"]
-    return OpResult(rows=best, column_names=list(column_names), cpu_seconds=cpu)
+    return OpResult(rows=rows, column_names=list(column_names), cpu_seconds=cpu)
 
 
 def top_k(

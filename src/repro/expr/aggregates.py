@@ -48,6 +48,45 @@ class Accumulator:
             if self._max is None or value > self._max:
                 self._max = value
 
+    def add_many(self, values) -> None:
+        """Fold a whole column of input values, in order.
+
+        Exactly ``for v in values: self.add(v)``, but with the per-call
+        dispatch hoisted out of the loop.  Sums fold sequentially (not
+        ``sum()`` then merge) so float results stay bit-identical to the
+        row-wise path regardless of batch boundaries.
+        """
+        if self._seen is not None:
+            for v in values:
+                self.add(v)
+            return
+        func = self.func
+        if func == "COUNT":
+            self._count += sum(1 for v in values if v is not None)
+            return
+        if func in ("SUM", "AVG"):
+            s = self._sum
+            n = self._count
+            for v in values:
+                if v is not None:
+                    n += 1
+                    s += v
+            self._sum = s
+            self._count = n
+            return
+        present = [v for v in values if v is not None]
+        if not present:
+            return
+        self._count += len(present)
+        if func == "MIN":
+            m = min(present)
+            if self._min is None or m < self._min:
+                self._min = m
+        else:
+            m = max(present)
+            if self._max is None or m > self._max:
+                self._max = m
+
     def merge(self, other: "Accumulator") -> None:
         """Combine a partial aggregate computed elsewhere (e.g. at S3)."""
         if self.func != other.func:

@@ -39,6 +39,7 @@ disconnected FROM lists.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterable, Iterator, Sequence
 
 from repro.cloud.context import CloudContext, QueryExecution
@@ -100,11 +101,35 @@ class ExecState:
 
 
 def _counted(node: "PlanNode", batches: Iterable[Batch]) -> Iterator[Batch]:
-    """Record observed output cardinality on ``node`` as batches flow."""
+    """Record observed cardinality and wall-clock on ``node`` per batch.
+
+    The clock runs only while *this* node's stream is being pulled, so
+    ``wall_seconds`` is the inclusive production time of the subtree
+    (children wrapped in their own ``_counted`` subtract out as
+    self-time in :func:`collect_operator_times`).  Nodes past a LIMIT
+    cut-off are never pulled and keep ``actual_rows``/``wall_seconds``
+    at ``None``.
+    """
     node.actual_rows = 0
-    for batch in batches:
+    if node.wall_seconds is None:
+        node.wall_seconds = 0.0
+    source = iter(batches)
+    while True:
+        start = perf_counter()
+        batch = next(source, _DONE)
+        node.wall_seconds += perf_counter() - start
+        if batch is _DONE:
+            return
         node.actual_rows += len(batch)
         yield batch
+
+
+_DONE = object()
+
+
+def _add_wall(node: "PlanNode", seconds: float) -> None:
+    """Accumulate explicitly-timed work (pipeline-breaker drains)."""
+    node.wall_seconds = (node.wall_seconds or 0.0) + seconds
 
 
 def _index_of(names: Sequence[str], wanted: str) -> int:
@@ -130,12 +155,15 @@ class PlanNode:
     * ``est_cost`` — estimated cumulative dollar cost of the subtree,
       priced through the context's PerfModel + Pricing;
     * ``actual_rows`` — observed output cardinality, recorded during
-      execution (estimate-vs-actual feedback for EXPLAIN).
+      execution (estimate-vs-actual feedback for EXPLAIN);
+    * ``wall_seconds`` — measured inclusive wall-clock this subtree
+      spent producing its output (``None`` until the node runs).
     """
 
     est_rows: float | None = None
     est_cost: float | None = None
     actual_rows: int | None = None
+    wall_seconds: float | None = None
 
     def children(self) -> tuple["PlanNode", ...]:
         return ()
@@ -231,11 +259,13 @@ class ScanNode(PlanNode):
     ) -> tuple[list[str], list[tuple]]:
         """Materializing scan (hash-build sides): phase appended now."""
         ctx = state.ctx
+        start = perf_counter()
         if not self.pushdown:
             names = list(self.table.schema.names)
             rows = materialize(iter_scan_batches(ctx, self.table))
             result = state.tally.add(filter_rows(rows, names, self.predicate))
             self.actual_rows = len(result.rows)
+            _add_wall(self, perf_counter() - start)
             return names, result.rows
         mark = ctx.metrics.mark()
         rows, _ = select_table(ctx, self.table, self._scan_sql(bloom_keys))
@@ -244,6 +274,7 @@ class ScanNode(PlanNode):
             ingest=(len(rows), len(self.columns)),
         ))
         self.actual_rows = len(rows)
+        _add_wall(self, perf_counter() - start)
         return list(self.columns), rows
 
 
@@ -264,6 +295,7 @@ class PushedAggregateNode(PlanNode):
 
     def run(self, state: ExecState):
         ctx = state.ctx
+        start = perf_counter()
         mark = ctx.metrics.mark()
         pushed = ast.Query(
             select_items=self.query.select_items, table="S3Object",
@@ -279,6 +311,7 @@ class PushedAggregateNode(PlanNode):
             ctx, mark, "pushed-aggregate", streams=self.table.partitions
         ))
         self.actual_rows = 1
+        _add_wall(self, perf_counter() - start)
         return out_names, iter([[tuple(merged)]])
 
 
@@ -348,6 +381,7 @@ class HashJoinNode(PlanNode):
         return keys or None
 
     def run(self, state: ExecState):
+        start = perf_counter()
         build_names, build_rows = _materialize_node(self.build, state)
         bloom_keys = self._bloom_keys(build_names, build_rows)
         if self.stream_probe:
@@ -356,7 +390,8 @@ class HashJoinNode(PlanNode):
                 build_rows, build_names, probe_stream, probe_names,
                 self.build_key, self.probe_key, state.tally,
             )
-            return names, _counted(self, joined)
+            _add_wall(self, perf_counter() - start)  # build phase
+            return names, _counted(self, joined)     # + streamed probe
         probe_names, probe_rows = _materialize_node(self.probe, state, bloom_keys)
         # Inner joins hash the actually-smaller side, as the chained
         # executor did; Bloom placement stays per the plan's orientation.
@@ -371,6 +406,7 @@ class HashJoinNode(PlanNode):
                 self.probe_key, self.build_key,
             ))
         self.actual_rows = len(out.rows)
+        _add_wall(self, perf_counter() - start)
         return out.column_names, iter([out.rows])
 
 
@@ -445,6 +481,7 @@ class CrossProductNode(PlanNode):
         return f"cross-product{tag}"
 
     def run(self, state: ExecState):
+        start = perf_counter()
         build_names, build_rows = _materialize_node(self.build, state)
         state.tally.add_seconds(
             len(build_rows) * SERVER_CPU_PER_ROW["hash_build"]
@@ -470,6 +507,7 @@ class CrossProductNode(PlanNode):
                 state.tally.add_seconds(len(out) * per_row)
                 yield out
 
+        _add_wall(self, perf_counter() - start)  # build phase
         return out_names, _counted(self, product())
 
 
@@ -548,10 +586,12 @@ class GroupByNode(PlanNode):
 
     def run(self, state: ExecState):
         names, stream = _run_node(self.child, state)
+        start = perf_counter()
         out = state.tally.add(
             group_by_batches(stream, names, self.group_exprs, self.agg_items)
         )
         self.actual_rows = len(out.rows)
+        _add_wall(self, perf_counter() - start)
         return out.column_names, iter([out.rows])
 
 
@@ -574,8 +614,10 @@ class SortNode(PlanNode):
 
     def run(self, state: ExecState):
         names, stream = _run_node(self.child, state)
+        start = perf_counter()
         out = state.tally.add(sort_batches(stream, names, self.order_by))
         self.actual_rows = len(out.rows)
+        _add_wall(self, perf_counter() - start)
         return out.column_names, iter([out.rows])
 
 
@@ -601,10 +643,12 @@ class TopKNode(PlanNode):
 
     def run(self, state: ExecState):
         names, stream = _run_node(self.child, state)
+        start = perf_counter()
         out = state.tally.add(
             top_k_batches(stream, names, self.order_by, self.k)
         )
         self.actual_rows = len(out.rows)
+        _add_wall(self, perf_counter() - start)
         return out.column_names, iter([out.rows])
 
 
@@ -798,6 +842,7 @@ class AdaptiveJoinNode(PlanNode):
         tree = self.child
         if not isinstance(tree, HashJoinNode):
             return _run_node(tree, state)
+        start = perf_counter()
         while True:
             action, join, parent = _next_adaptive_step(tree)
             if action == "final":
@@ -831,7 +876,8 @@ class AdaptiveJoinNode(PlanNode):
                 [edge.to_expr() for edge in self._missing_residual]
             )
             stream = filter_batches(stream, names, residual, state.tally)
-        return names, _counted(self, stream)
+        _add_wall(self, perf_counter() - start)  # materialization schedule
+        return names, _counted(self, stream)     # + final spine drain
 
     def _check(
         self, tree: "HashJoinNode", done: MaterializedNode,
@@ -1038,6 +1084,7 @@ def execute_plan(ctx: CloudContext, plan: PhysicalPlan) -> QueryExecution:
     execution = ctx.finalize(mark, rows, names, phases, strategy=plan.strategy)
     execution.details["plan"] = render_plan(plan.root)
     execution.details["actuals"] = collect_actuals(plan.root)
+    execution.details["operator_times"] = collect_operator_times(plan.root)
     if plan.adaptive_node is not None:
         adaptive = plan.adaptive_node
         execution.details["adaptive"] = {
@@ -1348,6 +1395,67 @@ def collect_actuals(root: PlanNode) -> list[dict]:
     return out
 
 
+def _inclusive_seconds(node: PlanNode) -> float:
+    """Wall-clock the whole subtree spent producing its output.
+
+    A node's own clock covers everything it pulled while running, which
+    excludes :class:`MaterializedNode` children — their work happened
+    earlier, on the wrapped source's clock — so those are added back.
+    """
+    if isinstance(node, MaterializedNode):
+        return _inclusive_seconds(node.source) if node.source is not None else 0.0
+    total = node.wall_seconds or 0.0
+    for child in node.children():
+        if isinstance(child, MaterializedNode):
+            total += _inclusive_seconds(child)
+    return total
+
+
+def collect_operator_times(root: PlanNode) -> list[dict]:
+    """Pre-order per-node wall-clock records for ``details["operator_times"]``.
+
+    ``seconds`` is the subtree-inclusive production time; ``self_seconds``
+    subtracts the children's inclusive time, so it is what *this*
+    operator cost; ``rows_per_sec`` is output rows over self time.
+    Nodes that never ran (past a LIMIT cut-off, or free materialized
+    replays) report ``None`` throughout.
+    """
+    out: list[dict] = []
+
+    def walk(node: PlanNode, depth: int) -> None:
+        wall = node.wall_seconds
+        if isinstance(node, MaterializedNode) or wall is None:
+            seconds = self_seconds = rate = None
+        else:
+            seconds = _inclusive_seconds(node)
+            inside = sum(
+                _inclusive_seconds(child)
+                for child in node.children()
+                if not isinstance(child, MaterializedNode)
+            )
+            self_seconds = max(wall - inside, 0.0)
+            rate = (
+                node.actual_rows / self_seconds
+                if node.actual_rows and self_seconds > 0.0
+                else None
+            )
+        out.append({
+            "node": node.describe(),
+            "depth": depth,
+            "seconds": round(seconds, 6) if seconds is not None else None,
+            "self_seconds": (
+                round(self_seconds, 6) if self_seconds is not None else None
+            ),
+            "rows": node.actual_rows,
+            "rows_per_sec": round(rate) if rate is not None else None,
+        })
+        for child in node.children():
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return out
+
+
 def render_execution_report(execution: QueryExecution) -> str:
     """Estimate-vs-actual table for an executed plan (EXPLAIN ANALYZE).
 
@@ -1358,14 +1466,17 @@ def render_execution_report(execution: QueryExecution) -> str:
     actuals = execution.details.get("actuals")
     if not actuals:
         return "(no plan recorded for this execution)"
+    # actuals and operator_times walk the same tree pre-order: align by
+    # position.
+    times = execution.details.get("operator_times") or []
     width = max(len("  " * r["depth"] + r["node"]) for r in actuals)
     width = min(max(width, 20), 72)
     lines = [f"physical plan: {execution.strategy}"]
     lines.append(
         f"  {'operator':<{width}} {'est rows':>12} {'actual':>10}"
-        f" {'q-error':>8}"
+        f" {'q-error':>8} {'time':>9} {'rows/s':>10}"
     )
-    for record in actuals:
+    for i, record in enumerate(actuals):
         name = ("  " * record["depth"] + record["node"])[:width]
         est = (
             f"{record['est_rows']:.1f}" if record["est_rows"] is not None
@@ -1379,7 +1490,13 @@ def render_execution_report(execution: QueryExecution) -> str:
             f"{record['q_error']:.2f}" if record["q_error"] is not None
             else "-"
         )
+        timed = times[i] if i < len(times) else {}
+        seconds = timed.get("seconds")
+        time_s = f"{seconds * 1000:.1f}ms" if seconds is not None else "-"
+        rate = timed.get("rows_per_sec")
+        rate_s = f"{rate:,}" if rate is not None else "-"
         lines.append(
             f"  {name:<{width}} {est:>12} {actual:>10} {q_error:>8}"
+            f" {time_s:>9} {rate_s:>10}"
         )
     return "\n".join(lines)

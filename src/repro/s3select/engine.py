@@ -22,8 +22,10 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.common.errors import UnsupportedFeatureError
+from repro.engine.batch import Batch
 from repro.expr.aggregates import CompiledAggregate, split_aggregate_expr
 from repro.expr.compiler import compile_expr, compile_predicate
+from repro.expr.vector import compile_expr_vector, compile_predicate_vector
 from repro.s3select.validator import (
     EXPRESSION_LIMIT_BYTES,
     expression_complexity,
@@ -34,7 +36,7 @@ from repro.storage.csvcodec import (
     DEFAULT_BATCH_SIZE,
     chunk_rows,
     encode_row,
-    iter_decode_table,
+    iter_decode_column_batches,
     iter_records_with_offsets,
 )
 from repro.storage.object_store import StoredObject
@@ -133,10 +135,13 @@ def _execute_csv(
         window = obj.data[scan_range.start : scan_range.end]
         bytes_scanned = len(window)
         rows = _iter_range_rows(obj, window, scan_range, schema, has_header)
+        batches = chunk_rows(rows, DEFAULT_BATCH_SIZE)
     else:
         bytes_scanned = len(obj.data)
-        rows = iter_decode_table(obj.data, schema, has_header=has_header)
-    return _evaluate(query, rows, schema, bytes_scanned)
+        # Full-object scans decode straight into columnar batches; the
+        # query then runs through the vectorized kernels.
+        batches = iter_decode_column_batches(obj.data, schema, has_header=has_header)
+    return _evaluate(query, batches, schema, bytes_scanned)
 
 
 def _iter_range_rows(
@@ -177,10 +182,10 @@ def _iter_range_rows(
 def _execute_parquet(obj: StoredObject, query: ast.Query) -> SelectResult:
     pq = ParquetFile(obj.data)
     needed = _referenced_columns(query, pq.schema)
-    rows = pq.iter_rows(needed)
+    batches = chunk_rows(pq.iter_rows(needed), DEFAULT_BATCH_SIZE)
     schema = pq.schema.project(needed) if needed else pq.schema
     bytes_scanned = pq.scan_bytes_for(needed if needed else None)
-    return _evaluate(query, rows, schema, bytes_scanned)
+    return _evaluate(query, batches, schema, bytes_scanned)
 
 
 def _referenced_columns(query: ast.Query, schema: TableSchema) -> list[str]:
@@ -196,54 +201,63 @@ def _referenced_columns(query: ast.Query, schema: TableSchema) -> list[str]:
     return [n for n in schema.names if n.lower() in lowered]
 
 
-class _RowCounter:
-    """Counts rows pulled from a lazy source (the ``rows_scanned`` meter).
+class _BatchCounter:
+    """Counts rows pulled from a lazy batch source (``rows_scanned``).
 
     With LIMIT early-termination the engine stops pulling once enough
     output rows exist, so the count reflects what was actually parsed.
+    Counting whole batches totals the same as the old per-row meter:
+    the decoder has no lookahead and the count is only read at the end.
     """
 
-    __slots__ = ("_rows", "count")
+    __slots__ = ("_batches", "count")
 
-    def __init__(self, rows: Iterable[tuple]):
-        self._rows = rows
+    def __init__(self, batches: Iterable):
+        self._batches = batches
         self.count = 0
 
-    def __iter__(self) -> Iterator[tuple]:
-        for row in self._rows:
-            self.count += 1
-            yield row
+    def __iter__(self) -> Iterator:
+        for batch in self._batches:
+            self.count += len(batch)
+            yield batch
 
 
 def _filtered_batches(
-    source: Iterable[tuple], predicate, batch_size: int = DEFAULT_BATCH_SIZE
-) -> Iterator[list[tuple]]:
-    """Chunk ``source`` into RecordBatches, applying ``predicate`` per batch."""
-    for batch in chunk_rows(source, batch_size):
-        yield [r for r in batch if predicate(r)] if predicate else batch
+    batches: Iterable, where: ast.Expr | None, name_to_index: dict[str, int]
+) -> Iterator:
+    """Apply the WHERE predicate per batch, vectorized when columnar."""
+    if where is None:
+        yield from batches
+        return
+    keep_mask = compile_predicate_vector(where, name_to_index)
+    keep = None
+    for batch in batches:
+        if isinstance(batch, Batch):
+            yield batch.filter(keep_mask(batch))
+        else:
+            if keep is None:
+                keep = compile_predicate(where, name_to_index)
+            yield [r for r in batch if keep(r)]
 
 
 def _evaluate(
     query: ast.Query,
-    rows: Iterable[tuple],
+    raw_batches: Iterable,
     schema: TableSchema,
     bytes_scanned: int,
 ) -> SelectResult:
-    """Evaluate ``query`` over a lazy row source, batch by batch.
+    """Evaluate ``query`` over a lazy batch source.
 
+    Batches are either columnar :class:`Batch`es (full-object CSV scans)
+    or ``list[tuple]`` chunks (ScanRange windows, Parquet row groups).
     ``rows_scanned`` / ``term_evals`` meter the records actually parsed;
     ``bytes_scanned`` is fixed by the caller (the full object or the
     requested ScanRange — billing does not shrink when LIMIT stops the
     scan early, matching the byte accounting of the materialized engine).
     """
     name_to_index = schema.name_to_index
-    counter = _RowCounter(rows)
-    predicate = (
-        compile_predicate(query.where, name_to_index)
-        if query.where is not None
-        else None
-    )
-    batches = _filtered_batches(counter, predicate)
+    counter = _BatchCounter(raw_batches)
+    batches = _filtered_batches(counter, query.where, name_to_index)
 
     if query.group_by:
         out_rows, names = _run_grouped_aggregation(query, batches, name_to_index)
@@ -275,7 +289,7 @@ def _evaluate(
 
 def _run_projection(
     query: ast.Query,
-    batches: Iterable[list[tuple]],
+    batches: Iterable,
     schema: TableSchema,
     name_to_index: dict[str, int],
     limit: int | None,
@@ -284,20 +298,28 @@ def _run_projection(
 
     Early termination is what makes ``LIMIT n`` cheap: the batch source
     is never pulled past the batch that completes the n-th output row.
+    Columnar batches evaluate each select item once per column and
+    transpose; list batches keep the per-row extractors.
     """
     extractors = []
+    vec_extractors = []
     names: list[str] = []
     for ordinal, item in enumerate(query.select_items, start=1):
         if isinstance(item.expr, ast.Star):
             for idx, col in enumerate(schema.columns):
                 extractors.append(lambda row, i=idx: row[i])
+                vec_extractors.append(lambda batch, i=idx: batch.column(i))
                 names.append(col.name)
             continue
         extractors.append(compile_expr(item.expr, name_to_index))
+        vec_extractors.append(compile_expr_vector(item.expr, name_to_index))
         names.append(item.output_name(ordinal))
     out: list[tuple] = []
     for batch in batches:
-        out.extend(tuple(fn(row) for fn in extractors) for row in batch)
+        if isinstance(batch, Batch):
+            out.extend(zip(*(fn(batch) for fn in vec_extractors)))
+        else:
+            out.extend(tuple(fn(row) for fn in extractors) for row in batch)
         if limit is not None and len(out) >= limit:
             return out[:limit], names
     return out, names

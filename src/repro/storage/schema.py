@@ -42,6 +42,28 @@ _PARSERS: dict[str, Callable[[str], object]] = {
 }
 
 
+def _parse_int_column(texts: Sequence[str]) -> list:
+    return [int(t) if t else None for t in texts]
+
+
+def _parse_float_column(texts: Sequence[str]) -> list:
+    return [float(t) if t else None for t in texts]
+
+
+def _parse_str_column(texts: Sequence[str]) -> list:
+    return [t if t else None for t in texts]
+
+
+#: Column-at-a-time twins of ``_PARSERS`` for the vectorized decoder:
+#: one comprehension per column instead of a Python call per field.
+_COLUMN_PARSERS: dict[str, Callable[[Sequence[str]], list]] = {
+    "int": _parse_int_column,
+    "float": _parse_float_column,
+    "str": _parse_str_column,
+    "date": _parse_str_column,
+}
+
+
 @dataclass(frozen=True)
 class ColumnDef:
     """One column: a name plus a logical type."""
@@ -59,6 +81,10 @@ class ColumnDef:
     def parse(self, text: str) -> object:
         """Parse a CSV field into this column's Python type ('' -> NULL)."""
         return _PARSERS[self.type](text)
+
+    def parse_column(self, texts: Sequence[str]) -> list:
+        """Parse a whole column of CSV fields at once ('' -> NULL)."""
+        return _COLUMN_PARSERS[self.type](texts)
 
     def typical_field_bytes(self) -> float:
         """Ballpark encoded width of one field of this type."""

@@ -31,11 +31,12 @@ from repro.cloud.metrics import Phase
 from repro.common.errors import ReproError
 from repro.engine.catalog import TableInfo
 from repro.s3select.engine import ScanRange
+from repro.engine.batch import Batch
 from repro.storage.csvcodec import (
     DEFAULT_BATCH_SIZE,
     chunk_rows,
     decode_table,
-    iter_decode_batches,
+    iter_decode_column_batches,
 )
 from repro.storage.parquet import ParquetFile
 
@@ -127,8 +128,8 @@ def iter_scan_batches(
     workers: int | None = None,
     batch_size: int | None = None,
     scan_range_fraction: float | None = None,
-) -> Iterator[list[tuple]]:
-    """Stream a table scan as RecordBatches, in partition order.
+) -> Iterator[Batch | list[tuple]]:
+    """Stream a table scan as columnar RecordBatches, in partition order.
 
     The per-partition requests are issued eagerly (so request/byte
     accounting is independent of how far the stream is consumed); for
@@ -142,14 +143,17 @@ def iter_scan_batches(
     scans = scan_partitions(
         ctx, table, sql, workers=workers, scan_range_fraction=scan_range_fraction
     )
-    return chunk_rows(
+    chunks = chunk_rows(
         (row for scan in scans for row in scan.rows), batch_size
     )
+    # S3 Select responses arrive as row lists; re-shape each chunk into a
+    # columnar Batch so downstream operators take the vectorized path.
+    return (Batch.from_rows(chunk) for chunk in chunks)
 
 
 def _iter_get_batches(
     ctx: CloudContext, table: TableInfo, workers: int | None, batch_size: int
-) -> Iterator[list[tuple]]:
+) -> Iterator[Batch | list[tuple]]:
     """GET every partition (metered, possibly concurrent), decode lazily."""
     workers = _resolve_workers(ctx, workers)
     keys = list(table.keys)
@@ -161,10 +165,10 @@ def _iter_get_batches(
                 pool.map(lambda k: ctx.client.get_object(table.bucket, k), keys)
             )
 
-    def decoded() -> Iterator[list[tuple]]:
+    def decoded() -> Iterator[Batch | list[tuple]]:
         for data in payloads:
             if table.format == "csv":
-                yield from iter_decode_batches(
+                yield from iter_decode_column_batches(
                     data, table.schema, batch_size=batch_size, has_header=False
                 )
             else:

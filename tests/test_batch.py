@@ -1,0 +1,129 @@
+"""Tests for the columnar RecordBatch container."""
+
+from array import array
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.batch import Batch, batch_rows
+
+ROWS = [
+    (1, 10.5, "a", "1995-01-01"),
+    (2, None, "ü", None),
+    (None, -3.25, None, "1996-12-31"),
+]
+
+
+class TestConverters:
+    def test_from_rows_to_rows_round_trip(self):
+        batch = Batch.from_rows(ROWS)
+        assert batch.to_rows() == ROWS
+        assert len(batch) == 3
+        assert list(batch) == ROWS
+
+    def test_round_trip_preserves_value_types(self):
+        values = Batch.from_rows(ROWS).to_rows()
+        for got, want in zip(values, ROWS):
+            for g, w in zip(got, want):
+                assert type(g) is type(w)
+
+    def test_from_rows_empty_needs_num_columns(self):
+        with pytest.raises(ValueError, match="num_columns"):
+            Batch.from_rows([])
+        batch = Batch.from_rows([], num_columns=4)
+        assert len(batch) == 0
+        assert len(batch.columns) == 4
+        assert batch.to_rows() == []
+
+    def test_zero_column_batch(self):
+        with pytest.raises(ValueError, match="explicit length"):
+            Batch([])
+        batch = Batch([], length=3)
+        assert batch.to_rows() == [(), (), ()]
+        assert list(batch.iter_rows()) == [(), (), ()]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.one_of(st.none(), st.integers()),
+                st.one_of(st.none(), st.floats(allow_nan=False)),
+                st.one_of(st.none(), st.text()),
+            ),
+            min_size=1,
+        )
+    )
+    def test_round_trip_property(self, rows):
+        assert Batch.from_rows(rows).to_rows() == rows
+
+
+class TestSequenceProtocol:
+    def test_indexing_and_row(self):
+        batch = Batch.from_rows(ROWS)
+        assert batch[0] == ROWS[0]
+        assert batch[-1] == ROWS[-1]
+        assert batch.row(1) == ROWS[1]
+
+    def test_column_is_shared_not_copied(self):
+        batch = Batch.from_rows(ROWS)
+        assert batch.column(2) is batch.columns[2]
+
+    def test_full_range_slice_returns_self(self):
+        batch = Batch.from_rows(ROWS)
+        assert batch[:] is batch
+        assert batch[0:3] is batch
+        assert batch[0:99] is batch
+
+    def test_partial_slice_is_a_view_sharing_values(self):
+        batch = Batch.from_rows(ROWS)
+        view = batch[1:3]
+        assert len(view) == 2
+        assert view.to_rows() == ROWS[1:3]
+        # The string objects are shared, not rebuilt.
+        assert view.column(2)[0] is batch.column(2)[1]
+
+    def test_stepped_slice_rejected(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            Batch.from_rows(ROWS)[::2]
+
+
+class TestTransforms:
+    def test_filter_keeps_only_true(self):
+        batch = Batch.from_rows(ROWS)
+        # SQL WHERE semantics: NULL and False both drop the row.
+        out = batch.filter([True, None, False])
+        assert out.to_rows() == [ROWS[0]]
+
+    def test_filter_nothing_dropped_returns_self(self):
+        batch = Batch.from_rows(ROWS)
+        assert batch.filter([True, True, True]) is batch
+
+    def test_take(self):
+        batch = Batch.from_rows(ROWS)
+        assert batch.take([2, 0]).to_rows() == [ROWS[2], ROWS[0]]
+        assert batch.take([]).to_rows() == []
+
+    def test_compact_packs_numeric_columns(self):
+        batch = Batch.from_rows([(1, 1.5), (2, 2.5)]).compact()
+        assert isinstance(batch.columns[0], array)
+        assert batch.columns[0].typecode == "q"
+        assert isinstance(batch.columns[1], array)
+        assert batch.columns[1].typecode == "d"
+        assert batch.to_rows() == [(1, 1.5), (2, 2.5)]
+
+    def test_compact_leaves_nullable_and_mixed_columns(self):
+        batch = Batch.from_rows([(1, "x", 1), (None, "y", 2.5)]).compact()
+        assert isinstance(batch.columns[0], list)  # has NULL
+        assert isinstance(batch.columns[1], list)  # strings
+        assert isinstance(batch.columns[2], list)  # mixed int/float
+
+    def test_compact_overflow_falls_back_to_list(self):
+        batch = Batch.from_rows([(2**80,), (1,)]).compact()
+        assert isinstance(batch.columns[0], list)
+        assert batch.to_rows() == [(2**80,), (1,)]
+
+
+class TestBatchRows:
+    def test_columnar_and_list_currencies(self):
+        assert list(batch_rows(Batch.from_rows(ROWS))) == ROWS
+        assert batch_rows(ROWS) is ROWS
