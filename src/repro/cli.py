@@ -30,10 +30,31 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiment(s): {unknown}; available: {list(ALL_EXPERIMENTS)}")
         return 2
+    collected = {}
     for name in names:
         result = ALL_EXPERIMENTS[name]()
         print(result.to_table())
         print()
+        collected[name] = result
+    if args.json is not None:
+        import json
+
+        payload = {
+            name: {"title": r.title, "rows": r.rows, "notes": r.notes}
+            for name, r in collected.items()
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+        print(f"wrote {args.json}")
+    # Differential experiments carry a matched count; a shortfall is a
+    # real failure CI must see, not just a table cell.
+    for name, r in collected.items():
+        matched = r.notes.get("matched")
+        if matched is not None:
+            done, _, want = str(matched).partition("/")
+            if done != want:
+                print(f"{name}: only {matched} differential checks matched")
+                return 1
     return 0
 
 
@@ -137,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "names", nargs="+",
         help=f"{', '.join(ALL_EXPERIMENTS)}, or 'all'",
+    )
+    p_exp.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also dump every experiment's rows and notes as JSON"
+             " (the CI artifact for the TPC-H differential suite)",
     )
     add_pipeline_knobs(p_exp)
     p_exp.set_defaults(fn=_cmd_experiment)

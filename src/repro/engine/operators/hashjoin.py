@@ -4,16 +4,110 @@ The paper's joins are two-phase hash joins (Section V): the build phase
 hashes the smaller table, the probe phase streams the bigger one.  What
 differs between baseline / filtered / Bloom join is only *which rows
 reach the query node*; they all finish here.
+
+Beyond the inner equi-join, the probe loop supports the join types the
+TPC-H decorrelation pass produces:
+
+* ``left`` — left-outer with the *probe* side preserved: probe rows with
+  no match are emitted once, NULL-padded on the build columns;
+* ``semi`` — emit each probe row at most once if any build row matches;
+* ``anti`` — emit each probe row only if no build row matches (a NULL
+  probe key never matches, so it is emitted);
+* ``anti_null`` — NULL-aware anti join for ``NOT IN``: if the build side
+  contains a NULL key nothing qualifies, and a NULL probe key is never
+  emitted (three-valued ``NOT IN`` semantics).
+
+``match_pred`` evaluates a residual ON/correlation condition per
+candidate (build_row + probe_row) pair before a pair counts as a match.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.cloud.perf import SERVER_CPU_PER_ROW
 from repro.common.errors import PlanError
 from repro.engine.batch import Batch as ColumnBatch
 from repro.engine.operators.base import Batch, CpuTally, OpResult
+
+JOIN_TYPES = ("inner", "left", "semi", "anti", "anti_null")
+
+
+def join_output_names(
+    build_names: Sequence[str], probe_names: Sequence[str], join_type: str = "inner"
+) -> list[str]:
+    """Output schema of a join: build columns then probe columns for
+    inner/left joins, probe columns only for semi/anti variants."""
+    if join_type in ("semi", "anti", "anti_null"):
+        return list(probe_names)
+    return [*build_names, *probe_names]
+
+
+class _BuildTable:
+    """Hash table over the build side plus NULL-key bookkeeping."""
+
+    __slots__ = ("table", "has_null", "num_rows")
+
+    def __init__(self, build_rows: list[tuple], build_idx: int):
+        table: dict[object, list[tuple]] = {}
+        has_null = False
+        for row in build_rows:
+            key = row[build_idx]
+            if key is None:
+                has_null = True  # NULL never matches an equi-join
+                continue
+            table.setdefault(key, []).append(row)
+        self.table = table
+        self.has_null = has_null
+        self.num_rows = len(build_rows)
+
+
+def _check_names(
+    build_names: Sequence[str], probe_names: Sequence[str], join_type: str
+) -> list[str]:
+    combined = [*build_names, *probe_names]
+    if len(set(n.lower() for n in combined)) != len(combined):
+        raise PlanError(f"join would produce duplicate column names: {combined}")
+    if join_type not in JOIN_TYPES:
+        raise PlanError(f"unknown join type {join_type!r}")
+    return join_output_names(build_names, probe_names, join_type)
+
+
+def _join_rows(
+    build: _BuildTable,
+    rows: Iterable[tuple],
+    probe_idx: int,
+    join_type: str,
+    match_pred: Callable[[tuple], object] | None,
+    null_pad: tuple,
+) -> Iterator[tuple]:
+    """Join one batch of probe rows against the built table."""
+    get = build.table.get
+    if join_type == "anti_null" and build.has_null:
+        return  # NOT IN over a set containing NULL is never true
+    for row in rows:
+        matches = get(row[probe_idx])
+        if match_pred is None:
+            matched = matches or ()
+        else:
+            matched = [b for b in (matches or ()) if match_pred(b + row)]
+        if join_type == "inner":
+            for build_row in matched:
+                yield build_row + row
+        elif join_type == "left":
+            if matched:
+                for build_row in matched:
+                    yield build_row + row
+            else:
+                yield null_pad + row
+        elif join_type == "semi":
+            if matched:
+                yield row
+        else:  # anti / anti_null
+            if join_type == "anti_null" and row[probe_idx] is None:
+                continue  # NULL NOT IN (non-empty set) is unknown, not true
+            if not matched:
+                yield row
 
 
 def hash_join_batches(
@@ -24,6 +118,8 @@ def hash_join_batches(
     build_key: str,
     probe_key: str,
     tally: CpuTally | None = None,
+    join_type: str = "inner",
+    match_pred: Callable[[tuple], object] | None = None,
 ) -> tuple[list[str], Iterator[Batch]]:
     """Streaming :func:`hash_join`: build eagerly, probe batch by batch.
 
@@ -32,30 +128,24 @@ def hash_join_batches(
     reach downstream operators while later probe batches are still being
     produced.  Returns ``(output_names, joined_batches)``.
     """
-    out_names = [*build_names, *probe_names]
-    if len(set(n.lower() for n in out_names)) != len(out_names):
-        raise PlanError(f"join would produce duplicate column names: {out_names}")
-
+    out_names = _check_names(build_names, probe_names, join_type)
     build_idx = _index_of(build_names, build_key)
     probe_idx = _index_of(probe_names, probe_key)
 
-    table: dict[object, list[tuple]] = {}
-    for row in build_rows:
-        key = row[build_idx]
-        if key is None:
-            continue  # NULL never matches an equi-join
-        table.setdefault(key, []).append(row)
+    build = _BuildTable(build_rows, build_idx)
     if tally is not None:
-        tally.add_seconds(len(build_rows) * SERVER_CPU_PER_ROW["hash_build"])
+        tally.add_seconds(build.num_rows * SERVER_CPU_PER_ROW["hash_build"])
+    null_pad = (None,) * len(build_names)
 
     def probe() -> Iterator[Batch]:
         per_row = SERVER_CPU_PER_ROW["hash_probe"]
-        get = table.get
+        get = build.table.get
+        fast_inner = join_type == "inner" and match_pred is None
         for batch in probe_batches:
             if tally is not None:
                 tally.add_seconds(len(batch) * per_row)
             out: list[tuple] = []
-            if isinstance(batch, ColumnBatch):
+            if fast_inner and isinstance(batch, ColumnBatch):
                 # Probe the key column directly; only matching rows are
                 # ever materialized as tuples.
                 row_of = batch.row
@@ -66,11 +156,10 @@ def hash_join_batches(
                         for build_row in matches:
                             out.append(build_row + row)
             else:
-                for row in batch:
-                    matches = get(row[probe_idx])
-                    if matches:
-                        for build_row in matches:
-                            out.append(build_row + row)
+                rows = batch.iter_rows() if isinstance(batch, ColumnBatch) else batch
+                out.extend(
+                    _join_rows(build, rows, probe_idx, join_type, match_pred, null_pad)
+                )
             yield out
 
     return out_names, probe()
@@ -83,33 +172,24 @@ def hash_join(
     probe_names: Sequence[str],
     build_key: str,
     probe_key: str,
+    join_type: str = "inner",
+    match_pred: Callable[[tuple], object] | None = None,
 ) -> OpResult:
-    """Equi-join; output columns are build columns then probe columns.
+    """Materialized equi-join (see module docstring for join types).
 
     Raises:
         PlanError: if output column names would collide (TPC-H names are
             globally unique, so collisions indicate a planning bug).
     """
-    out_names = [*build_names, *probe_names]
-    if len(set(n.lower() for n in out_names)) != len(out_names):
-        raise PlanError(f"join would produce duplicate column names: {out_names}")
-
+    out_names = _check_names(build_names, probe_names, join_type)
     build_idx = _index_of(build_names, build_key)
     probe_idx = _index_of(probe_names, probe_key)
 
-    table: dict[object, list[tuple]] = {}
-    for row in build_rows:
-        key = row[build_idx]
-        if key is None:
-            continue  # NULL never matches an equi-join
-        table.setdefault(key, []).append(row)
-
-    out: list[tuple] = []
-    for row in probe_rows:
-        matches = table.get(row[probe_idx])
-        if matches:
-            for build_row in matches:
-                out.append(build_row + row)
+    build = _BuildTable(build_rows, build_idx)
+    null_pad = (None,) * len(build_names)
+    out = list(
+        _join_rows(build, probe_rows, probe_idx, join_type, match_pred, null_pad)
+    )
 
     cpu = (
         len(build_rows) * SERVER_CPU_PER_ROW["hash_build"]

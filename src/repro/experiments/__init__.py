@@ -34,6 +34,7 @@ _EXPERIMENT_MODULES = {
     "fig13": "fig13_snowflake",
     "fig14": "fig14_adaptive",
     "auto": "auto_strategy",
+    "tpch": "tpch_suite",
 }
 
 

@@ -204,19 +204,26 @@ def choose_join_strategy(
 
 
 def choose_planner_mode(
-    ctx: CloudContext, catalog: Catalog, query, objective: str = "cost"
+    ctx: CloudContext,
+    catalog: Catalog,
+    query,
+    objective: str = "cost",
+    extra_refs=(),
 ) -> Choice:
     """Pick the SQL planner's execution mode (``baseline`` / ``optimized``).
 
     ``query`` is a parsed :class:`repro.sqlparser.ast.Query`; this is the
-    hook behind ``PushdownDB.execute(sql, mode="auto")``.
+    hook behind ``PushdownDB.execute(sql, mode="auto")``.  When the
+    decorrelation pass rewrote the query, ``extra_refs`` carries the
+    core-side columns its sub-joins read so projection estimates match
+    the plan that will actually run.
 
     For multi-table queries the join-order search's per-candidate table
     (each considered order with predicted rows/runtime/cost) is lifted
     into the choice's notes so EXPLAIN can render it.
     """
     model = CostModel(ctx, catalog)
-    candidates = model.estimate_planner_modes(query, objective)
+    candidates = model.estimate_planner_modes(query, objective, extra_refs)
     notes = {}
     for candidate in candidates:
         if "join_orders" in candidate.notes:

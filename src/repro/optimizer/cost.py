@@ -631,9 +631,15 @@ class CostModel:
         return cpu
 
     def estimate_planner_modes(
-        self, query: ast.Query, objective: str = "cost"
+        self, query: ast.Query, objective: str = "cost", extra_refs=()
     ) -> list[StrategyEstimate]:
         """Predict the planner's ``baseline`` vs ``optimized`` execution.
+
+        ``extra_refs`` are columns the decorrelation pass reads beyond
+        the query text (sub-join probe keys, ON-residual references);
+        they widen the projected scans exactly as they do at execution,
+        so a rewritten core whose select list only names columns of a
+        decorrelated leg still prices a valid projection.
 
         Mirrors :mod:`repro.planner.planner`: baseline loads whole tables
         with GETs and runs the local pipeline; optimized pushes
@@ -652,7 +658,7 @@ class CostModel:
             # join-tree planner.
             return self._estimate_planner_multijoin(query, objective)
         if query.join_table is not None:
-            return self._estimate_planner_join(query)
+            return self._estimate_planner_join(query, extra_refs)
         table, stats = self._table(query.table)
         n = table.num_rows
         sel = self._selectivity(query.table, query.where, stats)
@@ -685,7 +691,7 @@ class CostModel:
             ))
             return estimates
 
-        needed = planner_mod._needed_columns(query, table)
+        needed = planner_mod._needed_columns(query, table, extra=extra_refs)
         estimates.append(self._finalize(
             "optimized",
             [_phase(
@@ -700,15 +706,17 @@ class CostModel:
         ))
         return estimates
 
-    def _estimate_planner_join(self, query: ast.Query) -> list[StrategyEstimate]:
+    def _estimate_planner_join(
+        self, query: ast.Query, extra_refs=()
+    ) -> list[StrategyEstimate]:
         from repro.planner import planner as planner_mod
 
         plan, _ = planner_mod._build_join_plan(self.catalog, query)
         build_cols = planner_mod._join_needed_columns(
-            query, plan.build, plan.build_key, plan.residual
+            query, plan.build, plan.build_key, plan.residual, extra=extra_refs
         )
         probe_cols = planner_mod._join_needed_columns(
-            query, plan.probe, plan.probe_key, plan.residual
+            query, plan.probe, plan.probe_key, plan.residual, extra=extra_refs
         )
         join_query = JoinQuery(
             build_table=plan.build.name,

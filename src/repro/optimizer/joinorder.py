@@ -251,21 +251,27 @@ def build_join_graph(catalog: Catalog, query: ast.Query) -> JoinGraph:
     )
 
 
-def needed_columns(graph: JoinGraph, query: ast.Query) -> dict[str, list[str]]:
+def needed_columns(
+    graph: JoinGraph, query: ast.Query, extra=()
+) -> dict[str, list[str]]:
     """Per-table column lists the join pipeline must scan.
 
     Join keys of every edge touching the table plus any column the
-    select list, GROUP BY, ORDER BY or residual predicate references;
-    ``SELECT *`` keeps every column.  Schema order is preserved so scan
-    projections stay deterministic.  A table nothing references (a bare
-    cross-join factor under ``COUNT``-style outputs) keeps its first
-    column so the scan projection stays valid.
+    select list, GROUP BY, ORDER BY, HAVING or residual predicate
+    references; ``SELECT *`` keeps every column.  ``extra`` adds
+    lower-cased names a decorrelated sub-join probes or evaluates (they
+    belong to no clause the core query can see).  Schema order is
+    preserved so scan projections stay deterministic.  A table nothing
+    references (a bare cross-join factor under ``COUNT``-style outputs)
+    keeps its first column so the scan projection stays valid.
     """
-    referenced: set[str] = set()
+    referenced: set[str] = {c.lower() for c in extra}
     star = False
     exprs: list[ast.Expr] = [i.expr for i in query.select_items]
     exprs += list(query.group_by)
     exprs += [o.expr for o in query.order_by]
+    if query.having is not None:
+        exprs.append(query.having)
     if graph.residual is not None:
         exprs.append(graph.residual)
     for expr in exprs:
@@ -365,6 +371,7 @@ class JoinOrderSearch:
         graph: JoinGraph,
         query: ast.Query,
         fpr: float = DEFAULT_FPR,
+        extra_refs: frozenset = frozenset(),
     ):
         self.ctx = ctx
         self.graph = graph
@@ -379,7 +386,7 @@ class JoinOrderSearch:
             name: (name, predicate_signature(graph.predicates[name]))
             for name in graph.tables
         }
-        columns = needed_columns(graph, query)
+        columns = needed_columns(graph, query, extra=extra_refs)
         self.shapes: dict[str, _TableShape] = {}
         for name, info in graph.tables.items():
             stats = info.stats_or_default()

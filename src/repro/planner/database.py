@@ -130,7 +130,7 @@ class PushdownDB:
         )
 
     def explain(self, sql: str) -> str:
-        """The optimizer's EXPLAIN report for ``sql`` (no execution).
+        """The optimizer's EXPLAIN report for ``sql``.
 
         Lists every candidate plan's predicted requests, bytes, runtime
         and dollar cost, and marks the pick.  For multi-table queries
@@ -138,18 +138,36 @@ class PushdownDB:
         (each considered tree with its predicted rows, runtime and
         cost).  The picked mode's physical operator tree is rendered
         below the candidate table, annotated with per-node ``est_rows``
-        and cumulative ``est_cost``; plan building never touches
-        storage.
+        and cumulative ``est_cost``.  Plan building itself never touches
+        storage, with one exception: queries with subqueries or derived
+        tables pre-execute those legs (decorrelation joins against their
+        actual result), so their scans run and are billed to the
+        session.  Decorrelated joins render with their provenance, e.g.
+        ``semi hash-join [...] (decorrelated EXISTS)``.
         """
         from repro.optimizer.chooser import choose_planner_mode
         from repro.planner.planner import build_plan
+        from repro.planner.subquery import needs_rewrite, prepare_query
         from repro.sqlparser.parser import parse
 
         query = parse(sql)
-        choice = choose_planner_mode(self.ctx, self.catalog, query)
+        prepared = None
+        if needs_rewrite(query):
+            prepared = prepare_query(self.ctx, self.catalog, query, "optimized")
+            query = prepared.query
+        if prepared is not None and prepared.derived_rows is not None:
+            plan = build_plan(
+                self.ctx, self.catalog, query, "optimized", prepared=prepared
+            )
+            return f"physical plan (optimized):\n{plan.describe()}"
+        choice = choose_planner_mode(
+            self.ctx, self.catalog, query,
+            extra_refs=prepared.extra_refs if prepared is not None else (),
+        )
         plan = build_plan(
             self.ctx, self.catalog, query, choice.picked,
             shape=choice.notes.get("join_tree"),
+            prepared=prepared,
         )
         return (
             f"{choice.explain()}\n"

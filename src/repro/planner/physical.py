@@ -336,6 +336,9 @@ class HashJoinNode(PlanNode):
         probe_key: str,
         bloom: bool = False,
         stream_probe: bool = False,
+        join_type: str = "inner",
+        match_cond: ast.Expr | None = None,
+        provenance: str | None = None,
     ):
         self.build = build
         self.probe = probe
@@ -343,6 +346,14 @@ class HashJoinNode(PlanNode):
         self.probe_key = probe_key
         self.bloom = bloom
         self.stream_probe = stream_probe
+        #: inner | left | semi | anti | anti_null (see operators.hashjoin).
+        self.join_type = join_type
+        #: Residual ON/correlation condition evaluated per candidate
+        #: (build_row + probe_row) pair before it counts as a match.
+        self.match_cond = match_cond
+        #: Where this join came from, for EXPLAIN (e.g. "decorrelated
+        #: EXISTS", "LEFT OUTER JOIN").
+        self.provenance = provenance
         self.est_rows = None
         self.est_cost = None
         self.actual_rows = None
@@ -370,15 +381,35 @@ class HashJoinNode(PlanNode):
 
     def describe(self) -> str:
         tag = " streamed" if self.stream_probe else ""
-        return f"hash-join [{self.build_key} = {self.probe_key}]{tag}"
+        kind = "" if self.join_type == "inner" else f"{self.join_type} "
+        cond = f" on ({self.match_cond.to_sql()})" if self.match_cond else ""
+        src = f" ({self.provenance})" if self.provenance else ""
+        return (
+            f"{kind}hash-join [{self.build_key} = {self.probe_key}]"
+            f"{cond}{tag}{src}"
+        )
 
     def _bloom_keys(self, build_names, build_rows):
+        if self.join_type not in ("inner", "semi"):
+            # Left/anti joins must see every probe row: a Bloom filter on
+            # the probe scan would drop exactly the rows they preserve.
+            return None
         if not (self.bloom and isinstance(self.probe, ScanNode)
                 and self.probe.pushdown):
             return None
         idx = _index_of(build_names, self.build_key)
         keys = [r[idx] for r in build_rows if r[idx] is not None]
         return keys or None
+
+    def _match_pred(self, build_names, probe_names):
+        if self.match_cond is None:
+            return None
+        from repro.expr.compiler import compile_predicate
+
+        combined = [*build_names, *probe_names]
+        return compile_predicate(
+            self.match_cond, {name: i for i, name in enumerate(combined)}
+        )
 
     def run(self, state: ExecState):
         start = perf_counter()
@@ -389,21 +420,34 @@ class HashJoinNode(PlanNode):
             names, joined = hash_join_batches(
                 build_rows, build_names, probe_stream, probe_names,
                 self.build_key, self.probe_key, state.tally,
+                join_type=self.join_type,
+                match_pred=self._match_pred(build_names, probe_names),
             )
             _add_wall(self, perf_counter() - start)  # build phase
             return names, _counted(self, joined)     # + streamed probe
         probe_names, probe_rows = _materialize_node(self.probe, state, bloom_keys)
         # Inner joins hash the actually-smaller side, as the chained
         # executor did; Bloom placement stays per the plan's orientation.
-        if len(build_rows) <= len(probe_rows):
+        # Non-inner joins (and residual match conditions) have asymmetric
+        # sides, so the planned orientation is kept.
+        if self.join_type == "inner" and self.match_cond is None and len(
+            build_rows
+        ) <= len(probe_rows):
             out = state.tally.add(hash_join(
                 build_rows, build_names, probe_rows, probe_names,
                 self.build_key, self.probe_key,
             ))
-        else:
+        elif self.join_type == "inner" and self.match_cond is None:
             out = state.tally.add(hash_join(
                 probe_rows, probe_names, build_rows, build_names,
                 self.probe_key, self.build_key,
+            ))
+        else:
+            out = state.tally.add(hash_join(
+                build_rows, build_names, probe_rows, probe_names,
+                self.build_key, self.probe_key,
+                join_type=self.join_type,
+                match_pred=self._match_pred(build_names, probe_names),
             ))
         self.actual_rows = len(out.rows)
         _add_wall(self, perf_counter() - start)
@@ -707,6 +751,10 @@ def tree_signature(node: PlanNode):
             tables.append((n.table.name, n.predicate))
             return True
         if isinstance(n, HashJoinNode):
+            if n.join_type != "inner" or n.match_cond is not None:
+                # Semi/anti/outer joins have different output-cardinality
+                # semantics; keep their trees out of the shared feedback.
+                return False
             edges.append((n.build_key, n.probe_key))
             return collect(n.build) and collect(n.probe)
         return False
@@ -972,6 +1020,110 @@ def unalias(expr: ast.Expr, select_items) -> ast.Expr:
     return ast.map_columns(expr, substitute)
 
 
+def _rewrite_having(
+    query: ast.Query, items: list[ast.SelectItem]
+) -> tuple[ast.Expr, list[ast.SelectItem]]:
+    """Rewrite HAVING into a predicate over the group-by output schema.
+
+    Aggregates already produced by the select list become references to
+    their output columns; aggregates appearing only in HAVING get hidden
+    ``__having_N`` items (computed by the GroupByNode, filtered on, then
+    projected away).  Group-key columns pass through by name.
+    """
+    having = unalias(query.having, query.select_items)
+    known: list[tuple[ast.Expr, str]] = [
+        (item.expr, item.output_name(ordinal))
+        for ordinal, item in enumerate(items, start=1)
+    ]
+    hidden: list[ast.SelectItem] = []
+
+    def rewrite(expr: ast.Expr) -> ast.Expr:
+        for src, name in known:
+            if expr == src:
+                return ast.Column(name)
+        if isinstance(expr, ast.Aggregate):
+            name = f"__having_{len(hidden)}"
+            hidden.append(ast.SelectItem(expr, alias=name))
+            known.append((expr, name))
+            return ast.Column(name)
+        if isinstance(expr, ast.Unary):
+            return ast.Unary(expr.op, rewrite(expr.operand))
+        if isinstance(expr, ast.Binary):
+            return ast.Binary(expr.op, rewrite(expr.left), rewrite(expr.right))
+        if isinstance(expr, ast.FuncCall):
+            return ast.FuncCall(expr.name, tuple(rewrite(a) for a in expr.args))
+        if isinstance(expr, ast.Cast):
+            return ast.Cast(rewrite(expr.operand), expr.type_name)
+        if isinstance(expr, ast.Case):
+            return ast.Case(
+                tuple((rewrite(c), rewrite(v)) for c, v in expr.whens),
+                None if expr.default is None else rewrite(expr.default),
+            )
+        if isinstance(expr, ast.InList):
+            return ast.InList(
+                rewrite(expr.operand),
+                tuple(rewrite(i) for i in expr.items), expr.negated,
+            )
+        if isinstance(expr, ast.Between):
+            return ast.Between(
+                rewrite(expr.operand), rewrite(expr.low), rewrite(expr.high),
+                expr.negated,
+            )
+        if isinstance(expr, ast.Like):
+            return ast.Like(rewrite(expr.operand), rewrite(expr.pattern),
+                            expr.negated)
+        if isinstance(expr, ast.IsNull):
+            return ast.IsNull(rewrite(expr.operand), expr.negated)
+        return expr
+
+    return rewrite(having), hidden
+
+
+def _group_output_projection(
+    query: ast.Query, items: list[ast.SelectItem], has_hidden: bool
+) -> list[ast.SelectItem] | None:
+    """Projection restoring select-list column order over group-by output.
+
+    The GroupByNode always emits group keys first, then aggregate items;
+    when the select list interleaves them (TPC-H Q3's ``key, SUM(...),
+    date, priority``) — or hidden HAVING aggregates must be dropped — a
+    ProjectNode reorders by output-column reference.  Returns ``None``
+    when the group-by output already matches (the historical fast path,
+    byte-identical to prior releases).
+    """
+    group_names = [
+        g.name if isinstance(g, ast.Column) else f"group_{i}"
+        for i, g in enumerate(query.group_by)
+    ]
+    visible = group_names + [
+        item.output_name(ordinal) for ordinal, item in enumerate(items, start=1)
+    ]
+    proj: list[ast.SelectItem] = []
+    for item in query.select_items:
+        if not isinstance(item.expr, ast.Star) and ast.contains_aggregate(
+            item.expr
+        ):
+            try:
+                j = items.index(item)
+            except ValueError:
+                return None
+            proj.append(ast.SelectItem(ast.Column(item.output_name(j + 1))))
+        elif isinstance(item.expr, ast.Column):
+            proj.append(ast.SelectItem(ast.Column(item.expr.name)))
+        else:
+            match = next(
+                (i for i, g in enumerate(query.group_by) if g == item.expr),
+                None,
+            )
+            if match is None:
+                return None
+            proj.append(ast.SelectItem(ast.Column(group_names[match])))
+    names = [p.expr.name.lower() for p in proj]
+    if not has_hidden and names == [v.lower() for v in visible]:
+        return None
+    return proj
+
+
 def attach_local_tail(
     node: PlanNode, query: ast.Query, input_names: Sequence[str]
 ) -> PlanNode:
@@ -988,12 +1140,32 @@ def attach_local_tail(
     """
     deferred_projection = False
     if query.group_by:
-        node = GroupByNode(node, tuple(query.group_by), agg_items(query))
+        items = agg_items(query)
+        having_pred, hidden = (None, [])
+        if query.having is not None:
+            having_pred, hidden = _rewrite_having(query, items)
+        node = GroupByNode(node, tuple(query.group_by), items + hidden)
+        if having_pred is not None:
+            node = FilterNode(node, having_pred)
+        reorder = _group_output_projection(query, items, bool(hidden))
+        if reorder is not None:
+            node = ProjectNode(node, reorder)
     elif any(
         not isinstance(i.expr, ast.Star) and ast.contains_aggregate(i.expr)
         for i in query.select_items
     ):
-        node = GroupByNode(node, (), list(query.select_items))
+        items = list(query.select_items)
+        having_pred, hidden = (None, [])
+        if query.having is not None:
+            having_pred, hidden = _rewrite_having(query, items)
+        node = GroupByNode(node, (), items + hidden)
+        if having_pred is not None:
+            node = FilterNode(node, having_pred)
+            if hidden:
+                node = ProjectNode(node, [
+                    ast.SelectItem(ast.Column(item.output_name(i)))
+                    for i, item in enumerate(items, start=1)
+                ])
     elif not all(isinstance(i.expr, ast.Star) for i in query.select_items):
         out_names = {
             n.lower()
@@ -1049,16 +1221,30 @@ class PhysicalPlan:
         return render_plan(self.root)
 
 
-def execute_plan(ctx: CloudContext, plan: PhysicalPlan) -> QueryExecution:
+def execute_plan(
+    ctx: CloudContext,
+    plan: PhysicalPlan,
+    mark: int | None = None,
+    pre_phases: list[Phase] | None = None,
+) -> QueryExecution:
     """Walk the plan tree once, meter it, and finalize the execution.
 
     This is the single executor behind every planner path.  The root is
     drained into a row list; phases are assembled per the plan's policy;
     all accumulated local CPU lands on the final phase; observed per-node
     cardinalities are recorded into ``details["actuals"]``.
+
+    ``mark``/``pre_phases`` let the planner charge subquery
+    pre-executions to the enclosing query: the mark was taken before the
+    subqueries ran (so their requests bill to this execution) and their
+    phases prepend to this plan's own.
     """
     state = ExecState(ctx, combined=plan.combined_label is not None)
-    mark = ctx.begin_query()
+    if mark is None:
+        mark = ctx.begin_query()
+    # The combined baseline phase spans only this plan's own requests;
+    # pre-executed subqueries carry their own phases in ``pre_phases``.
+    query_mark = ctx.metrics.mark()
     names, stream = _run_node(plan.root, state)
     rows = materialize(stream)
     if plan.combined_label is not None:
@@ -1066,14 +1252,14 @@ def execute_plan(ctx: CloudContext, plan: PhysicalPlan) -> QueryExecution:
         n_fields = sum(
             t.num_rows * len(t.schema) for t in plan.scan_tables
         )
-        phases = [phase_since(
-            ctx, mark, plan.combined_label,
+        phases = (pre_phases or []) + [phase_since(
+            ctx, query_mark, plan.combined_label,
             streams=sum(t.partitions for t in plan.scan_tables),
             server_cpu_seconds=state.tally.seconds,
             ingest=(n_records, n_fields / max(n_records, 1)),
         )]
     else:
-        phases = state.phases
+        phases = (pre_phases or []) + state.phases
         if state.pending is not None:
             pending = state.pending
             phases.append(phase_since(
@@ -1226,6 +1412,8 @@ def clone_tree(node: PlanNode) -> PlanNode:
             twin = HashJoinNode(
                 build, probe, node.build_key, node.probe_key,
                 bloom=node.bloom, stream_probe=node.stream_probe,
+                join_type=node.join_type, match_cond=node.match_cond,
+                provenance=node.provenance,
             )
             twin.est_out_rows = node.est_out_rows
         else:
@@ -1253,7 +1441,8 @@ def serialize_shape(node: PlanNode):
         # cannot be rebuilt from a shape against a fresh catalog.
         return ["materialized", sorted(node.tables)]
     if isinstance(node, HashJoinNode):
-        return ["hash", serialize_shape(node.build), serialize_shape(node.probe)]
+        kind = "hash" if node.join_type == "inner" else f"hash-{node.join_type}"
+        return [kind, serialize_shape(node.build), serialize_shape(node.probe)]
     if isinstance(node, CrossProductNode):
         return ["cross", serialize_shape(node.build), serialize_shape(node.probe)]
     raise PlanError(f"cannot serialize plan node {type(node).__name__}")

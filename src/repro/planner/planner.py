@@ -65,24 +65,59 @@ def plan_and_execute(
     :class:`~repro.planner.physical.AdaptiveJoinNode`); accurate
     estimates execute byte-identically to ``mode="optimized"``.
     """
+    return execute_parsed(ctx, catalog, parse(sql), mode)
+
+
+def execute_parsed(
+    ctx: CloudContext, catalog: Catalog, query: ast.Query, mode: str
+) -> QueryExecution:
+    """Plan and run an already-parsed query (see :func:`plan_and_execute`).
+
+    Queries with subqueries, explicit JOINs or derived tables go through
+    the decorrelation pass first (:mod:`repro.planner.subquery`); its
+    pre-executed legs bill to this query — the cost read-out mark is
+    taken before they run and their phases prepend to the plan's own.
+    This is also the subquery pass's re-entry point, so nested
+    subqueries decorrelate recursively.
+    """
     if mode not in ("baseline", "optimized", "auto", "adaptive"):
         raise PlanError(
             f"unknown mode {mode!r}; use 'baseline', 'optimized',"
             " 'auto' or 'adaptive'"
         )
-    query = parse(sql)
+    from repro.planner.subquery import needs_rewrite, prepare_query
+
+    prepared = None
+    mark = None
+    if needs_rewrite(query):
+        mark = ctx.begin_query()
+        prepared = prepare_query(ctx, catalog, query, mode)
+        query = prepared.query
     summary = None
     if mode == "auto":
-        from repro.optimizer.chooser import choose_planner_mode
+        if prepared is not None and prepared.derived_rows is not None:
+            # A derived-table core reads no storage; there is nothing
+            # for the baseline-vs-pushdown chooser to decide.
+            mode = "optimized"
+        else:
+            from repro.optimizer.chooser import choose_planner_mode
 
-        choice = choose_planner_mode(ctx, catalog, query)
-        mode = choice.picked
-        summary = choice.summary()
+            choice = choose_planner_mode(
+                ctx, catalog, query,
+                extra_refs=(
+                    prepared.extra_refs if prepared is not None else ()
+                ),
+            )
+            mode = choice.picked
+            summary = choice.summary()
     # Reuse the tree the auto-mode search already picked rather than
     # running the DP a second time.
     shape = summary.get("join_tree") if summary is not None else None
-    plan = build_plan(ctx, catalog, query, mode, shape=shape)
-    execution = execute_plan(ctx, plan)
+    plan = build_plan(ctx, catalog, query, mode, shape=shape, prepared=prepared)
+    execution = execute_plan(
+        ctx, plan, mark=mark,
+        pre_phases=prepared.pre_phases if prepared is not None else None,
+    )
     if summary is not None:
         execution.details["optimizer"] = summary
     return execution
@@ -95,29 +130,123 @@ def build_plan(
     mode: str,
     shape=None,
     force_order: list[str] | None = None,
+    prepared=None,
 ) -> PhysicalPlan:
     """Build the physical plan for ``query`` without executing it.
 
     ``shape`` forces a serialized join-tree shape (the auto-mode reuse
     path); ``force_order`` forces a left-deep order (experiment sweeps).
-    Plan building never touches storage, so ``db.explain()`` can render
-    the tree for free.
+    ``prepared`` is the decorrelation pass's output
+    (:class:`repro.planner.subquery.PreparedQuery`) — its sub-joins
+    stack on top of the core join tree, below the local tail.  Plan
+    building never touches storage (pre-executed subquery legs already
+    ran inside ``prepared``), so ``db.explain()`` can render the tree
+    for free.
     """
     forced = shape is not None or force_order is not None
-    if query.join_table is None:
-        plan = _build_single_plan(ctx, catalog, query, mode)
+    if prepared is not None and prepared.derived_rows is not None:
+        plan = _build_derived_plan(query, mode, prepared)
+    elif query.join_table is None:
+        plan = _build_single_plan(ctx, catalog, query, mode, prepared=prepared)
     elif (
         not forced
         and len(query.from_tables) == 2
         and _has_equi_join(catalog, query)
     ):
-        plan = _build_pairwise_plan(ctx, catalog, query, mode)
+        plan = _build_pairwise_plan(ctx, catalog, query, mode, prepared=prepared)
     else:
         plan = _build_multiway_plan(
-            ctx, catalog, query, mode, shape=shape, force_order=force_order
+            ctx, catalog, query, mode, shape=shape, force_order=force_order,
+            prepared=prepared,
         )
     physical.annotate_costs(plan.root, ctx, catalog)
     return plan
+
+
+def _build_derived_plan(query: ast.Query, mode: str, prepared) -> PhysicalPlan:
+    """The outer query of ``FROM (SELECT ...) AS x``: its tail runs over
+    the pre-executed derived rows; no storage is touched again."""
+    node: physical.PlanNode = physical.MaterializedNode(
+        prepared.derived_rows, prepared.derived_names, tables=(query.table,)
+    )
+    names = list(prepared.derived_names)
+    if query.where is not None:
+        node = FilterNode(node, query.where)
+    root = attach_local_tail(node, query, names)
+    return PhysicalPlan(
+        root=root, mode=mode, strategy=f"{mode} derived-table",
+        scan_tables=[],
+    )
+
+
+def _apply_sub_joins(
+    ctx: CloudContext,
+    node: physical.PlanNode,
+    names: list[str],
+    prepared,
+    mode: str,
+) -> tuple[physical.PlanNode, list[str], list[TableInfo]]:
+    """Stack the decorrelated joins on top of the core tree.
+
+    Wraps are pinned: the join-order DP never reorders them.  Pricing
+    uses output caps by join kind — semi/anti joins emit at most the
+    probe side, a left-outer join emits at least it, and a decorrelated
+    scalar join (unique group keys) at most it; all four estimate at
+    the probe cardinality.  Bloom predicates are never attached here:
+    left/anti joins must see every probe row, and the pre-executed
+    build sides never rescan storage anyway.  Returns the wrapped node,
+    its output names, and the tables any LEFT JOIN scans added (the
+    baseline combined-phase formula must cover them).
+    """
+    from repro.cloud.perf import SERVER_CPU_PER_ROW
+    from repro.engine.operators.hashjoin import join_output_names
+
+    extra_tables: list[TableInfo] = []
+    probe_est = getattr(node, "est_rows", None) or 0.0
+    for sj in prepared.sub_joins:
+        if sj.table is not None:
+            optimized = mode != "baseline"
+            build: physical.PlanNode = ScanNode(
+                sj.table,
+                sj.scan_cols if optimized else list(sj.table.schema.names),
+                sj.scan_pred, pushdown=optimized,
+                phase_label=f"join-scan-{sj.table.name}",
+            )
+            build.est_rows = estimate_selectivity_with_feedback(
+                getattr(ctx, "feedback", None), sj.table.name, sj.scan_pred,
+                sj.table.stats_or_default(),
+            ) * sj.table.num_rows
+            if optimized:
+                build.est_terms = float(
+                    sj.table.num_rows * len(ast.split_conjuncts(sj.scan_pred))
+                )
+            build_names = list(build.columns)
+            build_rows_est = build.est_rows
+            extra_tables.append(sj.table)
+        else:
+            build = physical.MaterializedNode(
+                sj.rows, sj.names, tables=sj.source_tables
+            )
+            build_names = list(sj.names)
+            build_rows_est = float(len(sj.rows))
+        join = HashJoinNode(
+            build, node, sj.build_key, sj.probe_key,
+            stream_probe=True, join_type=sj.kind,
+            match_cond=sj.match_cond, provenance=sj.provenance,
+        )
+        join.est_build_rows = build_rows_est
+        join.est_probe_rows = probe_est
+        join.est_rows = probe_est
+        join.est_cpu = join.est_cpu_plain = (
+            build_rows_est * SERVER_CPU_PER_ROW["hash_build"]
+            + probe_est * SERVER_CPU_PER_ROW["hash_probe"]
+        )
+        names = join_output_names(build_names, names, sj.kind)
+        node = join
+        probe_est = join.est_rows
+    if prepared.post_filter is not None:
+        node = FilterNode(node, prepared.post_filter)
+    return node, names, extra_tables
 
 
 def _has_equi_join(catalog: Catalog, query: ast.Query) -> bool:
@@ -132,17 +261,28 @@ def _has_equi_join(catalog: Catalog, query: ast.Query) -> bool:
 # ----------------------------------------------------------------------
 
 def _build_single_plan(
-    ctx: CloudContext, catalog: Catalog, query: ast.Query, mode: str
+    ctx: CloudContext, catalog: Catalog, query: ast.Query, mode: str,
+    prepared=None,
 ) -> PhysicalPlan:
     """A single-table query as one streaming scan + local-tail pipeline.
 
     The scan issues every partition request up front (so request and
     byte accounting never depend on how far the pipeline is pulled);
     batches flow through the local tail; a LIMIT cuts parsing and
-    operator work short without changing what was billed.
+    operator work short without changing what was billed.  Decorrelated
+    sub-joins stack between the scan and the tail; the aggregate
+    pushdown shortcut is disabled for them (an S3-side aggregate leaves
+    nothing to join against).
     """
     table = catalog.get(query.table)
-    if mode in ("optimized", "adaptive") and _fully_pushable(query):
+    wrapped = prepared is not None and (
+        prepared.sub_joins or prepared.post_filter is not None
+    )
+    if (
+        mode in ("optimized", "adaptive")
+        and not wrapped
+        and _fully_pushable(query)
+    ):
         root = PushedAggregateNode(table, query)
         return PhysicalPlan(
             root=root, mode=mode, strategy="optimized single-table",
@@ -157,24 +297,45 @@ def _build_single_plan(
         scan = ScanNode(table, names, query.where, pushdown=False,
                         phase_label="scan")
     else:
-        names = _needed_columns(query, table)
+        names = _needed_columns(
+            query, table,
+            extra=prepared.extra_refs if prepared is not None else (),
+        )
         scan = ScanNode(table, names, query.where, pushdown=True,
                         phase_label="scan")
         scan.est_terms = float(
             table.num_rows * len(ast.split_conjuncts(query.where))
         )
     scan.est_rows = selectivity * table.num_rows
-    root = attach_local_tail(scan, query, names)
+    node: physical.PlanNode = scan
+    extra_tables: list[TableInfo] = []
+    if wrapped:
+        node, names, extra_tables = _apply_sub_joins(
+            ctx, node, names, prepared, mode
+        )
+    root = attach_local_tail(node, query, names)
+    # A baseline LEFT JOIN scan materializes via plain GETs whose
+    # ingest only the combined-phase formula accounts for; plans
+    # without such scans keep their historical per-scan phase.
+    combined = "load+join" if mode == "baseline" and extra_tables else None
     return PhysicalPlan(
         root=root, mode=mode, strategy=f"{mode} single-table",
-        scan_tables=[table],
+        scan_tables=[table] + extra_tables,
+        combined_label=combined,
     )
 
 
 def _fully_pushable(query: ast.Query) -> bool:
     """True when the whole query fits the S3 Select dialect with additive
     aggregates (pure SUM/COUNT shapes like TPC-H Q6)."""
-    if query.group_by or query.order_by or query.limit is not None:
+    if (
+        query.group_by
+        or query.order_by
+        or query.limit is not None
+        or query.having is not None
+        or query.joins
+        or query.derived is not None
+    ):
         return False
     aggs: list[ast.Aggregate] = []
     for item in query.select_items:
@@ -184,7 +345,9 @@ def _fully_pushable(query: ast.Query) -> bool:
     return all(a.func in _ADDITIVE and not a.distinct for a in aggs)
 
 
-def _needed_columns(query: ast.Query, table: TableInfo) -> list[str]:
+def _needed_columns(
+    query: ast.Query, table: TableInfo, extra=()
+) -> list[str]:
     referenced: set[str] = set()
     star = False
     for item in query.select_items:
@@ -196,12 +359,17 @@ def _needed_columns(query: ast.Query, table: TableInfo) -> list[str]:
         referenced |= ast.referenced_columns(expr)
     for order in query.order_by:
         referenced |= ast.referenced_columns(order.expr)
+    if query.having is not None:
+        referenced |= ast.referenced_columns(query.having)
     if star:
         return list(table.schema.names)
-    lowered = {c.lower() for c in referenced}
+    lowered = {c.lower() for c in referenced} | {c.lower() for c in extra}
     needed = [n for n in table.schema.names if n.lower() in lowered]
     if not needed:
-        raise PlanError("query references no columns of its table")
+        # A pure-literal select list (``SELECT 1 FROM t WHERE ...``, the
+        # shape EXISTS probes take) still needs one projected column so
+        # the pushed scan preserves row count.
+        needed = [table.schema.names[0]]
     return needed
 
 
@@ -306,13 +474,16 @@ def _build_join_plan(
 
 
 def _join_needed_columns(
-    query: ast.Query, table: TableInfo, key: str, residual: ast.Expr | None
+    query: ast.Query, table: TableInfo, key: str, residual: ast.Expr | None,
+    extra=(),
 ) -> list[str]:
-    referenced: set[str] = {key.lower()}
+    referenced: set[str] = {key.lower()} | {c.lower() for c in extra}
     star = False
     exprs = [i.expr for i in query.select_items]
     exprs += list(query.group_by)
     exprs += [o.expr for o in query.order_by]
+    if query.having is not None:
+        exprs.append(query.having)
     if residual is not None:
         exprs.append(residual)
     for expr in exprs:
@@ -326,7 +497,8 @@ def _join_needed_columns(
 
 
 def _build_pairwise_plan(
-    ctx: CloudContext, catalog: Catalog, query: ast.Query, mode: str
+    ctx: CloudContext, catalog: Catalog, query: ast.Query, mode: str,
+    prepared=None,
 ) -> PhysicalPlan:
     """Two-table equi-join as the historical pairwise plan shape.
 
@@ -334,10 +506,17 @@ def _build_pairwise_plan(
     probing), so its scan materializes; the probe side streams
     batch-by-batch through the join, the residual filter, and the local
     tail.  Metering is byte-identical to the pre-IR pairwise path.
+    Decorrelated sub-joins stack above the residual filter, below the
+    tail.
     """
+    extra = prepared.extra_refs if prepared is not None else ()
     plan, _ = _build_join_plan(catalog, query)
-    build_cols = _join_needed_columns(query, plan.build, plan.build_key, plan.residual)
-    probe_cols = _join_needed_columns(query, plan.probe, plan.probe_key, plan.residual)
+    build_cols = _join_needed_columns(
+        query, plan.build, plan.build_key, plan.residual, extra=extra
+    )
+    probe_cols = _join_needed_columns(
+        query, plan.probe, plan.probe_key, plan.residual, extra=extra
+    )
     optimized = mode != "baseline"
     build_scan = ScanNode(
         plan.build,
@@ -365,10 +544,15 @@ def _build_pairwise_plan(
         if optimized
         else list(plan.build.schema.names) + list(plan.probe.schema.names)
     )
+    extra_tables: list[TableInfo] = []
+    if prepared is not None:
+        node, names, extra_tables = _apply_sub_joins(
+            ctx, node, names, prepared, mode
+        )
     root = attach_local_tail(node, query, names)
     return PhysicalPlan(
         root=root, mode=mode, strategy=f"{mode} join",
-        scan_tables=[plan.build, plan.probe],
+        scan_tables=[plan.build, plan.probe] + extra_tables,
         combined_label=None if optimized else "load+join",
     )
 
@@ -498,6 +682,7 @@ def _build_multiway_plan(
     mode: str,
     shape=None,
     force_order: list[str] | None = None,
+    prepared=None,
 ) -> PhysicalPlan:
     """N-way equi-join (or guarded cross product) as a physical plan.
 
@@ -513,7 +698,11 @@ def _build_multiway_plan(
     from repro.optimizer.joinorder import JoinOrderSearch, build_join_graph
 
     graph = build_join_graph(catalog, query)
-    search = JoinOrderSearch(ctx, catalog, graph, query)
+    search = JoinOrderSearch(
+        ctx, catalog, graph, query,
+        extra_refs=frozenset(prepared.extra_refs) if prepared is not None
+        else frozenset(),
+    )
     if force_order is not None:
         order = list(force_order)
         if sorted(order) != sorted(graph.table_names()):
@@ -565,11 +754,16 @@ def _build_multiway_plan(
         for leaf in _leaf_scans(tree)
         for column in leaf.columns
     ]
+    extra_tables: list[TableInfo] = []
+    if prepared is not None:
+        node, names, extra_tables = _apply_sub_joins(
+            ctx, node, names, prepared, mode
+        )
     root = attach_local_tail(node, query, names)
     return PhysicalPlan(
         root=root, mode=mode,
         strategy=f"{mode} multi-join ({label})",
-        scan_tables=[leaf.table for leaf in _leaf_scans(tree)],
+        scan_tables=[leaf.table for leaf in _leaf_scans(tree)] + extra_tables,
         combined_label=None if optimized else "load+join",
         adaptive_node=adaptive_node,
     )
@@ -582,11 +776,17 @@ def _leaf_scans(tree: physical.PlanNode) -> list[ScanNode]:
 
 
 def _all_hash_joins(tree: physical.PlanNode) -> bool:
-    """True when ``tree`` is scans composed purely by hash joins."""
+    """True when ``tree`` is scans composed purely by *inner* hash joins
+    (adaptive re-planning may not reorder outer/semi/anti edges)."""
     if isinstance(tree, ScanNode):
         return True
     if isinstance(tree, HashJoinNode):
-        return _all_hash_joins(tree.build) and _all_hash_joins(tree.probe)
+        return (
+            tree.join_type == "inner"
+            and tree.match_cond is None
+            and _all_hash_joins(tree.build)
+            and _all_hash_joins(tree.probe)
+        )
     return False
 
 

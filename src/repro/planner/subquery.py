@@ -1,0 +1,688 @@
+"""Decorrelation: subqueries and outer joins become hash-join wraps.
+
+The planner's core understands only conjunctive comma-joins.  This
+module rewrites everything richer — ``EXISTS`` / ``IN (SELECT ...)``,
+scalar subqueries, ``LEFT OUTER JOIN ... ON`` and derived tables — into
+that core plus a list of :class:`SubJoin` wraps the plan builders stack
+on top of the core join tree (below the GROUP BY / ORDER BY tail):
+
+* ``EXISTS`` / ``NOT EXISTS`` → semi / anti hash join against the
+  subquery's pre-executed correlation columns;
+* ``col IN (SELECT ...)`` → semi join; ``NOT IN`` → NULL-aware anti
+  join (``anti_null``), preserving three-valued ``NOT IN`` semantics
+  (a NULL in the subquery result empties the output; a NULL probe
+  value never qualifies);
+* correlated scalar aggregates (``x < (SELECT AVG(y) ... WHERE k =
+  outer.k)``) → the subquery is re-grouped by its correlation keys,
+  pre-executed, and inner-joined back on those keys; the comparison
+  becomes the join's residual ``match_cond`` (rows without a matching
+  group drop, exactly like a comparison against a NULL scalar);
+* uncorrelated scalar subqueries → pre-executed and inlined as literal
+  constants (in WHERE and HAVING);
+* ``LEFT OUTER JOIN t ON ...`` → a left hash join whose build side is a
+  scan of ``t`` (ON-clause predicates local to ``t`` push into the
+  scan; cross-side conditions become ``match_cond``).  Outer WHERE
+  conjuncts that reference ``t``'s columns are held back in
+  :attr:`PreparedQuery.post_filter` so they see the NULL padding
+  (three-valued logic) instead of being pushed into a scan;
+* a sole derived table (``FROM (SELECT ...) AS x``) → pre-executed into
+  a materialized core the outer query's tail runs over.
+
+Pre-executed legs run through the full planner recursively, so nested
+subqueries decorrelate the same way; their phases ride back on
+:attr:`PreparedQuery.pre_phases` and the outer query's cost read-out
+covers their requests (the outer mark is taken before they run).  Name
+collisions between build and probe sides are impossible: every
+pre-executed build column is renamed to a ``__sq<N>_`` prefix.  Column
+scoping follows SQL: an unqualified name resolves to the innermost
+query that has it, so self-correlation needs a renamed table copy (the
+TPC-H suite loads ``lineitem2`` etc. for exactly this).
+
+Join-order interaction: wraps are *pinned*.  The join-order DP reorders
+only the inner comma-join core; outer/semi/anti edges keep their
+syntactic position on top of it, which is always sound (they were
+defined relative to the completed core result).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cloud.context import CloudContext
+from repro.common.errors import PlanError
+from repro.engine.catalog import Catalog, TableInfo
+from repro.sqlparser import ast
+
+_SUBQUERY_NODES = (ast.Exists, ast.InSubquery, ast.ScalarSubquery)
+
+
+def contains_subquery(expr: ast.Expr | None) -> bool:
+    """Whether ``expr`` contains any subquery construct."""
+    return expr is not None and any(
+        isinstance(n, _SUBQUERY_NODES) for n in ast.walk(expr)
+    )
+
+
+def needs_rewrite(query: ast.Query) -> bool:
+    """Whether ``query`` uses constructs the conjunctive core can't run.
+
+    Queries without subqueries, explicit JOINs or derived tables take
+    the planner's historical path untouched (plain HAVING is handled by
+    the local tail directly and needs no rewrite).
+    """
+    return bool(
+        query.joins
+        or query.derived is not None
+        or contains_subquery(query.where)
+        or contains_subquery(query.having)
+        or any(
+            not isinstance(i.expr, ast.Star) and contains_subquery(i.expr)
+            for i in query.select_items
+        )
+    )
+
+
+@dataclass
+class SubJoin:
+    """One decorrelated join to stack on top of the core join tree."""
+
+    kind: str  # left | semi | anti | anti_null | inner
+    build_key: str
+    probe_key: str
+    match_cond: ast.Expr | None
+    provenance: str
+    #: Pre-executed build side (EXISTS / IN / scalar decorrelations);
+    #: column names already carry their collision-proof ``__sq<N>_``
+    #: prefix.
+    rows: list[tuple] | None = None
+    names: list[str] | None = None
+    source_tables: tuple[str, ...] = ()
+    #: Scanned build side (LEFT JOIN): the planner builds the ScanNode
+    #: itself so pushdown follows the chosen execution mode.
+    table: TableInfo | None = None
+    scan_pred: ast.Expr | None = None
+    scan_cols: list[str] | None = None
+
+
+@dataclass
+class PreparedQuery:
+    """A rewritten query: conjunctive core plus the wraps around it."""
+
+    query: ast.Query
+    sub_joins: list[SubJoin] = field(default_factory=list)
+    #: Phases of every pre-executed subquery leg, in execution order;
+    #: prepended to the outer plan's own phases.
+    pre_phases: list = field(default_factory=list)
+    #: Outer WHERE conjuncts referencing LEFT-JOINed columns; applied
+    #: as a filter above the wraps so NULL padding survives into 3VL.
+    post_filter: ast.Expr | None = None
+    #: Core-side columns the wraps probe or evaluate (lower-cased);
+    #: threaded into the core scans' projections.
+    extra_refs: set[str] = field(default_factory=set)
+    #: Pre-executed derived table (sole-FROM ``(SELECT ...) AS x``).
+    derived_rows: list[tuple] | None = None
+    derived_names: list[str] | None = None
+
+
+def prepare_query(
+    ctx: CloudContext, catalog: Catalog, query: ast.Query, mode: str
+) -> PreparedQuery:
+    """Rewrite ``query`` for planning, pre-executing subquery legs.
+
+    ``mode`` is the requested execution mode; pre-executed legs run
+    through the full planner with the same mode (``"auto"`` legs each
+    make their own choice).
+    """
+    return _Rewriter(ctx, catalog, query, mode).run()
+
+
+class _Rewriter:
+    """Single-use rewrite pass over one parsed query."""
+
+    def __init__(
+        self, ctx: CloudContext, catalog: Catalog, query: ast.Query, mode: str
+    ):
+        self.ctx = ctx
+        self.catalog = catalog
+        self.query = query
+        self.mode = mode
+        self.sub_joins: list[SubJoin] = []
+        self.pre_phases: list = []
+        self.extra_refs: set[str] = set()
+        self._counter = itertools.count()
+        self.outer: list[TableInfo] = []
+
+    def run(self) -> PreparedQuery:
+        query = self.query
+        for item in query.select_items:
+            if not isinstance(item.expr, ast.Star) and contains_subquery(
+                item.expr
+            ):
+                raise PlanError(
+                    "subqueries in the select list are not supported"
+                )
+        if query.derived is not None:
+            return self._prepare_derived(query)
+        self.outer = [self.catalog.get(t) for t in query.all_tables]
+        # FROM-clause joins wrap closest to the core (they run before
+        # WHERE-derived semi/anti joins in SQL's evaluation order).
+        for spec in query.joins:
+            self.sub_joins.append(self._left_join(spec))
+        kept, post = self._rewrite_where()
+        having = query.having
+        if contains_subquery(having):
+            having = self._inline_having(having)
+        core = dataclasses.replace(
+            query, where=ast.and_join(kept), having=having, joins=()
+        )
+        return PreparedQuery(
+            query=core,
+            sub_joins=self.sub_joins,
+            pre_phases=self.pre_phases,
+            post_filter=ast.and_join(post),
+            extra_refs=self.extra_refs,
+        )
+
+    # ------------------------------------------------------------------
+    # derived tables
+    # ------------------------------------------------------------------
+    def _prepare_derived(self, query: ast.Query) -> PreparedQuery:
+        if query.joins:
+            raise PlanError(
+                "explicit JOINs over a derived table are not supported"
+            )
+        if contains_subquery(query.where) or contains_subquery(query.having):
+            raise PlanError(
+                "subqueries over a derived table are not supported"
+            )
+        rows, names, _ = self._execute(query.derived)
+        # The executor names group-key outputs after their source column,
+        # dropping any ``AS`` alias; the derived table's schema must use
+        # the aliases, so rebuild names from the select list when we can
+        # (a ``*`` select keeps the executed names).
+        items = query.derived.select_items
+        if not any(isinstance(it.expr, ast.Star) for it in items):
+            names = [it.output_name(i) for i, it in enumerate(items)]
+        return PreparedQuery(
+            query=dataclasses.replace(query, derived=None),
+            pre_phases=self.pre_phases,
+            derived_rows=rows,
+            derived_names=names,
+        )
+
+    # ------------------------------------------------------------------
+    # WHERE conjunct rewriting
+    # ------------------------------------------------------------------
+    def _rewrite_where(self) -> tuple[list[ast.Expr], list[ast.Expr]]:
+        query = self.query
+        joined_cols = {
+            c.lower()
+            for spec in query.joins
+            for c in self.catalog.get(spec.table).schema.names
+        }
+        kept: list[ast.Expr] = []
+        post: list[ast.Expr] = []
+        for conj in ast.split_conjuncts(query.where):
+            if not contains_subquery(conj):
+                refs = {c.lower() for c in ast.referenced_columns(conj)}
+                (post if refs & joined_cols else kept).append(conj)
+                continue
+            replaced = self._rewrite_conjunct(conj)
+            if replaced is not None:
+                kept.append(replaced)
+        return kept, post
+
+    def _rewrite_conjunct(self, conj: ast.Expr) -> ast.Expr | None:
+        if isinstance(conj, ast.Exists):
+            return self._exists(conj)
+        if isinstance(conj, ast.InSubquery):
+            return self._in_subquery(conj)
+        nodes = [n for n in ast.walk(conj) if isinstance(n, _SUBQUERY_NODES)]
+        if any(not isinstance(n, ast.ScalarSubquery) for n in nodes):
+            raise PlanError(
+                "EXISTS / IN (SELECT ...) must appear as top-level AND"
+                " conjuncts of the WHERE clause"
+            )
+        correlated: list[ast.ScalarSubquery] = []
+        for node in nodes:
+            if self._is_correlated(node.query):
+                correlated.append(node)
+            else:
+                conj = _replace(
+                    conj, node, ast.Literal(self._scalar_value(node.query))
+                )
+        if not correlated:
+            return conj
+        if len(correlated) > 1:
+            raise PlanError(
+                "at most one correlated scalar subquery per conjunct"
+            )
+        self.sub_joins.append(self._correlated_scalar(conj, correlated[0]))
+        return None
+
+    # ------------------------------------------------------------------
+    # EXISTS / IN
+    # ------------------------------------------------------------------
+    def _exists(self, node: ast.Exists) -> ast.Expr | None:
+        sub = node.query
+        what = "NOT EXISTS" if node.negated else "EXISTS"
+        if (
+            sub.group_by
+            or sub.having is not None
+            or sub.joins
+            or sub.derived is not None
+        ):
+            raise PlanError(
+                f"{what} supports plain SELECT ... FROM ... WHERE bodies"
+            )
+        inner, local, corr = self._split_sub_where(sub)
+        if not corr:
+            # Uncorrelated EXISTS is a run-time constant; probing for a
+            # single row is enough to decide it.
+            probe = dataclasses.replace(
+                sub, limit=1 if sub.limit is None else min(1, sub.limit)
+            )
+            rows, _, _ = self._execute(probe)
+            return ast.Literal(bool(rows) != node.negated)
+        edge: tuple[str, str] | None = None
+        rest: list[ast.Expr] = []
+        for conj in corr:
+            pair = None if edge is not None else self._corr_edge(
+                conj, inner, self.outer
+            )
+            if pair is not None:
+                edge = pair
+            else:
+                rest.append(conj)
+        if edge is None:
+            raise PlanError(
+                f"correlated {what} needs an inner = outer equality"
+            )
+        # The build side is the subquery's correlation columns only —
+        # the hash key plus whatever the residual conditions read.
+        cols: list[str] = [edge[0]]
+        for conj in rest:
+            for c in ast.walk(conj):
+                if (
+                    isinstance(c, ast.Column)
+                    and self._side(c, inner, self.outer) == "inner"
+                    and c.name not in cols
+                ):
+                    cols.append(c.name)
+        synth = _make_query(
+            [ast.SelectItem(ast.Column(c)) for c in cols],
+            sub.from_tables,
+            ast.and_join(local),
+        )
+        rows, names, _ = self._execute(synth)
+        renamed, ren = self._rename(names)
+        self._note_outer_refs(edge[1], rest, inner)
+        self.sub_joins.append(
+            SubJoin(
+                kind="anti" if node.negated else "semi",
+                build_key=ren[edge[0].lower()],
+                probe_key=edge[1],
+                match_cond=ast.and_join(
+                    [_substitute(c, ren) for c in rest]
+                ),
+                provenance=f"decorrelated {what}",
+                rows=rows,
+                names=renamed,
+                source_tables=sub.from_tables,
+            )
+        )
+        return None
+
+    def _in_subquery(self, node: ast.InSubquery) -> None:
+        if not isinstance(node.operand, ast.Column):
+            raise PlanError(
+                "IN (SELECT ...) needs a plain column on the left-hand side"
+            )
+        sub = node.query
+        what = "NOT IN" if node.negated else "IN"
+        if self._is_correlated(sub):
+            raise PlanError(f"correlated {what} subqueries are not supported")
+        if len(sub.select_items) != 1 or isinstance(
+            sub.select_items[0].expr, ast.Star
+        ):
+            raise PlanError("an IN subquery must select exactly one column")
+        rows, names, _ = self._execute(sub)
+        renamed, _ = self._rename(names)
+        self.extra_refs.add(node.operand.name.lower())
+        self.sub_joins.append(
+            SubJoin(
+                kind="anti_null" if node.negated else "semi",
+                build_key=renamed[0],
+                probe_key=node.operand.name,
+                match_cond=None,
+                provenance=f"decorrelated {what}",
+                rows=rows,
+                names=renamed,
+                source_tables=sub.from_tables,
+            )
+        )
+        return None
+
+    # ------------------------------------------------------------------
+    # scalar subqueries
+    # ------------------------------------------------------------------
+    def _scalar_value(self, sub: ast.Query) -> object:
+        rows, names, _ = self._execute(sub)
+        if len(names) != 1 or len(rows) > 1:
+            raise PlanError(
+                "a scalar subquery must produce one column and at most"
+                " one row"
+            )
+        return rows[0][0] if rows else None
+
+    def _correlated_scalar(
+        self, conj: ast.Expr, node: ast.ScalarSubquery
+    ) -> SubJoin:
+        sub = node.query
+        if (
+            sub.group_by
+            or sub.having is not None
+            or sub.joins
+            or sub.derived is not None
+        ):
+            raise PlanError(
+                "correlated scalar subqueries support plain aggregate bodies"
+            )
+        if len(sub.select_items) != 1 or not ast.contains_aggregate(
+            sub.select_items[0].expr
+        ):
+            raise PlanError(
+                "a correlated scalar subquery must compute one aggregate"
+            )
+        inner, local, corr = self._split_sub_where(sub)
+        pairs: list[tuple[str, str]] = []
+        for c in corr:
+            pair = self._corr_edge(c, inner, self.outer)
+            if pair is None:
+                raise PlanError(
+                    "correlated scalar subqueries support only"
+                    " inner = outer equality correlation"
+                )
+            pairs.append(pair)
+        keys: list[str] = []
+        for inner_col, _ in pairs:
+            if inner_col not in keys:
+                keys.append(inner_col)
+        # Re-group the aggregate by its correlation keys: one build row
+        # per key combination, joined back as an at-most-one-match
+        # inner join (group keys are unique).
+        synth = _make_query(
+            [ast.SelectItem(ast.Column(k)) for k in keys]
+            + [ast.SelectItem(sub.select_items[0].expr, alias="__val")],
+            sub.from_tables,
+            ast.and_join(local),
+            group_by=[ast.Column(k) for k in keys],
+        )
+        rows, names, _ = self._execute(synth)
+        renamed, ren = self._rename(names)
+        comparison = _replace(conj, node, ast.Column(ren["__val"]))
+        extras = [
+            ast.Binary("=", ast.Column(ren[i.lower()]), ast.Column(o))
+            for i, o in pairs[1:]
+        ]
+        for _, outer_col in pairs:
+            self.extra_refs.add(outer_col.lower())
+        build_lower = {r.lower() for r in renamed}
+        for c in ast.referenced_columns(comparison):
+            if c.lower() not in build_lower:
+                self.extra_refs.add(c.lower())
+        return SubJoin(
+            kind="inner",
+            build_key=ren[pairs[0][0].lower()],
+            probe_key=pairs[0][1],
+            match_cond=ast.and_join(extras + [comparison]),
+            provenance="decorrelated scalar subquery",
+            rows=rows,
+            names=renamed,
+            source_tables=sub.from_tables,
+        )
+
+    def _inline_having(self, having: ast.Expr) -> ast.Expr:
+        nodes = [
+            n for n in ast.walk(having) if isinstance(n, _SUBQUERY_NODES)
+        ]
+        for node in nodes:
+            if not isinstance(node, ast.ScalarSubquery):
+                raise PlanError(
+                    "only scalar subqueries are supported in HAVING"
+                )
+            if self._is_correlated(node.query):
+                raise PlanError(
+                    "correlated subqueries in HAVING are not supported"
+                )
+            having = _replace(
+                having, node, ast.Literal(self._scalar_value(node.query))
+            )
+        return having
+
+    # ------------------------------------------------------------------
+    # LEFT OUTER JOIN
+    # ------------------------------------------------------------------
+    def _left_join(self, spec: ast.JoinSpec) -> SubJoin:
+        jt = self.catalog.get(spec.table)
+        inner = [jt]
+        outer = [
+            t for t in self.outer if t.name.lower() != jt.name.lower()
+        ]
+        scan_preds: list[ast.Expr] = []
+        rest: list[ast.Expr] = []
+        edge: tuple[str, str] | None = None
+        for conj in ast.split_conjuncts(spec.condition):
+            if contains_subquery(conj):
+                raise PlanError(
+                    "subqueries in ON conditions are not supported"
+                )
+            sides = {
+                self._side(c, inner, outer)
+                for c in ast.walk(conj)
+                if isinstance(c, ast.Column)
+            }
+            if sides == {"inner"}:
+                # Local to the joined table: push into its scan — sound
+                # for a LEFT JOIN because it only shrinks the build
+                # side, never the preserved probe side.
+                scan_preds.append(conj)
+                continue
+            pair = None if edge is not None else self._corr_edge(
+                conj, inner, outer
+            )
+            if pair is not None:
+                edge = pair
+            else:
+                rest.append(conj)
+        if edge is None:
+            raise PlanError(
+                "LEFT JOIN needs an ON equality linking the joined table"
+                " to the FROM list"
+            )
+        star = any(
+            isinstance(i.expr, ast.Star) for i in self.query.select_items
+        )
+        if star:
+            scan_cols = list(jt.schema.names)
+        else:
+            refs = self._query_refs()
+            for conj in rest:
+                refs |= {c.lower() for c in ast.referenced_columns(conj)}
+            scan_cols = [
+                n
+                for n in jt.schema.names
+                if n.lower() in refs or n.lower() == edge[0].lower()
+            ]
+        self._note_outer_refs(edge[1], rest, inner)
+        return SubJoin(
+            kind="left",
+            build_key=edge[0],
+            probe_key=edge[1],
+            match_cond=ast.and_join([_substitute(c, {}) for c in rest]),
+            provenance="LEFT OUTER JOIN",
+            table=jt,
+            scan_pred=ast.and_join(scan_preds),
+            scan_cols=scan_cols,
+        )
+
+    # ------------------------------------------------------------------
+    # shared machinery
+    # ------------------------------------------------------------------
+    def _execute(self, query: ast.Query):
+        """Run a subquery leg through the full planner (recursively)."""
+        from repro.planner.planner import execute_parsed
+
+        execution = execute_parsed(self.ctx, self.catalog, query, self.mode)
+        self.pre_phases.extend(execution.phases)
+        return execution.rows, list(execution.column_names), execution.phases
+
+    def _rename(self, names: list[str]) -> tuple[list[str], dict[str, str]]:
+        n = next(self._counter)
+        renamed = [f"__sq{n}_{c}" for c in names]
+        return renamed, {c.lower(): r for c, r in zip(names, renamed)}
+
+    def _side(
+        self,
+        col: ast.Column,
+        inner: list[TableInfo],
+        outer: list[TableInfo],
+    ) -> str:
+        if col.table:
+            t = col.table.lower()
+            if any(i.name.lower() == t for i in inner):
+                return "inner"
+            if any(o.name.lower() == t for o in outer):
+                return "outer"
+            raise PlanError(f"unknown table {col.table!r} in subquery")
+        if any(i.schema.has_column(col.name) for i in inner):
+            return "inner"  # the innermost scope shadows the outer query
+        if any(o.schema.has_column(col.name) for o in outer):
+            return "outer"
+        raise PlanError(f"unknown column {col.name!r} in subquery")
+
+    def _split_sub_where(self, sub: ast.Query):
+        """Split a subquery's WHERE into local and correlated conjuncts."""
+        inner = [self.catalog.get(t) for t in sub.all_tables]
+        local: list[ast.Expr] = []
+        corr: list[ast.Expr] = []
+        for conj in ast.split_conjuncts(sub.where):
+            sides = {
+                self._side(c, inner, self.outer)
+                for c in ast.walk(conj)
+                if isinstance(c, ast.Column)
+            }
+            (corr if "outer" in sides else local).append(conj)
+        return inner, local, corr
+
+    def _is_correlated(self, sub: ast.Query) -> bool:
+        if sub.derived is not None:
+            return False
+        return bool(self._split_sub_where(sub)[2])
+
+    def _corr_edge(
+        self,
+        conj: ast.Expr,
+        inner: list[TableInfo],
+        outer: list[TableInfo],
+    ) -> tuple[str, str] | None:
+        """``(inner_col, outer_col)`` when ``conj`` is a cross-side
+        equality between two plain columns."""
+        if (
+            isinstance(conj, ast.Binary)
+            and conj.op == "="
+            and isinstance(conj.left, ast.Column)
+            and isinstance(conj.right, ast.Column)
+        ):
+            ls = self._side(conj.left, inner, outer)
+            rs = self._side(conj.right, inner, outer)
+            if ls == "inner" and rs == "outer":
+                return conj.left.name, conj.right.name
+            if ls == "outer" and rs == "inner":
+                return conj.right.name, conj.left.name
+        return None
+
+    def _note_outer_refs(
+        self,
+        probe_key: str,
+        conjs: list[ast.Expr],
+        inner: list[TableInfo],
+    ) -> None:
+        """Record core-side columns a wrap reads, so scans project them."""
+        self.extra_refs.add(probe_key.lower())
+        for conj in conjs:
+            for c in ast.walk(conj):
+                if (
+                    isinstance(c, ast.Column)
+                    and self._side(c, inner, self.outer) == "outer"
+                ):
+                    self.extra_refs.add(c.name.lower())
+
+    def _query_refs(self) -> set[str]:
+        """Lower-cased column names the outer query references anywhere."""
+        q = self.query
+        exprs: list[ast.Expr] = [
+            i.expr
+            for i in q.select_items
+            if not isinstance(i.expr, ast.Star)
+        ]
+        exprs += list(q.group_by)
+        exprs += [o.expr for o in q.order_by]
+        if q.where is not None:
+            exprs.append(q.where)
+        if q.having is not None:
+            exprs.append(q.having)
+        refs: set[str] = set()
+        for e in exprs:
+            refs |= {c.lower() for c in ast.referenced_columns(e)}
+        return refs
+
+
+def _make_query(
+    select_items,
+    from_tables,
+    where: ast.Expr | None,
+    group_by=(),
+) -> ast.Query:
+    """Assemble a synthesized subquery over the comma FROM list."""
+    tables = tuple(from_tables)
+    return ast.Query(
+        select_items=tuple(select_items),
+        table=tables[0],
+        where=where,
+        group_by=tuple(group_by),
+        join_table=tables[1] if len(tables) > 1 else None,
+        extra_tables=tables[2:],
+    )
+
+
+def _substitute(expr: ast.Expr, renames: dict[str, str]) -> ast.Expr:
+    """Strip table qualifiers and apply build-side renames, so the
+    expression compiles against the join's combined output schema."""
+    return ast.map_columns(
+        expr,
+        lambda col: ast.Column(renames.get(col.name.lower(), col.name)),
+    )
+
+
+def _replace(expr, target, replacement):
+    """Rebuild ``expr`` with the node ``target`` (matched by identity)
+    swapped for ``replacement``.  Subquery bodies are separate scopes
+    and are not descended into."""
+    if expr is target:
+        return replacement
+    if isinstance(expr, tuple):
+        out = tuple(_replace(x, target, replacement) for x in expr)
+        return out if any(a is not b for a, b in zip(out, expr)) else expr
+    if isinstance(expr, ast.Query) or not dataclasses.is_dataclass(expr):
+        return expr
+    changed = False
+    values = {}
+    for f in dataclasses.fields(expr):
+        old = getattr(expr, f.name)
+        new = _replace(old, target, replacement)
+        changed = changed or new is not old
+        values[f.name] = new
+    return type(expr)(**values) if changed else expr

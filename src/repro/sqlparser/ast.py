@@ -14,6 +14,7 @@ from typing import Union
 Expr = Union[
     "Literal", "Column", "Star", "Unary", "Binary", "FuncCall", "Cast",
     "Case", "InList", "Between", "Like", "IsNull", "Aggregate",
+    "Exists", "InSubquery", "ScalarSubquery",
 ]
 
 #: Aggregate function names the dialect (and S3 Select) understands.
@@ -197,6 +198,44 @@ class Aggregate:
 
 
 @dataclass(frozen=True)
+class Exists:
+    """``[NOT] EXISTS (SELECT ...)``; the planner decorrelates it into a
+    semi (or anti) hash join."""
+
+    query: "Query"
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        maybe_not = "NOT " if self.negated else ""
+        return f"{maybe_not}EXISTS ({self.query.to_sql()})"
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    """``expr [NOT] IN (SELECT ...)``; NULL-aware on the NOT side."""
+
+    operand: Expr
+    query: "Query"
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        maybe_not = "NOT " if self.negated else ""
+        return f"({self.operand.to_sql()} {maybe_not}IN ({self.query.to_sql()}))"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery:
+    """``(SELECT ...)`` used as a scalar value; the planner pre-executes
+    uncorrelated ones into constants and decorrelates correlated
+    aggregates into grouped joins."""
+
+    query: "Query"
+
+    def to_sql(self) -> str:
+        return f"({self.query.to_sql()})"
+
+
+@dataclass(frozen=True)
 class SelectItem:
     """One entry of a select list: an expression plus optional alias."""
 
@@ -229,6 +268,22 @@ class OrderItem:
 
 
 @dataclass(frozen=True)
+class JoinSpec:
+    """One explicit ``LEFT [OUTER] JOIN table ON condition`` clause.
+
+    ``INNER JOIN ... ON`` is desugared by the parser into the comma FROM
+    list plus WHERE conjuncts, so only outer joins appear here.
+    """
+
+    table: str
+    condition: Expr
+    join_type: str = "left"  # only outer joins are carried explicitly
+
+    def to_sql(self) -> str:
+        return f"LEFT OUTER JOIN {self.table} ON {self.condition.to_sql()}"
+
+
+@dataclass(frozen=True)
 class Query:
     """A parsed SELECT statement.
 
@@ -237,6 +292,11 @@ class Query:
     entry onward); :attr:`from_tables` reassembles the full list.  The
     split keeps the historical two-table field layout stable for the
     pairwise join planner while letting N-way queries parse.
+
+    Explicit outer joins live in ``joins`` (their tables are *not* part
+    of :attr:`from_tables` — the planner applies them on top of the
+    comma-join core).  A sole derived table (``FROM (SELECT ...) AS x``)
+    is carried in ``derived`` with ``table`` holding its alias.
     """
 
     select_items: tuple[SelectItem, ...]
@@ -248,23 +308,39 @@ class Query:
     join_table: str | None = None
     join_condition: Expr | None = None
     extra_tables: tuple[str, ...] = field(default=())
+    having: Expr | None = None
+    joins: tuple[JoinSpec, ...] = field(default=())
+    derived: "Query | None" = None
 
     @property
     def from_tables(self) -> tuple[str, ...]:
-        """Every table in the ``FROM`` list, in source order."""
+        """Every comma-list table in the ``FROM`` clause, in source order
+        (outer-joined tables from :attr:`joins` are excluded)."""
         tables = (self.table,)
         if self.join_table:
             tables += (self.join_table,)
         return tables + self.extra_tables
 
+    @property
+    def all_tables(self) -> tuple[str, ...]:
+        """Every table the query reads, including outer-joined ones."""
+        return self.from_tables + tuple(j.table for j in self.joins)
+
     def to_sql(self) -> str:
         parts = ["SELECT " + ", ".join(item.to_sql() for item in self.select_items)]
-        from_clause = "FROM " + ", ".join(self.from_tables)
+        if self.derived is not None:
+            from_clause = f"FROM ({self.derived.to_sql()}) AS {self.table}"
+        else:
+            from_clause = "FROM " + ", ".join(self.from_tables)
+        for join in self.joins:
+            from_clause += " " + join.to_sql()
         parts.append(from_clause)
         if self.where is not None:
             parts.append(f"WHERE {self.where.to_sql()}")
         if self.group_by:
             parts.append("GROUP BY " + ", ".join(g.to_sql() for g in self.group_by))
+        if self.having is not None:
+            parts.append(f"HAVING {self.having.to_sql()}")
         if self.order_by:
             parts.append("ORDER BY " + ", ".join(o.to_sql() for o in self.order_by))
         if self.limit is not None:
@@ -297,6 +373,10 @@ def walk(expr: Expr):
     elif isinstance(expr, IsNull):
         children = (expr.operand,)
     elif isinstance(expr, Aggregate):
+        children = (expr.operand,)
+    elif isinstance(expr, InSubquery):
+        # The subquery body is a separate scope; only the outer operand
+        # is walked.  Exists/ScalarSubquery have no outer children.
         children = (expr.operand,)
     for child in children:
         yield from walk(child)
@@ -373,6 +453,8 @@ def map_columns(expr: Expr, fn) -> Expr:
             return IsNull(rewrite(node.operand), node.negated)
         if isinstance(node, Aggregate):
             return Aggregate(node.func, rewrite(node.operand), node.distinct)
+        if isinstance(node, InSubquery):
+            return InSubquery(rewrite(node.operand), node.query, node.negated)
         return node
 
     return rewrite(expr)

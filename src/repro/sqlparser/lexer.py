@@ -31,7 +31,8 @@ KEYWORDS = frozenset(
         "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "LIMIT", "AS",
         "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL",
         "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "ASC", "DESC",
-        "TRUE", "FALSE", "DISTINCT", "ESCAPE",
+        "TRUE", "FALSE", "DISTINCT", "ESCAPE", "HAVING", "JOIN", "LEFT",
+        "OUTER", "INNER", "ON", "EXISTS", "INTERVAL",
     }
 )
 

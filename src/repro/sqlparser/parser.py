@@ -105,19 +105,56 @@ class _Parser:
         self._expect_keyword("SELECT")
         select_items = self._parse_select_list()
         self._expect_keyword("FROM")
-        tables = [self._parse_table_name()]
-        while self._match_punct(","):
-            tables.append(self._parse_table_name())
+        derived: ast.Query | None = None
+        joins: list[ast.JoinSpec] = []
+        inner_join_conds: list[ast.Expr] = []
+        if self._match_punct("("):
+            # A sole derived table: FROM (SELECT ...) AS alias.
+            self._expect_keyword("SELECT")
+            self._pos -= 1
+            derived = self.parse_query()
+            self._expect_punct(")")
+            self._match_keyword("AS")
+            tables = [self._parse_table_name()]
+        else:
+            tables = [self._parse_table_name()]
+            while True:
+                if self._match_punct(","):
+                    tables.append(self._parse_table_name())
+                    continue
+                if self._match_keyword("LEFT"):
+                    self._match_keyword("OUTER")
+                    self._expect_keyword("JOIN")
+                    join_name = self._parse_table_name()
+                    self._expect_keyword("ON")
+                    joins.append(ast.JoinSpec(join_name, self.parse_expr()))
+                    continue
+                if self._match_keyword("INNER") or self._peek().is_keyword("JOIN"):
+                    # INNER JOIN ... ON desugars into the comma FROM list
+                    # plus WHERE conjuncts.
+                    self._expect_keyword("JOIN")
+                    tables.append(self._parse_table_name())
+                    self._expect_keyword("ON")
+                    inner_join_conds.append(self.parse_expr())
+                    continue
+                break
         table = tables[0]
         join_table = tables[1] if len(tables) > 1 else None
         extra_tables = tuple(tables[2:])
         where = None
         if self._match_keyword("WHERE"):
             where = self.parse_expr()
+        if inner_join_conds:
+            where = ast.and_join(
+                inner_join_conds + ([where] if where is not None else [])
+            )
         group_by: tuple[ast.Expr, ...] = ()
         if self._match_keyword("GROUP"):
             self._expect_keyword("BY")
             group_by = tuple(self._parse_expr_list())
+        having = None
+        if self._match_keyword("HAVING"):
+            having = self.parse_expr()
         order_by: tuple[ast.OrderItem, ...] = ()
         if self._match_keyword("ORDER"):
             self._expect_keyword("BY")
@@ -143,6 +180,9 @@ class _Parser:
             limit=limit,
             join_table=join_table,
             extra_tables=extra_tables,
+            having=having,
+            joins=tuple(joins),
+            derived=derived,
         )
 
     def _parse_table_name(self) -> str:
@@ -212,7 +252,12 @@ class _Parser:
 
     def _parse_not(self) -> ast.Expr:
         if self._match_keyword("NOT"):
-            return ast.Unary("NOT", self._parse_not())
+            operand = self._parse_not()
+            # Fold NOT EXISTS into the node's own negation flag so the
+            # decorrelation pass sees one canonical shape.
+            if isinstance(operand, ast.Exists):
+                return ast.Exists(operand.query, negated=not operand.negated)
+            return ast.Unary("NOT", operand)
         return self._parse_comparison()
 
     def _parse_comparison(self) -> ast.Expr:
@@ -225,6 +270,10 @@ class _Parser:
             return ast.Between(left, low, high, negated=negated)
         if self._match_keyword("IN"):
             self._expect_punct("(")
+            if self._peek().is_keyword("SELECT"):
+                subquery = self.parse_query()
+                self._expect_punct(")")
+                return ast.InSubquery(left, subquery, negated=negated)
             items = tuple(self._parse_expr_list())
             self._expect_punct(")")
             return ast.InList(left, items, negated=negated)
@@ -254,7 +303,45 @@ class _Parser:
             op_token = self._match_operator(_ADDITIVE_OPS)
             if op_token is None:
                 return left
+            if op_token.value in ("+", "-") and self._peek().is_keyword("INTERVAL"):
+                left = self._fold_interval(left, op_token)
+                continue
             left = ast.Binary(op_token.value, left, self._parse_multiplicative())
+
+    def _fold_interval(self, left: ast.Expr, op_token: Token) -> ast.Expr:
+        """Fold ``DATE 'x' ± INTERVAL 'n' UNIT`` into an ISO-string
+        literal at parse time (dates travel as lexically-ordered
+        strings, so the folded constant compares correctly)."""
+        self._expect_keyword("INTERVAL")
+        count_token = self._peek()
+        if count_token.type is not TokenType.STRING:
+            raise SQLSyntaxError(
+                "INTERVAL requires a quoted count like INTERVAL '3'",
+                position=count_token.position,
+            )
+        self._advance()
+        try:
+            count = int(count_token.value)
+        except ValueError:
+            raise SQLSyntaxError(
+                f"INTERVAL count must be an integer, got {count_token.value!r}",
+                position=count_token.position,
+            ) from None
+        unit_token = self._advance()
+        unit = unit_token.value.upper().rstrip("S")
+        if unit not in ("DAY", "MONTH", "YEAR"):
+            raise SQLSyntaxError(
+                f"unsupported INTERVAL unit {unit_token.value!r}",
+                position=unit_token.position,
+            )
+        if not (isinstance(left, ast.Literal) and isinstance(left.value, str)):
+            raise SQLSyntaxError(
+                "INTERVAL arithmetic requires a date-string literal on the left",
+                position=op_token.position,
+            )
+        if op_token.value == "-":
+            count = -count
+        return ast.Literal(_shift_date(left.value, count, unit, op_token.position))
 
     def _parse_multiplicative(self) -> ast.Expr:
         left = self._parse_unary()
@@ -290,6 +377,10 @@ class _Parser:
             return self._parse_keyword_primary(token)
         if token.type is TokenType.PUNCT and token.value == "(":
             self._advance()
+            if self._peek().is_keyword("SELECT"):
+                subquery = self.parse_query()
+                self._expect_punct(")")
+                return ast.ScalarSubquery(subquery)
             expr = self.parse_expr()
             self._expect_punct(")")
             return expr
@@ -311,6 +402,12 @@ class _Parser:
             return self._parse_case()
         if token.value == "CAST":
             return self._parse_cast()
+        if token.value == "EXISTS":
+            self._advance()
+            self._expect_punct("(")
+            subquery = self.parse_query()
+            self._expect_punct(")")
+            return ast.Exists(subquery)
         raise SQLSyntaxError(
             f"unexpected keyword {token.value}", position=token.position
         )
@@ -354,6 +451,13 @@ class _Parser:
 
     def _parse_ident_primary(self) -> ast.Expr:
         name_token = self._advance()
+        if (
+            name_token.value.upper() == "DATE"
+            and self._peek().type is TokenType.STRING
+        ):
+            # DATE 'YYYY-MM-DD' folds to its ISO string; dates travel as
+            # lexically-ordered strings throughout the engine.
+            return ast.Literal(self._advance().value)
         if self._match_punct("("):
             return self._parse_call(name_token.value)
         if self._match_punct("."):
@@ -385,6 +489,31 @@ class _Parser:
                 args.append(self.parse_expr())
             self._expect_punct(")")
         return ast.FuncCall(name=func, args=tuple(args))
+
+
+def _shift_date(iso: str, count: int, unit: str, position: int) -> str:
+    """Shift an ISO ``YYYY-MM-DD`` date by ``count`` DAY/MONTH/YEAR units,
+    clamping the day to the target month's length."""
+    import datetime
+
+    try:
+        day = datetime.date.fromisoformat(iso)
+    except ValueError:
+        raise SQLSyntaxError(
+            f"INTERVAL arithmetic requires an ISO date, got {iso!r}",
+            position=position,
+        ) from None
+    if unit == "DAY":
+        return (day + datetime.timedelta(days=count)).isoformat()
+    months = day.month - 1 + count * (12 if unit == "YEAR" else 1)
+    year, month = day.year + months // 12, months % 12 + 1
+    if month == 12:
+        month_days = 31
+    else:
+        month_days = (
+            datetime.date(year, month + 1, 1) - datetime.date(year, month, 1)
+        ).days
+    return datetime.date(year, month, min(day.day, month_days)).isoformat()
 
 
 def _parse_number(token: Token):

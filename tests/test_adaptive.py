@@ -105,6 +105,18 @@ class TestByteIdentity:
         with pytest.raises(ValueError):
             CloudContext(adaptive_threshold=0.5)
 
+    def test_threshold_knob_validated_at_facade(self):
+        """PushdownDB forwards the knob to CloudContext's validation —
+        a sub-1.0 Q-error bound must fail at construction, not at the
+        first adaptive execution."""
+        from repro.planner.database import PushdownDB
+
+        with pytest.raises(ValueError):
+            PushdownDB(adaptive_threshold=0.99)
+        # The boundary itself is legal: Q-error 1.0 means "re-plan on
+        # any misestimate at all".
+        assert PushdownDB(adaptive_threshold=1.0).ctx.adaptive_threshold == 1.0
+
     def test_cyclic_extra_edges_do_not_fire_spuriously(self):
         """A join whose subtree defers an extra equi edge to the residual
         emits pre-residual rows; the trigger must compare against the

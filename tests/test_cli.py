@@ -107,6 +107,72 @@ class TestCli:
         assert "adaptive multi-join" in out
         assert "'threshold': 3.5" in out
 
+    def test_adaptive_threshold_below_one_rejected(self, capsys):
+        """A Q-error bound below 1.0 is meaningless (observed/estimated
+        ratios are folded to >= 1); the CLI must refuse it at parse
+        time, matching CloudContext's constructor validation."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "query", "SELECT COUNT(*) AS n FROM customer",
+                "--adaptive-threshold", "0.5",
+            ])
+        assert "must be >= 1.0" in capsys.readouterr().err
+
+    def test_adaptive_threshold_boundary_accepted(self):
+        args = build_parser().parse_args([
+            "query", "SELECT COUNT(*) AS n FROM customer",
+            "--adaptive-threshold", "1.0",
+        ])
+        assert args.adaptive_threshold == 1.0
+
+    @staticmethod
+    def _stub_registry(monkeypatch, result):
+        """Swap the experiment registry for one stub returning ``result``."""
+        import repro.experiments as exp_pkg
+
+        class StubRegistry(dict):
+            def __getitem__(self, name):
+                return lambda: result
+
+            def __contains__(self, name):
+                return name == "stub"
+
+            def __iter__(self):
+                return iter(["stub"])
+
+        monkeypatch.setattr(exp_pkg, "ALL_EXPERIMENTS", StubRegistry())
+
+    def test_experiment_json_artifact(self, capsys, tmp_path, monkeypatch):
+        """``experiment --json`` writes the per-query rows and notes CI
+        uploads; a full-match differential run exits 0."""
+        import json
+
+        from repro.experiments.harness import ExperimentResult
+
+        self._stub_registry(monkeypatch, ExperimentResult(
+            experiment="tpch", title="stub suite",
+            rows=[{"query": "q01", "strategy": "auto", "match": "yes"}],
+            notes={"matched": "1/1"},
+        ))
+        path = tmp_path / "tpch.json"
+        assert main(["experiment", "stub", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["stub"]["rows"][0]["match"] == "yes"
+        assert data["stub"]["notes"]["matched"] == "1/1"
+
+    def test_experiment_matched_shortfall_fails(self, capsys, monkeypatch):
+        """A differential experiment reporting fewer matches than checks
+        must fail the CLI run — CI sees exit 1, not a green table."""
+        from repro.experiments.harness import ExperimentResult
+
+        self._stub_registry(monkeypatch, ExperimentResult(
+            experiment="tpch", title="stub suite",
+            rows=[{"query": "q01", "strategy": "auto", "match": "MISMATCH"}],
+            notes={"matched": "0/1"},
+        ))
+        assert main(["experiment", "stub"]) == 1
+        assert "differential checks matched" in capsys.readouterr().out
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

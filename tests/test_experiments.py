@@ -276,6 +276,62 @@ class TestFig14Adaptive:
         assert len({r["probed_selectivity"] for r in probes}) == 1
 
 
+class TestTpchSuite:
+    """The 22-query differential suite (full runs live in CI; here a
+    subset at tiny scale keeps the module under test in seconds)."""
+
+    @pytest.fixture(scope="class")
+    def subset(self):
+        from repro.experiments.tpch_suite import run
+
+        # One query per new surface: HAVING+group (q01), pure filter
+        # (q06), LEFT JOIN + derived (q13), correlated scalar (q17),
+        # NOT EXISTS/EXISTS pair over aux copies (q21).
+        return run(
+            scale_factor=0.001,
+            modes=("baseline", "optimized"),
+            queries=("q01", "q06", "q13", "q17", "q21"),
+        )
+
+    def test_subset_matches_sqlite(self, subset):
+        assert subset.notes["parsed"] == "5/5"
+        assert subset.notes["matched"] == "10/10"
+        assert all(r["match"] == "yes" for r in subset.rows)
+
+    def test_rows_carry_metrics(self, subset):
+        for row in subset.rows:
+            assert row["requests"] > 0
+            assert row["cost_total"] > 0
+            assert row["runtime_s"] >= 0
+
+    def test_optimized_returns_fewer_bytes(self, subset):
+        """Pushdown must actually shrink data movement on the scan-heavy
+        queries (q01/q06 scan lineitem with tight filters)."""
+        for name in ("q01", "q06"):
+            rows = [r for r in subset.rows if r["query"] == name]
+            base = next(r for r in rows if r["strategy"] == "baseline")
+            opt = next(r for r in rows if r["strategy"] == "optimized")
+            assert opt["bytes_returned"] < base["bytes_returned"]
+
+    def test_aux_schema_renames_prefix(self):
+        from repro.experiments.tpch_suite import aux_schema
+        from repro.workloads.tpch import TABLE_SCHEMAS
+
+        schema = aux_schema(TABLE_SCHEMAS["nation"], "n2")
+        assert schema.names[0] == "n2_nationkey"
+        assert [c.type for c in schema.columns] == [
+            c.type for c in TABLE_SCHEMAS["nation"].columns
+        ]
+
+    def test_rows_match_null_and_float_rules(self):
+        from repro.experiments.tpch_suite import rows_match
+
+        assert rows_match([(1, 2.0)], [(1, 2.0 + 1e-9)])
+        assert rows_match([(None, 1), (2, 3)], [(2, 3), (None, 1)])
+        assert not rows_match([(1,)], [(1,), (2,)])
+        assert not rows_match([(None,)], [(0,)])
+
+
 class TestHarnessUtilities:
     def test_to_table_renders(self, fig1):
         text = fig1.to_table()

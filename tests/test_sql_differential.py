@@ -2,10 +2,16 @@
 
 A seeded RNG generates ~200 SELECTs over four random tables — filters
 (comparisons, IN, BETWEEN, IS NULL, NOT, OR), group-by with aggregates,
-order-by/limit, 2–4-way equi-join chains with per-table and cross-table
-residual predicates, and two-table *cross joins* (no equi-join
-condition, exercising the planner's guarded CrossProductNode fallback)
-— and every query must produce the same row set as sqlite3 under
+HAVING over (possibly unselected) aggregates, CASE expressions in the
+select list, order-by/limit, 2–4-way equi-join chains with per-table
+and cross-table residual predicates, two-table *cross joins* (no
+equi-join condition, exercising the planner's guarded CrossProductNode
+fallback), ``LEFT OUTER JOIN ... ON`` clauses with pushable ON
+residuals, correlated ``[NOT] EXISTS`` and uncorrelated ``[NOT] IN
+(SELECT ...)`` conjuncts (decorrelated into semi / anti / NULL-aware
+anti hash joins; the inner key columns are nullable, so NOT IN's
+three-valued emptiness rule is continuously exercised) — and every
+query must produce the same row set as sqlite3 under
 ``mode="baseline"``, ``mode="auto"`` and ``mode="adaptive"``.  The
 adaptive pass doubles as the acceptance gate that mid-flight join
 re-planning never changes result rows, and — because the fixture is one
@@ -167,6 +173,41 @@ def _table_predicate(rng: random.Random, table: str) -> str:
     return pred
 
 
+def _case_expr(rng: random.Random, column: str, kind: str) -> str:
+    """A CASE over ``column`` usable both standalone and inside SUM()."""
+    then = _literal_for(rng, "group")
+    other = "NULL" if rng.random() < 0.2 else _literal_for(rng, "group")
+    return (
+        f"CASE WHEN {_simple_predicate(rng, column, kind)}"
+        f" THEN {then} ELSE {other} END"
+    )
+
+
+def _subquery_conjunct(rng: random.Random, tables: list[str],
+                       used: set[str]) -> str | None:
+    """A correlated [NOT] EXISTS or uncorrelated [NOT] IN conjunct whose
+    inner table is not otherwise in the query (keeps resolution and the
+    oracle's scoping trivially aligned)."""
+    inner_pool = [t for t in _COLUMNS if t not in used]
+    if not inner_pool:
+        return None
+    inner = rng.choice(inner_pool)
+    outer = rng.choice(tables)
+    maybe_not = "NOT " if rng.random() < 0.5 else ""
+    if rng.random() < 0.5:
+        cond = f"{_KEY_OF[inner]} = {_KEY_OF[outer]}"
+        if rng.random() < 0.4:
+            cond += f" AND {_table_predicate(rng, inner)}"
+        return f"{maybe_not}EXISTS (SELECT 1 FROM {inner} WHERE {cond})"
+    inner_where = (
+        f" WHERE {_table_predicate(rng, inner)}" if rng.random() < 0.6 else ""
+    )
+    return (
+        f"{_KEY_OF[outer]} {maybe_not}IN"
+        f" (SELECT {_KEY_OF[inner]} FROM {inner}{inner_where})"
+    )
+
+
 def _generate_query(rng: random.Random) -> str:
     """One random SELECT from the grammar described in the module docs."""
     n_tables = rng.choice((1, 1, 1, 1, 2, 2, 2, 3, 3, 4))
@@ -192,35 +233,76 @@ def _generate_query(rng: random.Random) -> str:
         if a != b:
             where.append(f"{a} {rng.choice(('<', '<=', '<>'))} {b}")
 
+    # LEFT OUTER JOIN an unused table onto the core (sqlite's comma and
+    # JOIN group left-to-right, so both engines apply it on top).
+    left_table = None
+    if not cross_join and rng.random() < 0.15:
+        unused = [t for t in _COLUMNS if t not in tables]
+        if unused:
+            left_table = rng.choice(unused)
+            on = f"{_KEY_OF[left_table]} = {_KEY_OF[rng.choice(tables)]}"
+            if rng.random() < 0.4:
+                on += f" AND {_table_predicate(rng, left_table)}"
+            left_join_sql = f" LEFT OUTER JOIN {left_table} ON {on}"
+
+    used = set(tables) | ({left_table} if left_table else set())
+    if rng.random() < 0.2:
+        conjunct = _subquery_conjunct(rng, tables, used)
+        if conjunct:
+            where.append(conjunct)
+
+    visible = tables + ([left_table] if left_table else [])
     aggregate = rng.random() < 0.4
     group_cols: list[str] = []
+    having = None
+    agg_pool = [c for t in visible for c, k in _COLUMNS[t]
+                if k in ("int", "float", "key")]
     if aggregate:
         if rng.random() < 0.6:
-            pool = [c for t in tables for c, k in _COLUMNS[t] if k == "group"]
+            pool = [c for t in visible for c, k in _COLUMNS[t] if k == "group"]
             if pool:
                 group_cols = [rng.choice(pool)]
-        agg_pool = [c for t in tables for c, k in _COLUMNS[t]
-                    if k in ("int", "float", "key")]
         n_aggs = rng.randint(1, 2)
         select = list(group_cols)
         for i in range(n_aggs):
             func = rng.choice(("COUNT", "SUM", "MIN", "MAX", "AVG"))
-            arg = "*" if func == "COUNT" and rng.random() < 0.5 else (
-                rng.choice(agg_pool)
-            )
+            if func == "COUNT" and rng.random() < 0.5:
+                arg = "*"
+            elif func == "SUM" and rng.random() < 0.2:
+                column, kind = rng.choice(_COLUMNS[rng.choice(visible)])
+                arg = _case_expr(rng, column, kind)
+            else:
+                arg = rng.choice(agg_pool)
             select.append(f"{func}({arg}) AS agg_{i}")
         out_names = group_cols + [f"agg_{i}" for i in range(n_aggs)]
+        if group_cols and rng.random() < 0.35:
+            # HAVING over an aggregate that need not be selected.
+            agg = rng.choice((
+                "COUNT(*)", f"SUM({rng.choice(agg_pool)})",
+                f"MIN({rng.choice(agg_pool)})",
+            ))
+            having = (
+                f"{agg} {rng.choice(('>', '>=', '<>'))} {rng.randint(-10, 10)}"
+            )
     else:
-        pool = [c for t in tables for c, _ in _COLUMNS[t]]
+        pool = [c for t in visible for c, _ in _COLUMNS[t]]
         k = rng.randint(1, min(4, len(pool)))
         select = rng.sample(pool, k)
         out_names = list(select)
+        if rng.random() < 0.15:
+            column, kind = rng.choice(_COLUMNS[rng.choice(visible)])
+            select.append(f"{_case_expr(rng, column, kind)} AS case_0")
+            out_names.append("case_0")
 
     sql = f"SELECT {', '.join(select)} FROM {', '.join(tables)}"
+    if left_table:
+        sql += left_join_sql
     if where:
         sql += " WHERE " + " AND ".join(where)
     if group_cols:
         sql += " GROUP BY " + ", ".join(group_cols)
+    if having:
+        sql += f" HAVING {having}"
 
     orderable = not (aggregate and not group_cols)  # single-row: no point
     if orderable and rng.random() < 0.5:
@@ -294,7 +376,14 @@ def test_fuzz_covers_join_arities(engines):
     arities = set()
     for _ in range(NUM_QUERIES):
         sql = _generate_query(rng)
-        arities.add(sql.split(" FROM ")[1].split(" WHERE ")[0].count(",") + 1)
+        # The FROM list ends at the first LEFT JOIN (whose ON clause may
+        # carry commas inside IN lists) or at WHERE.
+        from_list = (
+            sql.split(" FROM ")[1]
+            .split(" LEFT OUTER JOIN ")[0]
+            .split(" WHERE ")[0]
+        )
+        arities.add(from_list.count(",") + 1)
     assert arities == {1, 2, 3, 4}
 
 
@@ -308,3 +397,18 @@ def test_fuzz_covers_cross_joins(engines):
         if from_list.count(",") == 1 and "_key = t" not in sql:
             crosses += 1
     assert crosses >= 5
+
+
+def test_fuzz_covers_extended_grammar(engines):
+    """The pinned seed exercises every construct the tentpole added:
+    HAVING, LEFT OUTER JOIN, [NOT] EXISTS, [NOT] IN (SELECT), CASE."""
+    rng = random.Random(SEED + 1)
+    counts = {"HAVING": 0, "LEFT OUTER JOIN": 0, "EXISTS (": 0,
+              "NOT EXISTS (": 0, "IN (SELECT": 0, "NOT IN (SELECT": 0,
+              "CASE WHEN": 0}
+    for _ in range(NUM_QUERIES):
+        sql = _generate_query(rng)
+        for marker in counts:
+            if marker in sql:
+                counts[marker] += 1
+    assert all(n >= 3 for n in counts.values()), counts
