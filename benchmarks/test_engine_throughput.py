@@ -32,7 +32,11 @@ from repro.sqlparser.parser import parse_expression
 from repro.storage.csvcodec import decode_table, encode_table, iter_decode_batches
 from repro.storage.object_store import StoredObject
 from repro.strategies.scans import select_table
-from repro.workloads.synthetic import FILTER_SCHEMA, filter_table
+from repro.workloads.synthetic import (
+    FILTER_SCHEMA,
+    clustered_filter_table,
+    filter_table,
+)
 
 ROWS = filter_table(20_000, seed=3)
 DATA, _ = encode_table(ROWS)
@@ -185,6 +189,43 @@ def _timed_scan(ctx, table, workers: int, repeats: int = 3) -> tuple[float, list
         )
         times.append(time.perf_counter() - start)
     return statistics.median(times), rows
+
+
+def test_pruned_scan_request_reduction(benchmark):
+    """Zone-map pruning on a clustered 16-partition scan must cut the
+    metered request count; rows must be identical with pruning off.
+
+    The request counts land in ``BENCH_throughput.json`` so CI archives
+    the pruning win (requests, not just bytes) across commits.
+    """
+    from repro.planner.database import PushdownDB
+
+    db = PushdownDB(bucket="prunebench")
+    db.load_table(
+        "clustered", clustered_filter_table(4_000, seed=7), FILTER_SCHEMA,
+        partitions=16,
+    )
+    sql = "SELECT key, p0 FROM clustered WHERE key < 250"
+
+    db.ctx.prune_partitions = False
+    unpruned = db.execute(sql, mode="optimized")
+    db.ctx.prune_partitions = True
+    pruned = benchmark(lambda: db.execute(sql, mode="optimized"))
+
+    assert sorted(pruned.rows) == sorted(unpruned.rows)
+    assert pruned.num_requests < unpruned.num_requests
+
+    entry = {
+        "rows": 4_000,
+        "partitions": 16,
+        "requests_unpruned": unpruned.num_requests,
+        "requests_pruned": pruned.num_requests,
+        "request_reduction": round(
+            1.0 - pruned.num_requests / unpruned.num_requests, 3
+        ),
+    }
+    _THROUGHPUT["pruned_scan"] = entry
+    benchmark.extra_info.update(entry)
 
 
 def test_concurrent_partition_scan_speedup(benchmark):

@@ -144,6 +144,7 @@ class CloudContext:
         workers: int | None = None,
         batch_size: int | None = None,
         adaptive_threshold: float | None = None,
+        prune_partitions: bool = True,
     ):
         """Args:
             workers: default partition-scan concurrency for this context
@@ -154,6 +155,10 @@ class CloudContext:
             adaptive_threshold: build-cardinality Q-error above which
                 ``mode="adaptive"`` executions re-plan the un-executed
                 part of a join tree (default 2.0).
+            prune_partitions: let pushdown scans skip partitions whose
+                zone map statically refutes the pushed predicate (fewer
+                metered requests).  Results are identical either way —
+                the knob exists for A/B measurement and debugging.
         """
         from repro.optimizer.feedback import FeedbackStore
 
@@ -186,6 +191,7 @@ class CloudContext:
         )
         if self.batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        self.prune_partitions = bool(prune_partitions)
 
     def calibrate_to_paper_scale(self, data_bytes: int, paper_bytes: float) -> float:
         """Re-rate the context so ``data_bytes`` behaves like paper scale.

@@ -52,10 +52,18 @@ class TableInfo:
     num_rows: int
     total_bytes: int
     partition_rows: list[int] = field(default_factory=list)
+    #: Encoded size of each partition object, parallel to ``keys``; lets
+    #: the cost model price a pruned scan by the bytes it actually touches.
+    partition_bytes: list[int] = field(default_factory=list)
     indexes: dict[str, IndexInfo] = field(default_factory=dict)
     #: Optimizer statistics collected at load time (``None`` when the
     #: table was registered with ``collect_stats=False``).
     stats: "TableStats | None" = None
+    #: Per-partition zone maps (min/max/null-count per column), parallel
+    #: to ``keys``; empty when stats collection was disabled.  Pushdown
+    #: scans refute these against the pushed predicate to skip whole
+    #: partition requests.
+    zone_maps: "list[PartitionZoneMap]" = field(default_factory=list)
 
     @property
     def partitions(self) -> int:
@@ -159,10 +167,16 @@ def load_table(
 
     keys: list[str] = []
     partition_rows: list[int] = []
+    partition_bytes: list[int] = []
+    zone_maps: list = []
     total_bytes = 0
     extents_per_partition: list[list] = []
     for i, sl in enumerate(slices):
         chunk = rows[sl]
+        if collect_stats:
+            from repro.optimizer.stats import collect_zone_map
+
+            zone_maps.append(collect_zone_map(chunk, schema))
         ext = "csv" if data_format == "csv" else "spq"
         key = f"{name}/part-{i:04d}.{ext}"
         if data_format == "csv":
@@ -181,6 +195,7 @@ def load_table(
         )
         keys.append(key)
         partition_rows.append(len(chunk))
+        partition_bytes.append(len(data))
         total_bytes += len(data)
 
     info = TableInfo(
@@ -192,6 +207,8 @@ def load_table(
         num_rows=len(rows),
         total_bytes=total_bytes,
         partition_rows=partition_rows,
+        partition_bytes=partition_bytes,
+        zone_maps=zone_maps,
     )
     if collect_stats:
         from repro.optimizer.stats import collect_table_stats

@@ -33,6 +33,7 @@ _EXPERIMENT_MODULES = {
     "fig12": "fig12_multijoin",
     "fig13": "fig13_snowflake",
     "fig14": "fig14_adaptive",
+    "fig15": "fig15_pruning",
     "auto": "auto_strategy",
     "tpch": "tpch_suite",
 }

@@ -676,35 +676,76 @@ class CostModel:
             {"selectivity": sel},
         )]
 
+        # Zone-map pruning shrinks the optimized candidates' request
+        # streams and scanned bytes — the chooser must see those savings
+        # or it keeps ranking as if every partition were requested.
+        streams, scan_bytes, row_frac = self._pruned_profile(table, query.where)
+        pruned = table.partitions - streams
+
         if planner_mod._fully_pushable(query):
-            terms = n * (len(query.select_items) + _conjuncts(query.where))
+            terms = n * row_frac * (
+                len(query.select_items) + _conjuncts(query.where)
+            )
+            notes = {"selectivity": sel, "pushed": "aggregate"}
+            if pruned:
+                notes["partitions_pruned"] = pruned
             estimates.append(self._finalize(
                 "optimized",
                 [_phase(
-                    "pushed-aggregate", table.partitions,
-                    scan_bytes=float(table.total_bytes),
-                    returned_bytes=table.partitions
+                    "pushed-aggregate", streams,
+                    scan_bytes=scan_bytes,
+                    returned_bytes=streams
                     * len(query.select_items) * 12.0,
                     term_evals=terms,
                 )],
-                {"selectivity": sel, "pushed": "aggregate"},
+                notes,
             ))
             return estimates
 
         needed = planner_mod._needed_columns(query, table, extra=extra_refs)
+        notes = {"selectivity": sel, "pushed": "select"}
+        if pruned:
+            notes["partitions_pruned"] = pruned
         estimates.append(self._finalize(
             "optimized",
             [_phase(
-                "scan", table.partitions,
-                scan_bytes=float(table.total_bytes),
+                "scan", streams,
+                scan_bytes=scan_bytes,
                 returned_bytes=kept * stats.projected_row_bytes(needed),
-                term_evals=n * _conjuncts(query.where),
+                term_evals=n * row_frac * _conjuncts(query.where),
                 cpu_seconds=self._tail_cpu(query, kept),
                 records=kept, fields=kept * len(needed),
             )],
-            {"selectivity": sel, "pushed": "select"},
+            notes,
         ))
         return estimates
+
+    def _pruned_profile(
+        self, table, predicate
+    ) -> tuple[int, float, float]:
+        """(streams, scanned bytes, scanned-row fraction) a pushdown scan
+        of ``table`` pays after zone-map pruning of ``predicate``."""
+        from repro.optimizer.pruning import keep_partitions
+
+        keep = None
+        if getattr(self.ctx, "prune_partitions", True):
+            keep = keep_partitions(table, predicate)
+        if keep is None:
+            return table.partitions, float(table.total_bytes), 1.0
+        sizes = table.partition_bytes
+        if len(sizes) == table.partitions:
+            scan_bytes = float(sum(sizes[i] for i in keep))
+        else:
+            scan_bytes = (
+                float(table.total_bytes) * len(keep)
+                / max(table.partitions, 1)
+            )
+        counts = table.partition_rows
+        if len(counts) == table.partitions and table.num_rows:
+            row_frac = sum(counts[i] for i in keep) / table.num_rows
+        else:
+            row_frac = len(keep) / max(table.partitions, 1)
+        return len(keep), scan_bytes, row_frac
 
     def _estimate_planner_join(
         self, query: ast.Query, extra_refs=()

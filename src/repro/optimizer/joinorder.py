@@ -475,6 +475,7 @@ class JoinOrderSearch:
         node = ScanNode(
             shape.info, shape.columns, self.graph.predicates[name],
             pushdown=True, phase_label=f"scan-{name}",
+            prune=getattr(self.ctx, "prune_partitions", True),
         )
         node.est_rows = shape.filtered_rows
         node.est_filtered_rows = shape.filtered_rows

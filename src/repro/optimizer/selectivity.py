@@ -89,13 +89,31 @@ def _equality(col: ColumnStats, value: object, stats: TableStats) -> float:
         if mcv_value == value:
             return count / max(stats.row_count, 1)
     if col.distinct:
-        return _non_null_fraction(col, stats) / col.distinct
+        # An MCV miss means the value is one of the *cold* keys: spread
+        # the non-MCV mass over the non-MCV distinct values.  Dividing
+        # the full non-NULL fraction by the distinct count would hand
+        # every cold key the table's average frequency, which on a
+        # hot-key (Zipf) table overestimates by the MCV-covered mass.
+        non_null = _non_null_fraction(col, stats)
+        if col.mcvs:
+            mcv_frac = col.mcv_fraction(stats.row_count, len(col.mcvs))
+            cold_keys = max(col.distinct - len(col.mcvs), 1)
+            return _clamp((non_null - mcv_frac) / cold_keys)
+        return non_null / col.distinct
     return 0.0
 
 
 def _range_fraction(col: ColumnStats, value: object, op: str) -> float | None:
-    """Fraction of non-NULL values satisfying ``col op value`` by
-    min/max interpolation; ``None`` when the domain is not interpolable."""
+    """Fraction of non-NULL values satisfying ``col op value``.
+
+    Prefers the column's equi-depth histogram (exact bucket mass plus
+    within-bucket interpolation — robust under skew); falls back to
+    plain min/max interpolation, and ``None`` when the domain is not
+    interpolable."""
+    if col.histogram is not None:
+        fraction = col.histogram.fraction(op, value)
+        if fraction is not None:
+            return fraction
     lo, hi = col.min_value, col.max_value
     if lo is None or hi is None:
         return None
@@ -146,7 +164,14 @@ def _between(expr: ast.Between, stats: TableStats) -> float:
     ge = _estimate(ast.Binary(">=", expr.operand, expr.low), stats)
     le = _estimate(ast.Binary("<=", expr.operand, expr.high), stats)
     inside = _clamp(ge + le - 1.0)
-    return 1.0 - inside if expr.negated else inside
+    if not expr.negated:
+        return inside
+    # NOT BETWEEN is never true for NULL operands (3VL): the complement
+    # is taken within the non-NULL fraction, mirroring _in_list.
+    col = stats.column(expr.operand.name)
+    if col is not None:
+        return _clamp(_non_null_fraction(col, stats) - inside)
+    return 1.0 - inside
 
 
 def _in_list(expr: ast.InList, stats: TableStats) -> float:
@@ -176,13 +201,24 @@ def _like(expr: ast.Like, stats: TableStats) -> float:
             col = stats.column(expr.operand.name)
             if col is not None:
                 s = _equality(col, pattern, stats)
-                return 1.0 - s if expr.negated else s
+                return _negate_like(expr, s, stats) if expr.negated else s
         s = DEFAULT_SELECTIVITY
     elif pattern and not pattern.startswith(("%", "_")):
         s = PREFIX_LIKE_SELECTIVITY
     else:
         s = LIKE_SELECTIVITY
-    return 1.0 - s if expr.negated else s
+    return _negate_like(expr, s, stats) if expr.negated else s
+
+
+def _negate_like(expr: ast.Like, s: float, stats: TableStats) -> float:
+    """3VL complement of a LIKE match fraction: NULL operands match
+    neither ``LIKE`` nor ``NOT LIKE``, so the complement is taken within
+    the column's non-NULL fraction when stats are available."""
+    if isinstance(expr.operand, ast.Column):
+        col = stats.column(expr.operand.name)
+        if col is not None:
+            return _clamp(_non_null_fraction(col, stats) - s)
+    return 1.0 - s
 
 
 def _is_null(expr: ast.IsNull, stats: TableStats) -> float:

@@ -33,6 +33,7 @@ class PushdownDB:
         workers: int | None = None,
         batch_size: int | None = None,
         adaptive_threshold: float | None = None,
+        prune_partitions: bool = True,
     ):
         """Args:
             workers: concurrent partition-scan requests per table scan
@@ -44,10 +45,15 @@ class PushdownDB:
                 cardinality misses its estimate by more than this factor
                 triggers a mid-flight re-plan of the remaining join tree
                 (default 2.0).
+            prune_partitions: zone-map partition pruning for pushdown
+                scans (default on).  Pruned partitions are never
+                requested, so request counts and cost drop; results are
+                identical with the knob off.
         """
         self.ctx = CloudContext(
             perf=perf, pricing=pricing, workers=workers, batch_size=batch_size,
             adaptive_threshold=adaptive_threshold,
+            prune_partitions=prune_partitions,
         )
         self.catalog = Catalog()
         self.bucket = bucket

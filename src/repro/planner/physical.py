@@ -186,6 +186,7 @@ class ScanNode(PlanNode):
         predicate: ast.Expr | None,
         pushdown: bool,
         phase_label: str | None = None,
+        prune: bool = True,
     ):
         self.table = table
         self.columns = list(columns)
@@ -206,6 +207,34 @@ class ScanNode(PlanNode):
         self.est_cost = None
         self.actual_rows = None
         self.tables: frozenset = frozenset((table.name,))
+        #: Partition indices this scan will actually request, or ``None``
+        #: for all of them.  Pushdown scans refute the table's zone maps
+        #: against the pushed predicate at plan time; baseline GET scans
+        #: never prune (they are the paper's whole-table reference point).
+        self.keep_partitions: list[int] | None = None
+        if prune and pushdown and predicate is not None:
+            from repro.optimizer.pruning import keep_partitions
+
+            self.keep_partitions = keep_partitions(table, predicate)
+
+    @property
+    def pruned_partitions(self) -> int:
+        """How many partitions zone-map refutation eliminated."""
+        if self.keep_partitions is None:
+            return 0
+        return self.table.partitions - len(self.keep_partitions)
+
+    def _effective_partitions(self, ctx) -> tuple[list[int] | None, int]:
+        """(surviving indices or None, request-stream count) for ``ctx``.
+
+        Honors the context's ``prune_partitions`` kill switch at run
+        time so one plan can be A/B-executed with pruning on and off.
+        """
+        if self.keep_partitions is None or not getattr(
+            ctx, "prune_partitions", True
+        ):
+            return None, self.table.partitions
+        return self.keep_partitions, len(self.keep_partitions)
 
     def describe(self) -> str:
         how = "select" if self.pushdown else "get"
@@ -214,6 +243,11 @@ class ScanNode(PlanNode):
         parts = [f"scan {self.table.name} [{how}] cols={len(self.columns)}"]
         if self.predicate is not None:
             parts.append(f"pred=({self.predicate.to_sql()})")
+        if self.pruned_partitions:
+            parts.append(
+                f"partitions pruned:"
+                f" {self.pruned_partitions}/{self.table.partitions}"
+            )
         return " ".join(parts)
 
     def _scan_sql(self, bloom_keys: Sequence | None) -> str:
@@ -245,11 +279,14 @@ class ScanNode(PlanNode):
                     counter, len(names),
                 )
             return names, _counted(self, iter(counter))
+        keep, streams = self._effective_partitions(ctx)
         counter = BatchCounter(
-            iter_scan_batches(ctx, self.table, self._scan_sql(bloom_keys))
+            iter_scan_batches(
+                ctx, self.table, self._scan_sql(bloom_keys), partitions=keep
+            )
         )
         state.pending = _PendingScan(
-            mark, self.phase_label, self.table.partitions,
+            mark, self.phase_label, streams,
             counter, len(self.columns),
         )
         return list(self.columns), _counted(self, iter(counter))
@@ -268,9 +305,12 @@ class ScanNode(PlanNode):
             _add_wall(self, perf_counter() - start)
             return names, result.rows
         mark = ctx.metrics.mark()
-        rows, _ = select_table(ctx, self.table, self._scan_sql(bloom_keys))
+        keep, streams = self._effective_partitions(ctx)
+        rows, _ = select_table(
+            ctx, self.table, self._scan_sql(bloom_keys), partitions=keep
+        )
         state.phases.append(phase_since(
-            ctx, mark, self.phase_label, streams=self.table.partitions,
+            ctx, mark, self.phase_label, streams=streams,
             ingest=(len(rows), len(self.columns)),
         ))
         self.actual_rows = len(rows)
@@ -281,17 +321,39 @@ class ScanNode(PlanNode):
 class PushedAggregateNode(PlanNode):
     """Leaf: a fully-pushable additive aggregate (SUM/COUNT shapes)."""
 
-    def __init__(self, table: TableInfo, query: ast.Query):
+    def __init__(self, table: TableInfo, query: ast.Query, prune: bool = True):
         self.table = table
         self.query = query
         self.est_rows = 1.0
         self.est_cost = None
         self.actual_rows = None
         self.tables: frozenset = frozenset((table.name,))
+        #: Surviving partitions after zone-map refutation of the WHERE
+        #: clause (``None`` = all).  Sound for additive aggregates: a
+        #: refuted partition can only contribute NULL/zero partials,
+        #: which ``merge_sum_partials`` ignores anyway; at least one
+        #: partition always survives so the result row keeps its shape.
+        self.keep_partitions: list[int] | None = None
+        if prune and query.where is not None:
+            from repro.optimizer.pruning import keep_partitions
+
+            self.keep_partitions = keep_partitions(table, query.where)
+
+    @property
+    def pruned_partitions(self) -> int:
+        if self.keep_partitions is None:
+            return 0
+        return self.table.partitions - len(self.keep_partitions)
 
     def describe(self) -> str:
         items = ", ".join(i.to_sql() for i in self.query.select_items)
-        return f"pushed-aggregate {self.table.name} [{items}]"
+        text = f"pushed-aggregate {self.table.name} [{items}]"
+        if self.pruned_partitions:
+            text += (
+                f" partitions pruned:"
+                f" {self.pruned_partitions}/{self.table.partitions}"
+            )
+        return text
 
     def run(self, state: ExecState):
         ctx = state.ctx
@@ -301,14 +363,20 @@ class PushedAggregateNode(PlanNode):
             select_items=self.query.select_items, table="S3Object",
             where=self.query.where,
         )
-        partials, _ = select_aggregate(ctx, self.table, pushed.to_sql())
+        keep = self.keep_partitions
+        if not getattr(ctx, "prune_partitions", True):
+            keep = None
+        streams = self.table.partitions if keep is None else len(keep)
+        partials, _ = select_aggregate(
+            ctx, self.table, pushed.to_sql(), partitions=keep
+        )
         merged = merge_sum_partials(partials)
         out_names = [
             item.output_name(i)
             for i, item in enumerate(self.query.select_items, start=1)
         ]
         state.phases.append(phase_since(
-            ctx, mark, "pushed-aggregate", streams=self.table.partitions
+            ctx, mark, "pushed-aggregate", streams=streams
         ))
         self.actual_rows = 1
         _add_wall(self, perf_counter() - start)
@@ -1292,6 +1360,30 @@ def execute_plan(
 # cost-model hooks: predicted phases + cumulative cost annotations
 # ----------------------------------------------------------------------
 
+def _pruned_scan_profile(n: ScanNode) -> tuple[int, float, float]:
+    """(streams, scanned bytes, scanned-row fraction) after pruning.
+
+    Exact per-partition sizes and row counts are used when the catalog
+    has them; tables registered by hand fall back to a pro-rata split so
+    the prediction still shrinks with the partition count.
+    """
+    keep = n.keep_partitions
+    total = max(n.table.partitions, 1)
+    if keep is None:
+        return n.table.partitions, float(n.table.total_bytes), 1.0
+    sizes = n.table.partition_bytes
+    if len(sizes) == n.table.partitions:
+        scan_bytes = float(sum(sizes[i] for i in keep))
+    else:
+        scan_bytes = float(n.table.total_bytes) * len(keep) / total
+    counts = n.table.partition_rows
+    if len(counts) == n.table.partitions and n.table.num_rows:
+        row_frac = sum(counts[i] for i in keep) / n.table.num_rows
+    else:
+        row_frac = len(keep) / total
+    return len(keep), scan_bytes, row_frac
+
+
 def predicted_phases(node: PlanNode) -> list[Phase]:
     """Assemble the predicted phases of a join subtree, node by node.
 
@@ -1318,11 +1410,12 @@ def predicted_phases(node: PlanNode) -> list[Phase]:
                 else float(n.table.num_rows)
             )
             if n.pushdown:
+                streams, scan_bytes, row_frac = _pruned_scan_profile(n)
                 phases.append(_phase(
-                    n.phase_label, n.table.partitions,
-                    scan_bytes=float(n.table.total_bytes),
+                    n.phase_label, streams,
+                    scan_bytes=scan_bytes,
                     returned_bytes=est * stats.projected_row_bytes(n.columns),
-                    term_evals=n.est_terms,
+                    term_evals=n.est_terms * row_frac,
                     records=est,
                     fields=est * max(len(n.columns), 1),
                 ))
@@ -1398,12 +1491,13 @@ def clone_tree(node: PlanNode) -> PlanNode:
     if isinstance(node, ScanNode):
         twin = ScanNode(
             node.table, node.columns, node.predicate, node.pushdown,
-            node.phase_label,
+            node.phase_label, prune=False,
         )
         twin.bloom_attr = node.bloom_attr
         twin.est_rows = node.est_rows
         twin.est_terms = node.est_terms
         twin.est_filtered_rows = node.est_filtered_rows
+        twin.keep_partitions = node.keep_partitions
         return twin
     if isinstance(node, (HashJoinNode, CrossProductNode)):
         build = clone_tree(node.build)

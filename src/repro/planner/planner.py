@@ -211,6 +211,7 @@ def _apply_sub_joins(
                 sj.scan_cols if optimized else list(sj.table.schema.names),
                 sj.scan_pred, pushdown=optimized,
                 phase_label=f"join-scan-{sj.table.name}",
+                prune=getattr(ctx, "prune_partitions", True),
             )
             build.est_rows = estimate_selectivity_with_feedback(
                 getattr(ctx, "feedback", None), sj.table.name, sj.scan_pred,
@@ -283,7 +284,9 @@ def _build_single_plan(
         and not wrapped
         and _fully_pushable(query)
     ):
-        root = PushedAggregateNode(table, query)
+        root = PushedAggregateNode(
+            table, query, prune=getattr(ctx, "prune_partitions", True)
+        )
         return PhysicalPlan(
             root=root, mode=mode, strategy="optimized single-table",
             scan_tables=[table],
@@ -302,7 +305,8 @@ def _build_single_plan(
             extra=prepared.extra_refs if prepared is not None else (),
         )
         scan = ScanNode(table, names, query.where, pushdown=True,
-                        phase_label="scan")
+                        phase_label="scan",
+                        prune=getattr(ctx, "prune_partitions", True))
         scan.est_terms = float(
             table.num_rows * len(ast.split_conjuncts(query.where))
         )
@@ -518,15 +522,18 @@ def _build_pairwise_plan(
         query, plan.probe, plan.probe_key, plan.residual, extra=extra
     )
     optimized = mode != "baseline"
+    prune = getattr(ctx, "prune_partitions", True)
     build_scan = ScanNode(
         plan.build,
         build_cols if optimized else list(plan.build.schema.names),
         plan.build_pred, pushdown=optimized, phase_label="build-scan",
+        prune=prune,
     )
     probe_scan = ScanNode(
         plan.probe,
         probe_cols if optimized else list(plan.probe.schema.names),
         plan.probe_pred, pushdown=optimized, phase_label="probe-scan",
+        prune=prune,
     )
     bloom = optimized and plan.build.schema.column(plan.build_key).type == "int"
     if bloom:

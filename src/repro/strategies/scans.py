@@ -69,21 +69,25 @@ def scan_partitions(
     workers: int | None = None,
     scan_range_fraction: float | None = None,
     ordered: bool = True,
+    partitions: Sequence[int] | None = None,
 ) -> Iterator[PartitionScan]:
-    """Scan every partition of ``table``, optionally concurrently.
+    """Scan ``table``'s partitions, optionally concurrently.
 
     Args:
         sql: S3 Select SQL to push per partition; ``None`` issues plain
             GETs and parses locally.
         workers: concurrent partition requests.  ``None`` falls back to
-            ``ctx.workers`` (default serial).  Every partition is always
-            scanned — concurrency affects wall-clock only, never the
-            metered requests, rows, or cost.
+            ``ctx.workers`` (default serial).  Concurrency affects
+            wall-clock only, never the metered requests, rows, or cost.
         scan_range_fraction: scan only the leading fraction of each
             partition (sampling phases; S3 bills just the range).
         ordered: yield results in partition order (deterministic row
             order for callers that concatenate).  ``False`` yields in
             completion order.
+        partitions: partition indices to scan; ``None`` scans them all.
+            Zone-map pruning passes the surviving subset here — skipped
+            partitions issue *no* request, so pruning cuts the metered
+            request count, not just bytes.
     """
     workers = _resolve_workers(ctx, workers)
 
@@ -110,7 +114,10 @@ def scan_partitions(
             column_names=list(result.column_names),
         )
 
-    items = list(enumerate(table.keys))
+    if partitions is None:
+        items = list(enumerate(table.keys))
+    else:
+        items = [(i, table.keys[i]) for i in partitions]
     if workers <= 1 or len(items) <= 1:
         return iter([scan_one(i, k) for i, k in items])
     with ThreadPoolExecutor(max_workers=min(workers, len(items))) as pool:
@@ -128,6 +135,7 @@ def iter_scan_batches(
     workers: int | None = None,
     batch_size: int | None = None,
     scan_range_fraction: float | None = None,
+    partitions: Sequence[int] | None = None,
 ) -> Iterator[Batch | list[tuple]]:
     """Stream a table scan as columnar RecordBatches, in partition order.
 
@@ -139,9 +147,13 @@ def iter_scan_batches(
     if batch_size is None:
         batch_size = getattr(ctx, "batch_size", DEFAULT_BATCH_SIZE)
     if sql is None and scan_range_fraction is None:
-        return _iter_get_batches(ctx, table, workers=workers, batch_size=batch_size)
+        return _iter_get_batches(
+            ctx, table, workers=workers, batch_size=batch_size,
+            partitions=partitions,
+        )
     scans = scan_partitions(
-        ctx, table, sql, workers=workers, scan_range_fraction=scan_range_fraction
+        ctx, table, sql, workers=workers, scan_range_fraction=scan_range_fraction,
+        partitions=partitions,
     )
     chunks = chunk_rows(
         (row for scan in scans for row in scan.rows), batch_size
@@ -152,11 +164,18 @@ def iter_scan_batches(
 
 
 def _iter_get_batches(
-    ctx: CloudContext, table: TableInfo, workers: int | None, batch_size: int
+    ctx: CloudContext,
+    table: TableInfo,
+    workers: int | None,
+    batch_size: int,
+    partitions: Sequence[int] | None = None,
 ) -> Iterator[Batch | list[tuple]]:
-    """GET every partition (metered, possibly concurrent), decode lazily."""
+    """GET the partitions (metered, possibly concurrent), decode lazily."""
     workers = _resolve_workers(ctx, workers)
-    keys = list(table.keys)
+    if partitions is None:
+        keys = list(table.keys)
+    else:
+        keys = [table.keys[i] for i in partitions]
     if workers <= 1 or len(keys) <= 1:
         payloads = [ctx.client.get_object(table.bucket, k) for k in keys]
     else:
@@ -207,8 +226,9 @@ def select_table(
     sql: str,
     scan_range_fraction: float | None = None,
     workers: int | None = None,
+    partitions: Sequence[int] | None = None,
 ) -> tuple[list[tuple], list[str]]:
-    """Run one S3 Select per partition; concatenate results.
+    """Run one S3 Select per (surviving) partition; concatenate results.
 
     Column names come from the first partition's response (they are a
     function of the query and schema, so an empty trailing partition can
@@ -220,11 +240,14 @@ def select_table(
             each partition (used by sampling phases; S3 bills just the
             range scanned).
         workers: concurrent partition requests (default ``ctx.workers``).
+        partitions: partition indices to request (zone-map pruning's
+            surviving subset); ``None`` selects every partition.
     """
     rows: list[tuple] = []
     names: list[str] = []
     for scan in scan_partitions(
-        ctx, table, sql, workers=workers, scan_range_fraction=scan_range_fraction
+        ctx, table, sql, workers=workers, scan_range_fraction=scan_range_fraction,
+        partitions=partitions,
     ):
         rows.extend(scan.rows)
         names = _merge_names(names, scan)
@@ -236,16 +259,21 @@ def select_aggregate(
     table: TableInfo,
     sql: str,
     workers: int | None = None,
+    partitions: Sequence[int] | None = None,
 ) -> tuple[list[list[object]], list[str]]:
     """Run an aggregate-only select per partition, keeping partials apart.
 
     Each partition returns exactly one row of partial aggregates; the
     caller merges them (SUM/COUNT add, MIN/MAX compare).  Returned as a
-    list of per-partition rows, in partition order.
+    list of per-partition rows, in partition order.  A pruned-away
+    partition contributes no partial — sound for SUM/COUNT/MIN/MAX
+    because its refuted rows would only have produced NULL/zero
+    partials.
     """
     partials: list[list[object]] = []
     names: list[str] = []
-    for scan in scan_partitions(ctx, table, sql, workers=workers):
+    for scan in scan_partitions(ctx, table, sql, workers=workers,
+                                partitions=partitions):
         if scan.rows:
             partials.append(list(scan.rows[0]))
         names = _merge_names(names, scan)

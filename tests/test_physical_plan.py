@@ -69,7 +69,7 @@ class TestGoldenPlans:
         ) == textwrap.dedent("""\
             sort [s1_attr ASC]
             `- project [s1_id, s1_attr]
-               `- scan sub1 [select] cols=2 pred=((s1_attr < 10))  (est_rows=2.2, est_cost=$1.26261e-05)""")
+               `- scan sub1 [select] cols=2 pred=((s1_attr < 10)) partitions pruned: 1/2  (est_rows=3.0, est_cost=$1.22256e-05)""")
 
     def test_pairwise_join(self, db):
         assert rendered(
@@ -78,9 +78,9 @@ class TestGoldenPlans:
             " WHERE s1_id = d1_s1 AND s1_attr < 10",
         ) == textwrap.dedent("""\
             group-by [-] aggs=1
-            `- hash-join [s1_id = d1_s1] streamed  (est_rows=9.1, est_cost=$2.52922e-05)
-               +- build: scan sub1 [select] cols=1 pred=((s1_attr < 10))  (est_rows=2.2, est_cost=$1.26261e-05)
-               `- probe: scan dim1 [select+bloom(d1_s1)] cols=1  (est_rows=9.8, est_cost=$1.26661e-05)""")
+            `- hash-join [s1_id = d1_s1] streamed  (est_rows=12.6, est_cost=$2.48917e-05)
+               +- build: scan sub1 [select] cols=1 pred=((s1_attr < 10)) partitions pruned: 1/2  (est_rows=3.0, est_cost=$1.22256e-05)
+               `- probe: scan dim1 [select+bloom(d1_s1)] cols=1  (est_rows=13.3, est_cost=$1.26661e-05)""")
 
     def test_left_deep_chain(self, db):
         """A forced left-deep order renders as a probe-side spine with a
@@ -96,24 +96,24 @@ class TestGoldenPlans:
         )
         assert plan.describe() == textwrap.dedent("""\
             group-by [-] aggs=1
-            `- hash-join [d1_id = f_d1] streamed  (est_rows=91.3, est_cost=$3.85896e-05)
-               +- build: hash-join [s1_id = d1_s1]  (est_rows=9.1, est_cost=$2.52922e-05)
-               |  +- build: scan sub1 [select] cols=1 pred=((s1_attr < 10))  (est_rows=2.2, est_cost=$1.26261e-05)
-               |  `- probe: scan dim1 [select+bloom(d1_s1)] cols=2  (est_rows=9.8, est_cost=$1.26661e-05)
-               `- probe: scan fact [select+bloom(f_d1)] cols=2  (est_rows=98.4, est_cost=$1.32974e-05)""")
+            `- hash-join [d1_id = f_d1] streamed  (est_rows=126.3, est_cost=$3.81894e-05)
+               +- build: hash-join [s1_id = d1_s1]  (est_rows=12.6, est_cost=$2.48917e-05)
+               |  +- build: scan sub1 [select] cols=1 pred=((s1_attr < 10)) partitions pruned: 1/2  (est_rows=3.0, est_cost=$1.22256e-05)
+               |  `- probe: scan dim1 [select+bloom(d1_s1)] cols=2  (est_rows=13.3, est_cost=$1.26661e-05)
+               `- probe: scan fact [select+bloom(f_d1)] cols=2  (est_rows=133.1, est_cost=$1.32977e-05)""")
 
     def test_bushy_tree(self, db):
         assert rendered(
             db, SNOWFLAKE_SQL, shape=BUSHY_SHAPE,
         ) == textwrap.dedent("""\
             group-by [-] aggs=1
-            `- hash-join [d1_id = f_d1] streamed  (est_rows=0.0, est_cost=$6.39118e-05)
-               +- build: hash-join [s1_id = d1_s1]  (est_rows=9.1, est_cost=$2.52922e-05)
-               |  +- build: scan sub1 [select] cols=1 pred=((s1_attr < 10))  (est_rows=2.2, est_cost=$1.26261e-05)
-               |  `- probe: scan dim1 [select+bloom(d1_s1)] cols=2  (est_rows=9.8, est_cost=$1.26661e-05)
-               `- probe: hash-join [d2_id = f_d2]  (est_rows=0.0, est_cost=$3.86196e-05)
-                  +- build: hash-join [s2_id = d2_s2]  (est_rows=0.0, est_cost=$2.53229e-05)
-                  |  +- build: scan sub2 [select] cols=1 pred=((s2_attr < 10))  (est_rows=0.0, est_cost=$1.26273e-05)
+            `- hash-join [d1_id = f_d1] streamed  (est_rows=0.0, est_cost=$6.31108e-05)
+               +- build: hash-join [s1_id = d1_s1]  (est_rows=12.6, est_cost=$2.48917e-05)
+               |  +- build: scan sub1 [select] cols=1 pred=((s1_attr < 10)) partitions pruned: 1/2  (est_rows=3.0, est_cost=$1.22256e-05)
+               |  `- probe: scan dim1 [select+bloom(d1_s1)] cols=2  (est_rows=13.3, est_cost=$1.26661e-05)
+               `- probe: hash-join [d2_id = f_d2]  (est_rows=0.0, est_cost=$3.82191e-05)
+                  +- build: hash-join [s2_id = d2_s2]  (est_rows=0.0, est_cost=$2.49223e-05)
+                  |  +- build: scan sub2 [select] cols=1 pred=((s2_attr < 10)) partitions pruned: 1/2  (est_rows=0.0, est_cost=$1.22267e-05)
                   |  `- probe: scan dim2 [select+bloom(d2_s2)] cols=2  (est_rows=6.4, est_cost=$1.26956e-05)
                   `- probe: scan fact [select+bloom(f_d2)] cols=3  (est_rows=14.0, est_cost=$1.32968e-05)""")
 
@@ -122,8 +122,8 @@ class TestGoldenPlans:
             db, "SELECT COUNT(*) AS n FROM sub1, tiny WHERE s1_attr < 5",
         ) == textwrap.dedent("""\
             group-by [-] aggs=1
-            `- cross-product streamed  (est_rows=19.3, est_cost=$2.52539e-05)
-               +- build: scan sub1 [select] cols=1 pred=((s1_attr < 5))  (est_rows=1.0, est_cost=$1.26261e-05)
+            `- cross-product streamed  (est_rows=40.0, est_cost=$2.48538e-05)
+               +- build: scan sub1 [select] cols=1 pred=((s1_attr < 5)) partitions pruned: 1/2  (est_rows=2.0, est_cost=$1.22256e-05)
                `- probe: scan tiny [select] cols=1  (est_rows=20.0, est_cost=$1.26274e-05)""")
 
     def test_baseline_plan_uses_get_scans(self, db):
