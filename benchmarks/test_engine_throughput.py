@@ -228,6 +228,45 @@ def test_pruned_scan_request_reduction(benchmark):
     benchmark.extra_info.update(entry)
 
 
+def test_cached_scan_request_reduction(benchmark):
+    """A repeated pushed scan must answer from the semantic cache with
+    strictly fewer metered requests (zero, in fact) and identical rows.
+
+    Cold vs warm requests and wall-clock land in
+    ``BENCH_throughput.json`` so CI archives the caching win across
+    commits; the warm < cold request assertion is the CI gate.
+    """
+    from repro.planner.database import PushdownDB
+
+    db = PushdownDB(bucket="cachebench", cache_bytes=64 << 20)
+    db.load_table(
+        "cached", clustered_filter_table(4_000, seed=7), FILTER_SCHEMA,
+        partitions=16,
+    )
+    sql = "SELECT key, p0 FROM cached WHERE key < 2000"
+
+    start = time.perf_counter()
+    cold = db.execute(sql, mode="optimized")
+    cold_s = time.perf_counter() - start
+
+    warm_s = _median_seconds(lambda: db.execute(sql, mode="optimized"))
+    warm = benchmark(lambda: db.execute(sql, mode="optimized"))
+
+    assert sorted(warm.rows) == sorted(cold.rows)
+    assert warm.num_requests < cold.num_requests
+
+    entry = {
+        "rows": 4_000,
+        "partitions": 16,
+        "requests_cold": cold.num_requests,
+        "requests_warm": warm.num_requests,
+        "seconds_cold": round(cold_s, 6),
+        "seconds_warm": round(warm_s, 6),
+    }
+    _THROUGHPUT["cached_scan"] = entry
+    benchmark.extra_info.update(entry)
+
+
 def test_concurrent_partition_scan_speedup(benchmark):
     """workers=4 must beat workers=1 by >=1.5x wall-clock on a 16-partition scan.
 

@@ -68,6 +68,7 @@ def _load_tpch_db(args: argparse.Namespace):
         workers=getattr(args, "workers", None),
         batch_size=getattr(args, "batch_size", None),
         adaptive_threshold=getattr(args, "adaptive_threshold", None),
+        cache_bytes=getattr(args, "cache_bytes", None) or 0,
     )
     for table in ("customer", "orders", "lineitem", "part"):
         db.load_table(table, gen.table(table), TABLE_SCHEMAS[table])
@@ -139,6 +140,14 @@ def build_parser() -> argparse.ArgumentParser:
             )
         return value
 
+    def non_negative_int(text: str) -> int:
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError(
+                f"must be a non-negative integer, got {text}"
+            )
+        return value
+
     def add_pipeline_knobs(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--workers", type=positive_int, default=None, metavar="N",
@@ -148,6 +157,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--batch-size", type=positive_int, default=None, metavar="ROWS",
             help="rows per RecordBatch in the streaming executor",
+        )
+
+    def add_cache_knob(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-bytes", type=non_negative_int, default=None,
+            metavar="BYTES",
+            help="semantic result-cache budget for the session; repeated"
+                 " or subsumed pushed scans answer from memory with zero"
+                 " metered requests (default 0: disabled)",
         )
 
     # The valid experiment names come from the registry itself, so new
@@ -200,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
              " (default 2.0; only used with --strategy adaptive)",
     )
     add_pipeline_knobs(p_query)
+    add_cache_knob(p_query)
     p_query.set_defaults(fn=_cmd_query)
 
     p_explain = sub.add_parser(
@@ -209,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("sql")
     p_explain.add_argument("--scale-factor", type=float, default=0.005)
     add_pipeline_knobs(p_explain)
+    add_cache_knob(p_explain)
     p_explain.set_defaults(fn=_cmd_explain)
 
     p_tables = sub.add_parser("tables", help="show TPC-H table sizes")

@@ -22,6 +22,13 @@ class S3Client:
 
     Writes (``put_object``) are not metered: the paper excludes load-time
     cost from query cost, and S3 PUTs are billed separately anyway.
+
+    ``request_delay`` is a benchmark-only knob: real seconds slept per
+    request, emulating the network round-trip the in-process store
+    otherwise lacks, so the concurrency benchmarks have actual I/O waits
+    to overlap.  It never affects results, simulated runtime, or cost —
+    leave it at ``0.0`` (the default) outside wall-clock benchmarks.
+    Negative values are rejected at assignment.
     """
 
     def __init__(self, store: ObjectStore, metrics: MetricsCollector | None = None):
@@ -31,12 +38,19 @@ class S3Client:
         #: contexts set this to 1/scale because ranged GETs are issued
         #: per matching *row* and row counts shrink with the dataset.
         self.range_request_weight: float = 1.0
-        #: Real seconds slept per request, emulating network round-trip
-        #: latency the in-process store otherwise lacks.  Zero by
-        #: default (no behavior change); the throughput benchmarks set
-        #: it so concurrent partition scans have actual I/O waits to
-        #: overlap.  Does not affect simulated runtime or cost.
-        self.request_delay: float = 0.0
+        self._request_delay: float = 0.0
+
+    @property
+    def request_delay(self) -> float:
+        """Benchmark-only per-request sleep (see class docstring)."""
+        return self._request_delay
+
+    @request_delay.setter
+    def request_delay(self, value: float) -> None:
+        value = float(value)
+        if value < 0:
+            raise ValueError(f"request_delay must be >= 0, got {value}")
+        self._request_delay = value
 
     def _simulate_latency(self) -> None:
         if self.request_delay > 0:

@@ -145,6 +145,7 @@ class CloudContext:
         batch_size: int | None = None,
         adaptive_threshold: float | None = None,
         prune_partitions: bool = True,
+        cache_bytes: int = 0,
     ):
         """Args:
             workers: default partition-scan concurrency for this context
@@ -159,6 +160,11 @@ class CloudContext:
                 zone map statically refutes the pushed predicate (fewer
                 metered requests).  Results are identical either way —
                 the knob exists for A/B measurement and debugging.
+            cache_bytes: byte budget for the session's semantic result
+                cache (:class:`repro.optimizer.cache.SemanticCache`).
+                ``0`` (the default) disables caching entirely —
+                ``result_cache`` stays ``None`` and every execution is
+                cold, byte-identical to a cache-free build.
         """
         from repro.optimizer.feedback import FeedbackStore
 
@@ -192,6 +198,19 @@ class CloudContext:
         if self.batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {self.batch_size}")
         self.prune_partitions = bool(prune_partitions)
+        self.cache_bytes = int(cache_bytes)
+        if self.cache_bytes < 0:
+            raise ValueError(
+                f"cache_bytes must be >= 0, got {self.cache_bytes}"
+            )
+        #: Session-scoped semantic result cache; ``None`` when disabled
+        #: (``cache_bytes=0``) so the cold path never consults it.
+        if self.cache_bytes > 0:
+            from repro.optimizer.cache import SemanticCache
+
+            self.result_cache = SemanticCache(self.cache_bytes)
+        else:
+            self.result_cache = None
 
     def calibrate_to_paper_scale(self, data_bytes: int, paper_bytes: float) -> float:
         """Re-rate the context so ``data_bytes`` behaves like paper scale.

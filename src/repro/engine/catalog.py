@@ -161,6 +161,12 @@ def load_table(
         # table's previous contents — stale "facts" must not outlive
         # the data they were measured on.
         feedback.forget_table(name)
+    result_cache = getattr(ctx, "result_cache", None)
+    if result_cache is not None:
+        # Same rule for cached results: a reloaded name bumps the
+        # table's content version and drops every derived entry, so the
+        # semantic cache can never serve rows from the old contents.
+        result_cache.invalidate_table(name)
     ctx.store.create_bucket(bucket)
     slices = _partition_slices(len(rows), partitions)
     schema_spec = [f"{c.name}:{c.type}" for c in schema.columns]

@@ -34,6 +34,7 @@ _EXPERIMENT_MODULES = {
     "fig13": "fig13_snowflake",
     "fig14": "fig14_adaptive",
     "fig15": "fig15_pruning",
+    "fig16": "fig16_cache",
     "auto": "auto_strategy",
     "tpch": "tpch_suite",
 }

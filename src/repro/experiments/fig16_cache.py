@@ -1,0 +1,155 @@
+"""Figure 16: semantic result caching on a near-duplicate workload.
+
+Beyond the paper: PushdownDB bills per request and per byte scanned,
+and production traffic is dominated by near-duplicate queries — the
+same pushed template re-executed with slightly different literals.  The
+session's semantic cache (PR 9) answers repeats from memory (exact
+hits) and *narrower* literals through predicate subsumption (the cached
+wider scan replays through a local delta filter), spending zero metered
+requests either way.
+
+Setup: the fig15 clustered filter table; the template
+``SELECT key, p0 FROM fx WHERE key < t`` swept over selectivities.
+Each sweep point runs three arms against one cache-enabled session:
+
+* ``cold`` — empty cache (reset before the run); populates it;
+* ``warm`` — the identical statement again: an exact hit;
+* ``drift`` — the literal drifted ~10% tighter: provably implied by
+  the cached predicate, so the subsumption tier fires.
+
+Row identity is asserted per arm (drift against an uncached reference
+execution), requests/cost must never increase from cold to the replay
+arms, the warm pass must spend >=50% fewer requests and strictly less
+modeled cost than the cold pass overall, and subsumption must fire on
+at least one swept point.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    calibrate_tables,
+    execution_row,
+)
+from repro.planner.database import PushdownDB
+from repro.workloads.synthetic import FILTER_SCHEMA, clustered_filter_table
+
+DEFAULT_NUM_ROWS = 20_000
+DEFAULT_PARTITIONS = 16
+DEFAULT_SELECTIVITIES = (0.02, 0.0625, 0.125, 0.25, 0.5, 1.0)
+DEFAULT_CACHE_BYTES = 64 << 20
+
+ARMS = ("cold", "warm", "drift")
+
+
+def run(
+    num_rows: int = DEFAULT_NUM_ROWS,
+    partitions: int = DEFAULT_PARTITIONS,
+    selectivities: tuple = DEFAULT_SELECTIVITIES,
+    paper_bytes: float = 10e9,
+    seed: int = 1,
+    cache_bytes: int = DEFAULT_CACHE_BYTES,
+) -> ExperimentResult:
+    db = PushdownDB(bucket="fig16", cache_bytes=cache_bytes)
+    rows = clustered_filter_table(num_rows, seed=seed)
+    db.load_table("fx", rows, FILTER_SCHEMA, partitions=partitions)
+    scale = calibrate_tables(db.ctx, db.catalog, ["fx"], paper_bytes)
+
+    result = ExperimentResult(
+        experiment="fig16",
+        title="Semantic result cache on a drifting-literal workload",
+        notes={
+            "num_rows": num_rows,
+            "partitions": db.table("fx").partitions,
+            "cache_bytes": cache_bytes,
+            "paper_scale": f"{scale:.2e}",
+        },
+    )
+    matched = 0
+    subsumed_points = 0
+    for selectivity in sorted(selectivities):
+        threshold = max(1, int(round(selectivity * num_rows)))
+        drifted = max(1, int(round(threshold * 0.9)))
+        sql = f"SELECT key, p0 FROM fx WHERE key < {threshold}"
+        drift_sql = f"SELECT key, p0 FROM fx WHERE key < {drifted}"
+
+        db.reset_cache()
+        executions = {
+            "cold": db.execute(sql, mode="optimized"),
+            "warm": db.execute(sql, mode="optimized"),
+            "drift": db.execute(drift_sql, mode="optimized"),
+        }
+
+        cold, warm, drift = (executions[arm] for arm in ARMS)
+        if sorted(warm.rows) != sorted(cold.rows):
+            raise AssertionError(
+                f"warm rows diverge from cold at selectivity={selectivity}"
+            )
+        reference = _uncached_reference(db, drift_sql)
+        if sorted(drift.rows) != sorted(reference.rows):
+            raise AssertionError(
+                f"subsumed replay rows diverge from an uncached run at"
+                f" selectivity={selectivity}"
+            )
+        for replay in (warm, drift):
+            if replay.num_requests > cold.num_requests:
+                raise AssertionError(
+                    f"replay issued more requests than cold at"
+                    f" selectivity={selectivity}"
+                )
+            if replay.cost.total > cold.cost.total:
+                raise AssertionError(
+                    f"replay cost exceeds cold cost at"
+                    f" selectivity={selectivity}"
+                )
+        for arm in ARMS:
+            execution = executions[arm]
+            row = execution_row("selectivity", selectivity, arm, execution)
+            cache_details = execution.details.get("cache", {})
+            row["cache"] = _outcome(cache_details)
+            result.rows.append(row)
+            if arm == "drift" and cache_details.get("subsumed"):
+                subsumed_points += 1
+        matched += 1
+
+    cold_requests = sum(result.column("cold", "requests"))
+    warm_requests = sum(result.column("warm", "requests"))
+    cold_cost = sum(result.column("cold", "cost_total"))
+    warm_cost = sum(result.column("warm", "cost_total"))
+    if warm_requests > 0.5 * cold_requests:
+        raise AssertionError(
+            f"warm pass spent {warm_requests} requests vs {cold_requests}"
+            f" cold — less than the required 50% saving"
+        )
+    if not warm_cost < cold_cost:
+        raise AssertionError(
+            f"warm pass cost {warm_cost} not strictly below cold {cold_cost}"
+        )
+    if subsumed_points == 0:
+        raise AssertionError("subsumption fired on no swept point")
+
+    result.notes["matched"] = f"{matched}/{len(selectivities)}"
+    result.notes["subsumed_points"] = subsumed_points
+    result.notes["warm_request_saving"] = (
+        f"{1.0 - warm_requests / max(cold_requests, 1):.0%}"
+    )
+    return result
+
+
+def _uncached_reference(db: PushdownDB, sql: str):
+    """Execute ``sql`` with the cache detached: the ground truth a
+    replayed result must reproduce row-for-row."""
+    cache = db.ctx.result_cache
+    db.ctx.result_cache = None
+    try:
+        return db.execute(sql, mode="optimized")
+    finally:
+        db.ctx.result_cache = cache
+
+
+def _outcome(details: dict) -> str:
+    """Collapse one execution's per-node counters to a display label."""
+    for status in ("subsumed", "hit"):
+        if details.get(status):
+            return status
+    return "miss"

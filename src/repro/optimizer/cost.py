@@ -681,12 +681,27 @@ class CostModel:
         # or it keeps ranking as if every partition were requested.
         streams, scan_bytes, row_frac = self._pruned_profile(table, query.where)
         pruned = table.partitions - streams
+        # A warm semantic cache answers the pushed candidate for free:
+        # the chooser must see a zero-request phase or it keeps picking
+        # whole-table baselines over replays.
+        cache = getattr(self.ctx, "result_cache", None)
 
         if planner_mod._fully_pushable(query):
+            notes = {"selectivity": sel, "pushed": "aggregate"}
+            if cache is not None and cache.peek_aggregate(
+                table.name, query.where,
+                [item.expr.to_sql() for item in query.select_items],
+            ) is not None:
+                notes["cache"] = "hit"
+                estimates.append(self._finalize(
+                    "optimized",
+                    [_phase("pushed-aggregate", 1, requests=0.0)],
+                    notes,
+                ))
+                return estimates
             terms = n * row_frac * (
                 len(query.select_items) + _conjuncts(query.where)
             )
-            notes = {"selectivity": sel, "pushed": "aggregate"}
             if pruned:
                 notes["partitions_pruned"] = pruned
             estimates.append(self._finalize(
@@ -704,6 +719,19 @@ class CostModel:
 
         needed = planner_mod._needed_columns(query, table, extra=extra_refs)
         notes = {"selectivity": sel, "pushed": "select"}
+        if cache is not None:
+            status = cache.peek_scan(table.name, query.where, needed)
+            if status is not None:
+                notes["cache"] = status
+                estimates.append(self._finalize(
+                    "optimized",
+                    [_phase(
+                        "scan", 1, requests=0.0,
+                        cpu_seconds=self._tail_cpu(query, kept),
+                    )],
+                    notes,
+                ))
+                return estimates
         if pruned:
             notes["partitions_pruned"] = pruned
         estimates.append(self._finalize(

@@ -665,7 +665,7 @@ class JoinOrderSearch:
         label = physical.join_tree_label(tree)
         return self.model.price_phases(
             f"join-order {label}",
-            physical.predicted_phases(tree),
+            physical.predicted_phases(tree, self.model.ctx),
             {
                 "order": physical.join_leaf_order(tree),
                 "label": label,

@@ -77,6 +77,138 @@ def keep_partitions(table, predicate: ast.Expr | None) -> list[int] | None:
 
 
 # ----------------------------------------------------------------------
+# predicate implication (semantic-cache subsumption)
+# ----------------------------------------------------------------------
+
+#: Sentinel bounds for one-sided envelopes.  Comparisons against a
+#: non-numeric domain raise TypeError inside ``_compare_zone``, which
+#: degrades to ``_ANY`` — conservative, never unsound.
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
+
+def predicate_implies(new: ast.Expr | None, cached: ast.Expr | None) -> bool:
+    """Sound check that ``new`` implies ``cached``.
+
+    True only when every row on which ``new`` evaluates TRUE also makes
+    ``cached`` TRUE — i.e. the rows a scan with predicate ``new`` wants
+    are a subset of the rows a cached scan with predicate ``cached``
+    already holds.  Two layers, both one-sided:
+
+    1. textual: cached conjuncts that appear verbatim (by normalized
+       SQL) among ``new``'s conjuncts are trivially implied;
+    2. semantic: the remaining cached conjuncts are evaluated with the
+       zone-map possibility analysis against a synthetic *envelope*
+       over-approximating the set of rows where ``new`` is TRUE.  A
+       conjunct is implied only when the analysis proves it can be
+       neither FALSE nor NULL anywhere inside that envelope.
+
+    Anything unprovable returns False — a missed reuse, never a wrong
+    answer.
+    """
+    if cached is None:
+        return True
+    if new is None:
+        return False
+    new_sigs = {c.to_sql() for c in ast.split_conjuncts(new)}
+    remaining = [
+        c for c in ast.split_conjuncts(cached) if c.to_sql() not in new_sigs
+    ]
+    if not remaining:
+        return True
+    env = predicate_envelope(new)
+    return all(
+        not v.false and not v.null
+        for v in (_tri(conjunct, env) for conjunct in remaining)
+    )
+
+
+def predicate_envelope(predicate: ast.Expr) -> PartitionZoneMap:
+    """A synthetic zone map over-approximating rows where ``predicate``
+    is TRUE.
+
+    Only column-vs-literal range conjuncts (``=``, ``<``, ``<=``, ``>``,
+    ``>=``, non-negated BETWEEN/IN over literals) contribute bounds;
+    every such conjunct must be TRUE, so its column is provably non-NULL
+    and inside the accumulated ``[lo, hi]``.  Columns constrained only
+    by shapes the builder does not understand are simply absent, which
+    the possibility analysis treats as "anything possible" — the
+    envelope only ever grows, keeping implication one-sided.
+    """
+    bounds: dict[str, list] = {}
+
+    def tighten(name: str, lo=None, hi=None) -> None:
+        entry = bounds.get(name.lower())
+        if entry is None:
+            entry = bounds[name.lower()] = [_NEG_INF, _POS_INF]
+        elif entry is _INCOMPARABLE:
+            return
+        try:
+            if lo is not None and (entry[0] is _NEG_INF or lo > entry[0]):
+                entry[0] = lo
+            if hi is not None and (entry[1] is _POS_INF or hi < entry[1]):
+                entry[1] = hi
+        except TypeError:
+            # Mixed-type bounds on one column (e.g. int vs str): give up
+            # on this column entirely rather than keep a half-right box.
+            bounds[name.lower()] = _INCOMPARABLE
+
+    for conjunct in ast.split_conjuncts(predicate):
+        if isinstance(conjunct, ast.Binary):
+            from repro.optimizer.selectivity import _column_literal
+
+            normalized = _column_literal(conjunct)
+            if normalized is None:
+                continue
+            column, value, op = normalized
+            if value is None:
+                continue
+            if op == "=":
+                tighten(column.name, lo=value, hi=value)
+            elif op in ("<", "<="):
+                tighten(column.name, hi=value)
+            elif op in (">", ">="):
+                tighten(column.name, lo=value)
+        elif isinstance(conjunct, ast.Between) and not conjunct.negated:
+            if (
+                isinstance(conjunct.operand, ast.Column)
+                and isinstance(conjunct.low, ast.Literal)
+                and isinstance(conjunct.high, ast.Literal)
+                and conjunct.low.value is not None
+                and conjunct.high.value is not None
+            ):
+                tighten(
+                    conjunct.operand.name,
+                    lo=conjunct.low.value,
+                    hi=conjunct.high.value,
+                )
+        elif isinstance(conjunct, ast.InList) and not conjunct.negated:
+            if isinstance(conjunct.operand, ast.Column) and conjunct.items:
+                values = [
+                    item.value for item in conjunct.items
+                    if isinstance(item, ast.Literal) and item.value is not None
+                ]
+                if len(values) != len(conjunct.items):
+                    continue
+                try:
+                    tighten(
+                        conjunct.operand.name, lo=min(values), hi=max(values)
+                    )
+                except TypeError:
+                    continue
+    columns = {
+        name: ColumnZone(entry[0], entry[1], 0)
+        for name, entry in bounds.items()
+        if entry is not _INCOMPARABLE
+    }
+    return PartitionZoneMap(row_count=1, columns=columns)
+
+
+#: Marker for a column whose accumulated bounds mixed incomparable types.
+_INCOMPARABLE: list = []
+
+
+# ----------------------------------------------------------------------
 # the possibility evaluator
 # ----------------------------------------------------------------------
 

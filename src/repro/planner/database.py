@@ -34,6 +34,7 @@ class PushdownDB:
         batch_size: int | None = None,
         adaptive_threshold: float | None = None,
         prune_partitions: bool = True,
+        cache_bytes: int = 0,
     ):
         """Args:
             workers: concurrent partition-scan requests per table scan
@@ -49,11 +50,17 @@ class PushdownDB:
                 scans (default on).  Pruned partitions are never
                 requested, so request counts and cost drop; results are
                 identical with the knob off.
+            cache_bytes: byte budget for the session's semantic result
+                cache.  ``0`` (the default) disables caching; a positive
+                budget lets repeated or subsumed pushed scans and
+                aggregates answer from memory with zero metered
+                requests.  Reloading a table evicts its entries.
         """
         self.ctx = CloudContext(
             perf=perf, pricing=pricing, workers=workers, batch_size=batch_size,
             adaptive_threshold=adaptive_threshold,
             prune_partitions=prune_partitions,
+            cache_bytes=cache_bytes,
         )
         self.catalog = Catalog()
         self.bucket = bucket
@@ -71,6 +78,21 @@ class PushdownDB:
     def reset_feedback(self) -> None:
         """Forget learned statistics: back to cold-start System-R plans."""
         self.ctx.feedback.reset()
+
+    @property
+    def cache(self):
+        """The session's semantic result cache, or ``None`` if disabled.
+
+        Enabled with a positive ``cache_bytes``; exposes hit/miss
+        counters via ``db.cache.stats`` and the current footprint via
+        ``db.cache.current_bytes``.
+        """
+        return self.ctx.result_cache
+
+    def reset_cache(self) -> None:
+        """Drop every cached result: the next execution runs cold."""
+        if self.ctx.result_cache is not None:
+            self.ctx.result_cache.clear()
 
     # ------------------------------------------------------------------
     # data loading

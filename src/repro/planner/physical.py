@@ -46,6 +46,7 @@ from repro.cloud.context import CloudContext, QueryExecution
 from repro.cloud.metrics import Phase
 from repro.cloud.perf import SERVER_CPU_PER_ROW
 from repro.common.errors import PlanError
+from repro.engine.batch import Batch as ColumnBatch
 from repro.engine.catalog import TableInfo
 from repro.engine.operators.base import (
     Batch,
@@ -216,6 +217,12 @@ class ScanNode(PlanNode):
             from repro.optimizer.pruning import keep_partitions
 
             self.keep_partitions = keep_partitions(table, predicate)
+        #: Semantic-cache outcome (``hit``/``subsumed``/``miss``) when a
+        #: cache is enabled; ``None`` means no cache was consulted, so
+        #: EXPLAIN output on cache-free sessions is unchanged.
+        self.cache_status: str | None = None
+        self._cache_batches: list[Batch] | None = None
+        self._cache_done = False
 
     @property
     def pruned_partitions(self) -> int:
@@ -248,7 +255,70 @@ class ScanNode(PlanNode):
                 f"partitions pruned:"
                 f" {self.pruned_partitions}/{self.table.partitions}"
             )
+        if self.cache_status is not None:
+            parts.append(f"cache: {self.cache_status}")
         return " ".join(parts)
+
+    def _cacheable(self, state: ExecState, bloom_keys: Sequence | None):
+        """The session cache, when this scan may consult/populate it.
+
+        Only plain pushdown scans participate: Bloom-annotated scans
+        carry run-time-dependent predicates, and combined (baseline
+        join) executions are the paper's unmetered-per-scan reference
+        point.
+        """
+        if (
+            not self.pushdown
+            or self.bloom_attr is not None
+            or bloom_keys
+            or state.combined
+        ):
+            return None
+        return getattr(state.ctx, "result_cache", None)
+
+    def _replay(
+        self, state: ExecState, reuse
+    ) -> Iterator[Batch]:
+        """Cached batches, through the delta filter on a subsumed hit."""
+        stream: Iterable[Batch] = iter(reuse.batches)
+        if reuse.delta is not None:
+            stream = filter_batches(
+                stream, reuse.names, self.predicate, state.tally
+            )
+        if reuse.extra:
+            width = len(self.columns)
+            stream = (
+                ColumnBatch(b.columns[:width], len(b)) for b in stream
+            )
+        return iter(stream)
+
+    def _tee_cache(self, stream: Iterator[Batch]) -> Iterator[Batch]:
+        """Retain yielded batches; mark complete only when drained."""
+        buffer: list[Batch] = []
+        self._cache_batches = buffer
+        self._cache_done = False
+        for batch in stream:
+            if isinstance(batch, ColumnBatch):
+                buffer.append(batch)
+            else:
+                buffer.append(
+                    ColumnBatch.from_rows(
+                        list(batch), num_columns=len(self.columns)
+                    )
+                )
+            yield batch
+        self._cache_done = True
+
+    def flush_cache(self, cache) -> int:
+        """Store the teed stream if it fully drained; 1 if stored."""
+        if self._cache_batches is None or not self._cache_done:
+            return 0
+        batches = self._cache_batches
+        self._cache_batches = None
+        stored = cache.store_scan(
+            self.table.name, self.predicate, self.columns, batches
+        )
+        return 1 if stored else 0
 
     def _scan_sql(self, bloom_keys: Sequence | None) -> str:
         clauses = []
@@ -279,6 +349,23 @@ class ScanNode(PlanNode):
                     counter, len(names),
                 )
             return names, _counted(self, iter(counter))
+        cache = self._cacheable(state, bloom_keys)
+        if cache is not None:
+            reuse = cache.lookup_scan(
+                self.table.name, self.predicate, self.columns
+            )
+            if reuse is not None:
+                self.cache_status = reuse.status
+                # Zero metered requests: nothing was issued since the
+                # mark, so the phase carries streams but no records.
+                state.phases.append(
+                    phase_since(ctx, mark, self.phase_label, streams=1)
+                )
+                return (
+                    list(self.columns),
+                    _counted(self, self._replay(state, reuse)),
+                )
+            self.cache_status = "miss"
         keep, streams = self._effective_partitions(ctx)
         counter = BatchCounter(
             iter_scan_batches(
@@ -289,7 +376,10 @@ class ScanNode(PlanNode):
             mark, self.phase_label, streams,
             counter, len(self.columns),
         )
-        return list(self.columns), _counted(self, iter(counter))
+        stream: Iterator[Batch] = iter(counter)
+        if cache is not None:
+            stream = self._tee_cache(stream)
+        return list(self.columns), _counted(self, stream)
 
     def run_materialized(
         self, state: ExecState, bloom_keys: Sequence | None = None
@@ -305,6 +395,21 @@ class ScanNode(PlanNode):
             _add_wall(self, perf_counter() - start)
             return names, result.rows
         mark = ctx.metrics.mark()
+        cache = self._cacheable(state, bloom_keys)
+        if cache is not None:
+            reuse = cache.lookup_scan(
+                self.table.name, self.predicate, self.columns
+            )
+            if reuse is not None:
+                self.cache_status = reuse.status
+                rows = materialize(self._replay(state, reuse))
+                state.phases.append(
+                    phase_since(ctx, mark, self.phase_label, streams=1)
+                )
+                self.actual_rows = len(rows)
+                _add_wall(self, perf_counter() - start)
+                return list(self.columns), rows
+            self.cache_status = "miss"
         keep, streams = self._effective_partitions(ctx)
         rows, _ = select_table(
             ctx, self.table, self._scan_sql(bloom_keys), partitions=keep
@@ -313,6 +418,11 @@ class ScanNode(PlanNode):
             ctx, mark, self.phase_label, streams=streams,
             ingest=(len(rows), len(self.columns)),
         ))
+        if cache is not None:
+            self._cache_batches = [
+                ColumnBatch.from_rows(rows, num_columns=len(self.columns))
+            ]
+            self._cache_done = True
         self.actual_rows = len(rows)
         _add_wall(self, perf_counter() - start)
         return list(self.columns), rows
@@ -338,6 +448,9 @@ class PushedAggregateNode(PlanNode):
             from repro.optimizer.pruning import keep_partitions
 
             self.keep_partitions = keep_partitions(table, query.where)
+        #: Semantic-cache outcome; ``None`` until a cache is consulted.
+        self.cache_status: str | None = None
+        self._cache_partials: list[list] | None = None
 
     @property
     def pruned_partitions(self) -> int:
@@ -353,12 +466,52 @@ class PushedAggregateNode(PlanNode):
                 f" partitions pruned:"
                 f" {self.pruned_partitions}/{self.table.partitions}"
             )
+        if self.cache_status is not None:
+            text += f" cache: {self.cache_status}"
         return text
+
+    def _item_signatures(self) -> list[str]:
+        """Alias-insensitive signature of each pushed aggregate item."""
+        return [item.expr.to_sql() for item in self.query.select_items]
+
+    def flush_cache(self, cache) -> int:
+        """Store the retained per-partition partials; 1 if stored."""
+        if self._cache_partials is None:
+            return 0
+        partials = self._cache_partials
+        self._cache_partials = None
+        stored = cache.store_aggregate(
+            self.table.name, self.query.where, self._item_signatures(),
+            partials,
+        )
+        return 1 if stored else 0
 
     def run(self, state: ExecState):
         ctx = state.ctx
         start = perf_counter()
         mark = ctx.metrics.mark()
+        out_names = [
+            item.output_name(i)
+            for i, item in enumerate(self.query.select_items, start=1)
+        ]
+        cache = (
+            getattr(ctx, "result_cache", None)
+            if not state.combined else None
+        )
+        if cache is not None:
+            reuse = cache.lookup_aggregate(
+                self.table.name, self.query.where, self._item_signatures()
+            )
+            if reuse is not None:
+                self.cache_status = reuse.status
+                merged = merge_sum_partials(reuse.partials)
+                state.phases.append(phase_since(
+                    ctx, mark, "pushed-aggregate", streams=1
+                ))
+                self.actual_rows = 1
+                _add_wall(self, perf_counter() - start)
+                return out_names, iter([[tuple(merged)]])
+            self.cache_status = "miss"
         pushed = ast.Query(
             select_items=self.query.select_items, table="S3Object",
             where=self.query.where,
@@ -370,11 +523,9 @@ class PushedAggregateNode(PlanNode):
         partials, _ = select_aggregate(
             ctx, self.table, pushed.to_sql(), partitions=keep
         )
+        if cache is not None:
+            self._cache_partials = [list(row) for row in partials]
         merged = merge_sum_partials(partials)
-        out_names = [
-            item.output_name(i)
-            for i, item in enumerate(self.query.select_items, start=1)
-        ]
         state.phases.append(phase_since(
             ctx, mark, "pushed-aggregate", streams=streams
         ))
@@ -1353,6 +1504,20 @@ def execute_plan(
         from repro.optimizer.feedback import harvest_plan
 
         harvest_plan(feedback, plan.root)
+    result_cache = getattr(ctx, "result_cache", None)
+    if result_cache is not None:
+        # Same walk, other direction: fully-drained pushed scans and
+        # aggregates become reusable cache entries (LIMIT-cut subtrees
+        # excluded), and the per-query outcome counters surface next to
+        # the session totals.
+        from repro.optimizer.cache import collect_statuses
+        from repro.optimizer.cache import harvest_plan as harvest_cache
+
+        stored = harvest_cache(result_cache, plan.root)
+        details = collect_statuses(plan.root)
+        details["stores"] = stored
+        details["session"] = result_cache.stats.summary()
+        execution.details["cache"] = details
     return execution
 
 
@@ -1384,7 +1549,7 @@ def _pruned_scan_profile(n: ScanNode) -> tuple[int, float, float]:
     return len(keep), scan_bytes, row_frac
 
 
-def predicted_phases(node: PlanNode) -> list[Phase]:
+def predicted_phases(node: PlanNode, ctx: CloudContext | None = None) -> list[Phase]:
     """Assemble the predicted phases of a join subtree, node by node.
 
     Mirrors what :func:`execute_plan` meters for the same tree: one
@@ -1394,9 +1559,15 @@ def predicted_phases(node: PlanNode) -> list[Phase]:
     candidate trees by running these through
     :meth:`~repro.optimizer.cost.CostModel.price_phases`, so the
     context's calibrated PerfModel/Pricing carry over unchanged.
+
+    When ``ctx`` carries a warm semantic cache, pushdown scans that
+    would answer from it are priced at zero requests and bytes — the
+    chooser and the join-order DP therefore *prefer* cacheable plans
+    exactly when the cache would fire.
     """
     from repro.optimizer.cost import _phase
 
+    cache = getattr(ctx, "result_cache", None) if ctx is not None else None
     phases: list[Phase] = []
 
     def walk(n: PlanNode) -> None:
@@ -1410,6 +1581,17 @@ def predicted_phases(node: PlanNode) -> list[Phase]:
                 else float(n.table.num_rows)
             )
             if n.pushdown:
+                if (
+                    cache is not None
+                    and n.bloom_attr is None
+                    and cache.peek_scan(
+                        n.table.name, n.predicate, n.columns
+                    ) is not None
+                ):
+                    # Replay is local: no requests, no scanned bytes,
+                    # no server-side ingest.
+                    phases.append(_phase(n.phase_label, 1, requests=0.0))
+                    return
                 streams, scan_bytes, row_frac = _pruned_scan_profile(n)
                 phases.append(_phase(
                     n.phase_label, streams,
@@ -1465,7 +1647,7 @@ def annotate_costs(root: PlanNode, ctx: CloudContext, catalog) -> None:
         for child in node.children():
             walk(child)
         if isinstance(node, (ScanNode, HashJoinNode, CrossProductNode,)):
-            phases = predicted_phases(node)
+            phases = predicted_phases(node, ctx)
             if phases:
                 node.est_cost = model.price_phases(
                     "node", phases
@@ -1498,6 +1680,7 @@ def clone_tree(node: PlanNode) -> PlanNode:
         twin.est_terms = node.est_terms
         twin.est_filtered_rows = node.est_filtered_rows
         twin.keep_partitions = node.keep_partitions
+        twin.cache_status = node.cache_status
         return twin
     if isinstance(node, (HashJoinNode, CrossProductNode)):
         build = clone_tree(node.build)
